@@ -1,0 +1,80 @@
+"""Benchmarks regenerating Figures 11-14 and the §3.1/§7 numbers."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    fig11_performance,
+    fig12_energy,
+    fig13_pipeline,
+    fig14_htree_vs_bus,
+    sec31_gpu_vs_cpu,
+    sec7_summary,
+)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig11_performance(regenerate):
+    t = regenerate(fig11_performance)
+    for row in t.rows:
+        # every scaled PIM configuration beats the unfused baseline...
+        assert row["PIM-16GB-12nm"] < 1.0
+        # ...and capacity never hurts
+        assert row["PIM-16GB-12nm"] <= row["PIM-512MB-12nm"] * 1.01
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig12_energy(regenerate):
+    t = regenerate(fig12_energy)
+    for row in t.rows:
+        assert row["PIM-2GB-12nm"] < 1.0  # energy saved vs Unfused-1080Ti
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig13_pipeline(regenerate):
+    t = regenerate(fig13_pipeline)
+    ratio = float(t.notes[0].split("=")[1].split("x")[0])
+    # paper §7.5: ~0.77x throughput without pipelining
+    assert 0.5 < ratio < 1.0
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig14_htree_vs_bus(regenerate):
+    t = regenerate(fig14_htree_vs_bus)
+    rows = {(r["case"], r["interconnect"]): r for r in t.rows}
+    for case in {r["case"] for r in t.rows}:
+        assert rows[(case, "bus")]["inter_share"] > rows[(case, "htree")]["inter_share"]
+
+
+@pytest.mark.benchmark(group="figures")
+def test_sec31_gpu_vs_cpu(regenerate):
+    t = regenerate(sec31_gpu_vs_cpu)
+    for row in t.rows:
+        # GPUs 1-3 orders of magnitude over the CPU, as in §3.1
+        assert 20 < row["speedup"] < 1500
+
+
+@pytest.mark.benchmark(group="figures")
+def test_sec7_summary(regenerate):
+    t = regenerate(sec7_summary)
+    sps = [r["avg_speedup"] for r in t.rows]
+    ens = [r["avg_energy_saving"] for r in t.rows]
+    assert all(s > 1 for s in sps)
+    assert all(e > 1 for e in ens)
+    # headline shape: tens-of-x speedup on average (paper: 41.98x)
+    assert 5 < np.mean(sps) < 200
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_energy_breakdown(regenerate):
+    """Extension: static/dynamic/HBM/host attribution (root cause of §7.4)."""
+    from repro.eval.experiments import energy_breakdown
+
+    t = regenerate(energy_breakdown)
+    # the §7.4 mechanism: on level-4 problems the 16GB chip's static share
+    # exceeds the 2GB chip's
+    rows = {(r["benchmark"], r["chip"]): r for r in t.rows}
+    assert (
+        rows[("Acoustic_4", "16GB")]["static_share"]
+        > rows[("Acoustic_4", "2GB")]["static_share"]
+    )

@@ -1,0 +1,56 @@
+"""Design-space exploration: pick a PIM configuration for your workload.
+
+Sweeps all four chip capacities and both interconnects over the paper's
+six benchmarks, printing runtime, energy and energy-delay product, then
+recommends a configuration per benchmark — the §7.4 capacity/energy
+trade-off made actionable ("small problems may not be able to take
+performance advantage of large PIM chip").
+
+Usage: python examples/design_space_exploration.py
+"""
+
+from repro import CHIP_CONFIGS, WavePimCompiler, benchmark_list, estimate_benchmark
+
+N_STEPS = 1024
+
+
+def main():
+    compiler = WavePimCompiler(order=7)
+    print("=" * 94)
+    print(f"{'benchmark':20s} {'chip':6s} {'net':6s} {'plan':8s} "
+          f"{'time (s)':>9s} {'energy (J)':>11s} {'EDP (J*s)':>10s}")
+    print("=" * 94)
+
+    recommendations = {}
+    for spec in benchmark_list():
+        best = None
+        for chip_name in ("512MB", "2GB", "8GB", "16GB"):
+            for interconnect in ("htree", "bus"):
+                chip = CHIP_CONFIGS[chip_name].with_interconnect(interconnect)
+                compiled = compiler.compile(
+                    spec.physics, spec.refinement_level, chip, spec.flux_kind
+                )
+                est = estimate_benchmark(compiled, n_steps=N_STEPS, scale_to_12nm=True)
+                edp = est.time_s * est.energy_j
+                print(f"{spec.name:20s} {chip_name:6s} {interconnect:6s} "
+                      f"{compiled.plan.label:8s} {est.time_s:9.2f} "
+                      f"{est.energy_j:11.0f} {edp:10.1f}")
+                if best is None or edp < best[0]:
+                    best = (edp, chip_name, interconnect, compiled.plan.label)
+        recommendations[spec.name] = best
+        print("-" * 94)
+
+    print("\nminimum energy-delay-product configuration per benchmark:")
+    for name, (edp, chip, net, plan) in recommendations.items():
+        print(f"  {name:20s} -> {chip} / {net} ({plan}), EDP = {edp:.1f} J*s")
+
+    print("\ntakeaways (the paper's §7.4/7.6 trade-offs):")
+    print(" * level-4 problems prefer the smaller chips: the 16GB part is no")
+    print("   faster but burns static power in idle tiles;")
+    print(" * level-5 problems want capacity: batching on small chips adds")
+    print("   off-chip DRAM traffic every stage;")
+    print(" * the H-tree earns its leakage premium only on flux-heavy runs.")
+
+
+if __name__ == "__main__":
+    main()

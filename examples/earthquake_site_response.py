@@ -1,0 +1,79 @@
+"""Earthquake site response: soft-soil amplification (elastic solver).
+
+The paper's second motivating application (§1: "earthquake hazard
+mitigation", "site characterization").  A vertically propagating S-wave
+crosses a soft near-surface layer; soft soil amplifies ground motion —
+the classic site-response effect.  We quantify the amplification by
+comparing the surface velocity against a uniform-rock reference run.
+
+Usage: python examples/earthquake_site_response.py
+"""
+
+import numpy as np
+
+from repro import ElasticMaterial, SolverConfig, WaveSolver
+from repro.dg.analytic import elastic_plane_s_wave
+from repro.dg.materials import layered_elastic
+
+
+def run_case(material, label):
+    cfg = SolverConfig(
+        physics="elastic", refinement_level=2, order=3, flux="central"
+    )
+    solver = WaveSolver(cfg, material=material)
+    # incident S-wave traveling along +z, polarized in x
+    state = elastic_plane_s_wave(
+        solver.mesh, solver.element,
+        ElasticMaterial.homogeneous(solver.mesh.n_elements,
+                                    lam=float(material.lam.max()),
+                                    mu=float(material.mu.max()),
+                                    rho=1.0),
+        k_int=(0, 0, 1), polarization=(1, 0, 0),
+    )
+    solver.set_state(0.1 * state)
+    n = 150
+    peak = 0.0
+    surface_nodes = None
+    coords = solver.mesh.node_coordinates(solver.element.node_coords)
+    surface_mask = coords[..., 2] > 0.9
+    for _ in range(n):
+        solver.run(1)
+        vx = solver.state[6]
+        peak = max(peak, float(np.max(np.abs(vx[surface_mask]))))
+    print(f"{label:28s} peak surface |vx| = {peak:.4f}  energy = {solver.energy():.4f}")
+    return peak
+
+
+def main():
+    print("=" * 70)
+    print("Site response: soft layer over stiff halfspace (elastic S-wave)")
+    print("=" * 70)
+
+    # reference: uniform stiff rock
+    def rock(K):
+        return ElasticMaterial.homogeneous(K, lam=2.0, mu=2.0, rho=1.0)
+
+    cfg_mesh = WaveSolver(SolverConfig(physics="elastic", refinement_level=2, order=3))
+    K = cfg_mesh.mesh.n_elements
+
+    rock_peak = run_case(rock(K), "uniform rock")
+
+    # soft layer in the top quarter of the domain: 4x lower shear modulus
+    soft = layered_elastic(
+        cfg_mesh.mesh,
+        [0.75],
+        lams=[2.0, 0.5],
+        mus=[2.0, 0.5],
+        rhos=[1.0, 0.8],
+    )
+    soft_peak = run_case(soft, "soft layer over rock")
+
+    amp = soft_peak / rock_peak
+    print(f"\nsite amplification factor: {amp:.2f}x")
+    print("soft near-surface soil amplifies ground motion (impedance contrast);")
+    print("factors of 1.5-4x are typical of real sedimentary sites.")
+    assert amp > 1.1, "expected amplification over the rock reference"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Quickstart: simulate a wave, then map the same workload onto Wave-PIM.
+
+Runs in a few seconds:
+
+1. build an acoustic dG solver (the paper's algorithm, small geometry),
+   inject a Ricker source and record a seismogram;
+2. plan the deployment of a paper-scale benchmark on a 2 GB PIM chip
+   (Table 5's logic) and estimate its runtime/energy against three GPUs.
+
+Usage: python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CHIP_CONFIGS,
+    GPU_SPECS,
+    RickerSource,
+    SolverConfig,
+    WavePimCompiler,
+    WaveSolver,
+    count_benchmark,
+    estimate_benchmark,
+)
+from repro.dg.solver import Receiver
+from repro.gpu import gpu_benchmark_time
+from repro.workloads import BENCHMARKS
+
+
+def simulate():
+    print("=" * 64)
+    print("1. Wave simulation (numpy dG solver)")
+    print("=" * 64)
+    solver = WaveSolver(
+        SolverConfig(physics="acoustic", refinement_level=2, order=3, flux="riemann")
+    )
+    solver.add_source(RickerSource(position=(0.5, 0.5, 0.75), peak_frequency=6.0))
+    receiver = Receiver(position=(0.5, 0.5, 0.25), variable=0)
+    solver.add_receiver(receiver)
+
+    n_steps = 200
+    print(f"mesh: {solver.mesh.n_elements} elements, "
+          f"{solver.element.n_nodes} nodes each, dt = {solver.dt:.2e}s")
+    solver.run(n_steps)
+    trace = np.array(receiver.trace)
+    print(f"ran {n_steps} steps to t = {solver.time:.3f}s; "
+          f"field energy = {solver.energy():.3e}")
+    k = int(np.argmax(np.abs(trace)))
+    print(f"receiver peak |p| = {np.abs(trace[k]):.3e} at step {k} "
+          f"(direct arrival through half the domain)")
+
+
+def deploy():
+    print()
+    print("=" * 64)
+    print("2. Wave-PIM deployment of the paper-scale Acoustic_4 benchmark")
+    print("=" * 64)
+    compiler = WavePimCompiler(order=7)
+    chip = CHIP_CONFIGS["2GB"]
+    compiled = compiler.compile("acoustic", 4, chip, "riemann")
+    plan = compiled.plan
+    print(f"plan on {chip.name}: technique={plan.label} "
+          f"blocks/element={plan.blocks_per_element} batches={plan.n_batches} "
+          f"chip utilization={plan.utilization:.0%}")
+    st = compiled.stage_times
+    print(f"per-RK-stage lanes: volume={st.volume*1e6:.0f}us "
+          f"flux fetch={1e6*(st.flux_fetch_minus+st.flux_fetch_plus):.0f}us "
+          f"flux compute={1e6*(st.flux_compute_minus+st.flux_compute_plus):.0f}us "
+          f"integration={st.integration*1e6:.0f}us")
+
+    est = estimate_benchmark(compiled, n_steps=1024, scale_to_12nm=True)
+    print(f"\nPIM-2GB (12nm-scaled): {est.time_s:.2f}s, {est.energy_j:.0f}J "
+          f"for 1024 time-steps")
+
+    ops = count_benchmark(BENCHMARKS["acoustic_4"])
+    for key, gpu in GPU_SPECS.items():
+        t = gpu_benchmark_time(BENCHMARKS["acoustic_4"], ops, gpu, fused=True)
+        total = t.total_time_s(1024)
+        print(f"  vs fused {gpu.name:12s}: {total:6.2f}s  -> "
+              f"PIM speedup {total / est.time_s:5.1f}x")
+
+
+if __name__ == "__main__":
+    simulate()
+    deploy()

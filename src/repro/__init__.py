@@ -1,0 +1,88 @@
+"""Wave-PIM: accelerating wave simulation using processing-in-memory.
+
+A full reproduction of Hanindhito, Li et al., ICPP 2021
+(doi:10.1145/3472456.3472512): a nodal discontinuous-Galerkin wave
+simulator (acoustic + elastic), a cycle-level digital PIM model built from
+MAGIC NOR arithmetic with H-tree/Bus interconnects, the Wave-PIM mapping
+(Fig. 5 layout, Table 5 planner, batching/expansion/pipelining), GPU/CPU
+roofline baselines, and an experiment harness regenerating every table and
+figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import WaveSolver, SolverConfig
+    solver = WaveSolver(SolverConfig(physics="acoustic", refinement_level=2,
+                                     order=3))
+    ...
+
+    from repro import run_experiment
+    print(run_experiment("table5").render())
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.dg import (
+    AcousticMaterial,
+    AcousticOperator,
+    ElasticMaterial,
+    ElasticOperator,
+    HexMesh,
+    LSRK45,
+    ReferenceElement,
+    RickerSource,
+    SolverConfig,
+    WaveSolver,
+    cfl_timestep,
+)
+from repro.pim import CHIP_CONFIGS, ChipConfig, ChipExecutor, PimChip
+from repro.core import (
+    ElementMapper,
+    Plan,
+    WavePimCompiler,
+    estimate_benchmark,
+    plan_configuration,
+)
+from repro.gpu import CPU_BASELINE, GPU_SPECS
+from repro.workloads import BENCHMARKS, benchmark_list, count_benchmark
+from repro.eval import EXPERIMENTS, run_experiment
+from repro.apps import TimeReversalImager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # dG substrate
+    "AcousticMaterial",
+    "AcousticOperator",
+    "ElasticMaterial",
+    "ElasticOperator",
+    "HexMesh",
+    "LSRK45",
+    "ReferenceElement",
+    "RickerSource",
+    "SolverConfig",
+    "WaveSolver",
+    "cfl_timestep",
+    # PIM substrate
+    "CHIP_CONFIGS",
+    "ChipConfig",
+    "ChipExecutor",
+    "PimChip",
+    # Wave-PIM core
+    "ElementMapper",
+    "Plan",
+    "WavePimCompiler",
+    "estimate_benchmark",
+    "plan_configuration",
+    # baselines
+    "CPU_BASELINE",
+    "GPU_SPECS",
+    # workloads + evaluation
+    "BENCHMARKS",
+    "benchmark_list",
+    "count_benchmark",
+    "EXPERIMENTS",
+    "run_experiment",
+    "TimeReversalImager",
+    "__version__",
+]

@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``            list the registered paper artifacts
+``run <id> [...]``         regenerate one artifact (e.g. ``run table5``)
+``plan <physics> <level> <chip>``  show the Table 5 planner's decision
+``simulate``               run a small demo wave simulation
+``all``                    regenerate every artifact (the EXPERIMENTS.md set)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import (
+    CHIP_CONFIGS,
+    EXPERIMENTS,
+    RickerSource,
+    SolverConfig,
+    WaveSolver,
+    plan_configuration,
+    run_experiment,
+)
+
+
+def _cmd_experiments(_args) -> int:
+    print("registered experiments (paper artifacts):")
+    for name, fn in EXPERIMENTS.items():
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"  {name:14s} {doc}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    kwargs = {}
+    if args.order is not None:
+        kwargs["order"] = args.order
+    try:
+        table = run_experiment(args.id, **kwargs)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    print(table.render())
+    return 0
+
+
+def _cmd_all(args) -> int:
+    for name in EXPERIMENTS:
+        kwargs = {"order": args.order} if args.order is not None else {}
+        print(run_experiment(name, **kwargs).render())
+        print()
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    try:
+        chip = CHIP_CONFIGS[args.chip]
+    except KeyError:
+        print(f"unknown chip {args.chip!r}; choose from {sorted(CHIP_CONFIGS)}",
+              file=sys.stderr)
+        return 2
+    plan = plan_configuration(args.physics, args.level, chip)
+    print(f"benchmark : {args.physics} refinement level {args.level} "
+          f"({plan.n_elements} elements)")
+    print(f"chip      : {chip.name} ({chip.n_blocks} blocks)")
+    print(f"technique : {plan.label}")
+    print(f"blocks/elt: {plan.blocks_per_element}")
+    print(f"batches   : {plan.n_batches} ({plan.elements_per_batch} elements each)")
+    print(f"utilization: {plan.utilization:.0%}")
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    solver = WaveSolver(
+        SolverConfig(physics=args.physics, refinement_level=args.level,
+                     order=args.order or 3, flux="riemann")
+    )
+    solver.add_source(RickerSource(position=(0.5, 0.5, 0.75), peak_frequency=6.0))
+    print(f"simulating {args.physics}, {solver.mesh.n_elements} elements, "
+          f"{args.steps} steps ...")
+    solver.run(args.steps)
+    print(f"t = {solver.time:.4f}s, field energy = {solver.energy():.4e}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments").set_defaults(fn=_cmd_experiments)
+
+    p = sub.add_parser("run")
+    p.add_argument("id")
+    p.add_argument("--order", type=int, default=None,
+                   help="element order (default: the paper's 7)")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("all")
+    p.add_argument("--order", type=int, default=None)
+    p.set_defaults(fn=_cmd_all)
+
+    p = sub.add_parser("plan")
+    p.add_argument("physics", choices=["acoustic", "elastic"])
+    p.add_argument("level", type=int)
+    p.add_argument("chip", choices=list(CHIP_CONFIGS))
+    p.set_defaults(fn=_cmd_plan)
+
+    p = sub.add_parser("simulate")
+    p.add_argument("--physics", default="acoustic", choices=["acoustic", "elastic"])
+    p.add_argument("--level", type=int, default=2)
+    p.add_argument("--order", type=int, default=None)
+    p.add_argument("--steps", type=int, default=100)
+    p.set_defaults(fn=_cmd_simulate)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Application layer: higher-level workflows built on the wave solver.
+
+The paper motivates Wave-PIM with repeated-solve applications — "major
+components of full-waveform inversion" (§1).  This subpackage provides
+the canonical repeated-solve building block: time-reversal imaging
+(source localization), which runs the same forward operator the PIM
+accelerates, twice per image.
+"""
+
+from repro.apps.time_reversal import TimeReversalImager, ImagingResult
+
+__all__ = ["TimeReversalImager", "ImagingResult"]

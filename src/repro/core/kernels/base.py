@@ -1,0 +1,101 @@
+"""Shared infrastructure for kernel generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layout import ElementLayout
+from repro.core.mapper import ElementMapper
+from repro.dg.mesh import HexMesh
+from repro.dg.reference_element import FACE_NORMALS, ReferenceElement, opposite_face
+from repro.dg.timestepping import LSRK45
+from repro.pim.isa import Instruction, Opcode
+
+__all__ = ["KernelBase", "face_sign_axis"]
+
+
+def face_sign_axis(face: int) -> tuple[float, int]:
+    """(outward-normal sign, axis index) of a reference face."""
+    normal = FACE_NORMALS[face]
+    axis = int(np.argmax(np.abs(normal)))
+    return float(normal[axis]), axis
+
+
+class KernelBase:
+    """Common state and emit helpers for the per-physics kernel builders.
+
+    Subclasses own the flux coefficient tables (host-precomputed, §4.3)
+    and the per-kernel instruction emitters.
+    """
+
+    def __init__(
+        self,
+        mesh: HexMesh,
+        element: ReferenceElement,
+        mapper: ElementMapper,
+        flux_kind: str = "riemann",
+    ):
+        self.mesh = mesh
+        self.element = element
+        self.mapper = mapper
+        self.flux_kind = flux_kind
+        self.order = element.order
+        self.dscale = 2.0 / mesh.h
+        self.lift = self.dscale / element.w_end
+        self.rk = LSRK45(rhs=None)
+
+    # -- emit helpers ---------------------------------------------------- #
+
+    @staticmethod
+    def _bcast(block, rows, dst, value, tag) -> Instruction:
+        return Instruction(
+            Opcode.BROADCAST, block=block, rows=rows, dst=dst, value=value, tag=tag
+        )
+
+    @staticmethod
+    def _gather(block, rows, dst, src, row_map, tag) -> Instruction:
+        return Instruction(
+            Opcode.GATHER, block=block, rows=rows, dst=dst, src1=src, row_map=row_map, tag=tag
+        )
+
+    @staticmethod
+    def _arith(op, block, rows, dst, src1, src2, tag) -> Instruction:
+        return Instruction(op, block=block, rows=rows, dst=dst, src1=src1, src2=src2, tag=tag)
+
+    @staticmethod
+    def _transfer(dst_block, src_block, dst_rows, src_rows, dst_col, src_col, words, tag):
+        return Instruction(
+            Opcode.TRANSFER,
+            block=dst_block,
+            src_block=src_block,
+            rows=dst_rows,
+            src_rows=src_rows,
+            dst=dst_col,
+            src1=src_col,
+            words=words,
+            tag=tag,
+        )
+
+    # -- geometry helpers -------------------------------------------------- #
+
+    def face_rows(self, face: int) -> np.ndarray:
+        """Compute-row ids of a face's nodes (= face node ids)."""
+        return self.element.face_nodes[face]
+
+    def neighbor_face_rows(self, face: int) -> np.ndarray:
+        """Matching rows in the neighbor block (its opposite face)."""
+        return self.element.face_nodes[opposite_face(face)]
+
+    def neighbor(self, e: int, face: int) -> int | None:
+        """Mapped neighbor across ``face``, or None when it is off-batch.
+
+        Off-batch faces are reconciled by the Fig. 7 sliced-flux schedule
+        (an extra streamed pass), so per-stage kernels simply skip them.
+        """
+        nbr = int(self.mesh.neighbors[e, face])
+        if nbr < 0:
+            raise NotImplementedError(
+                "PIM kernel generation currently assumes periodic meshes; "
+                "physical boundaries are handled by the numpy reference solver"
+            )
+        return nbr if nbr in self.mapper else None

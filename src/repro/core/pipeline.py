@@ -1,0 +1,110 @@
+"""Pipelining: overlapping fetch, host pre-processing and compute (§6.3).
+
+Per RK stage the Wave-PIM dataflow has seven lanes (Figs. 10/13):
+
+* host sqrt/inverse pre-processing for the *next* Flux (CPU lane),
+* neighbor-data fetch for the (-1) and (+1) normals (interconnect lane),
+* Flux compute for each normal, Volume compute, Integration (PIM lane).
+
+Volume and Integration cannot pipeline internally ("both intra-block data
+movement and computation are implemented by applying different voltages on
+bitlines and wordlines" — a structural hazard), but across kernels:
+
+* host work and the (-1) fetch hide under Volume;
+* the (+1) fetch hides under the (-1) Flux compute.
+
+Without pipelining everything serializes; the paper reports the
+unpipelined design reaches only ~0.77x of the pipelined throughput (§7.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "StageTimes",
+    "pipelined_stage_time",
+    "serial_stage_time",
+    "pipeline_timeline",
+    "TimelineEntry",
+]
+
+
+@dataclass(frozen=True)
+class StageTimes:
+    """Per-RK-stage lane durations (seconds)."""
+
+    volume: float
+    flux_fetch_minus: float
+    flux_compute_minus: float
+    flux_fetch_plus: float
+    flux_compute_plus: float
+    integration: float
+    host: float = 0.0
+
+    def scaled(self, factor: float) -> "StageTimes":
+        return StageTimes(*(getattr(self, f) * factor for f in (
+            "volume", "flux_fetch_minus", "flux_compute_minus",
+            "flux_fetch_plus", "flux_compute_plus", "integration", "host")))
+
+
+def serial_stage_time(st: StageTimes) -> float:
+    """No pipelining: every lane serializes (the §7.5 baseline)."""
+    return (
+        st.volume
+        + st.host
+        + st.flux_fetch_minus
+        + st.flux_compute_minus
+        + st.flux_fetch_plus
+        + st.flux_compute_plus
+        + st.integration
+    )
+
+
+def pipelined_stage_time(st: StageTimes) -> float:
+    """Overlapped schedule of Figs. 10/13.
+
+    ``max(volume, host, fetch-) + max(flux-, fetch+) + flux+ + integration``
+    """
+    return (
+        max(st.volume, st.host, st.flux_fetch_minus)
+        + max(st.flux_compute_minus, st.flux_fetch_plus)
+        + st.flux_compute_plus
+        + st.integration
+    )
+
+
+def pipeline_speedup(st: StageTimes) -> float:
+    """Pipelined over serial throughput ratio (> 1)."""
+    return serial_stage_time(st) / pipelined_stage_time(st)
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One bar of the Fig. 13 breakdown chart."""
+
+    lane: str
+    label: str
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def pipeline_timeline(st: StageTimes) -> list:
+    """The Fig. 13 timeline: per-lane (start, end) bars for one stage."""
+    t1 = max(st.volume, st.host, st.flux_fetch_minus)
+    t2 = t1 + max(st.flux_compute_minus, st.flux_fetch_plus)
+    t3 = t2 + st.flux_compute_plus
+    t4 = t3 + st.integration
+    return [
+        TimelineEntry("cpu_host", "sqrt/inverse", 0.0, st.host),
+        TimelineEntry("volume", "Volume", 0.0, st.volume),
+        TimelineEntry("flux_fetch", "Flux (-1) data fetch", 0.0, st.flux_fetch_minus),
+        TimelineEntry("flux_compute", "Flux (-1) compute", t1, t1 + st.flux_compute_minus),
+        TimelineEntry("flux_fetch", "Flux (+1) data fetch", t1, t1 + st.flux_fetch_plus),
+        TimelineEntry("flux_compute", "Flux (+1) compute", t2, t3),
+        TimelineEntry("integration", "Integration", t3, t4),
+    ]

@@ -1,0 +1,156 @@
+"""Capacity planner: choose naive / expansion / batching (paper Table 5).
+
+The decision procedure is derived from first principles and reproduces
+all sixteen cells of Table 5 exactly (a unit test checks this):
+
+1. **Row-size expansion (E_r)** is *forced* for elastic simulation: nine
+   variables x (variable + auxiliary + contribution) = 27 words plus the
+   mass inverse and element constants leave no scratchpad in a 32-word
+   row (§5.1) — :class:`~repro.core.layout.ElementLayout` raises on it.
+   The elastic element therefore always occupies 4 blocks (three variable
+   triples + the Fig. 9 neighbor-buffer block).
+2. **Batching (B)** whenever the needed blocks exceed the chip
+   (``n_batches = ceil(needed / available)``, §6.1).
+3. **Parallelism expansion (E_p)** whenever the expanded footprint still
+   fits: acoustic 1 -> 4 blocks (one per variable group, Fig. 8), elastic
+   4 -> 12 blocks (nine variable blocks + three buffers, §6.2.2) —
+   "deploying a refinement-level 4 model on a 2 GB chip will only utilize
+   25% of available PIM resources" (§6.2.1).
+4. Otherwise **naive (N)**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pim.params import CHIP_CONFIGS, ChipConfig
+
+__all__ = ["Plan", "plan_configuration", "TABLE5_BENCHMARKS", "PAPER_TABLE5"]
+
+#: blocks per element before/after parallelism expansion
+_BASE_BPE = {"acoustic": 1, "elastic": 4}
+_EXPANDED_BPE = {"acoustic": 4, "elastic": 12}
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A resolved deployment plan for one benchmark on one chip."""
+
+    physics: str
+    refinement_level: int
+    chip: ChipConfig
+    blocks_per_element: int
+    expansion_parallel: bool  # E_p
+    expansion_row: bool  # E_r (elastic only)
+    n_batches: int
+
+    @property
+    def batched(self) -> bool:
+        return self.n_batches > 1
+
+    @property
+    def n_elements(self) -> int:
+        return (2**self.refinement_level) ** 3
+
+    @property
+    def elements_per_batch(self) -> int:
+        return -(-self.n_elements // self.n_batches)
+
+    @property
+    def utilization(self) -> float:
+        per_batch = self.elements_per_batch * self.blocks_per_element
+        return per_batch / self.chip.n_blocks
+
+    @property
+    def label(self) -> str:
+        """Table 5 notation: N / E_p / E_r / B combinations."""
+        parts = []
+        if self.expansion_row:
+            parts.append("E_r")
+        if self.expansion_parallel:
+            parts.append("E_p")
+        if self.batched:
+            parts.append("B")
+        return "&".join(parts) if parts else "N"
+
+
+def plan_configuration(physics: str, refinement_level: int, chip: ChipConfig) -> Plan:
+    """Resolve the Table 5 technique choice for one benchmark/chip pair."""
+    if physics not in _BASE_BPE:
+        raise ValueError(f"physics must be 'acoustic' or 'elastic', got {physics!r}")
+    n_elements = (2**refinement_level) ** 3
+    base = _BASE_BPE[physics]
+    expanded = _EXPANDED_BPE[physics]
+    available = chip.n_blocks
+    needed = n_elements * base
+
+    expansion_row = physics == "elastic"
+    if needed > available:
+        n_batches = -(-needed // available)
+        return Plan(
+            physics,
+            refinement_level,
+            chip,
+            blocks_per_element=base,
+            expansion_parallel=False,
+            expansion_row=expansion_row,
+            n_batches=n_batches,
+        )
+    if n_elements * expanded <= available:
+        return Plan(
+            physics,
+            refinement_level,
+            chip,
+            blocks_per_element=expanded,
+            expansion_parallel=True,
+            expansion_row=expansion_row,
+            n_batches=1,
+        )
+    return Plan(
+        physics,
+        refinement_level,
+        chip,
+        blocks_per_element=base,
+        expansion_parallel=False,
+        expansion_row=expansion_row,
+        n_batches=1,
+    )
+
+
+#: The four Table 5 rows (physics, refinement level).
+TABLE5_BENCHMARKS = (
+    ("acoustic", 4),
+    ("elastic", 4),
+    ("acoustic", 5),
+    ("elastic", 5),
+)
+
+#: The paper's printed Table 5, for the reproduction test:
+#: row -> chip -> label.
+PAPER_TABLE5 = {
+    ("acoustic", 4): {"512MB": "N", "2GB": "E_p", "8GB": "E_p", "16GB": "E_p"},
+    ("elastic", 4): {
+        "512MB": "E_r&B",
+        "2GB": "E_r",
+        "8GB": "E_r&E_p",
+        "16GB": "E_r&E_p",
+    },
+    ("acoustic", 5): {"512MB": "B", "2GB": "B", "8GB": "N", "16GB": "E_p"},
+    ("elastic", 5): {
+        "512MB": "E_r&B",
+        "2GB": "E_r&B",
+        "8GB": "E_r&B",
+        "16GB": "E_r",
+    },
+}
+
+
+def full_table5() -> dict:
+    """Compute the whole Table 5 grid from the planner."""
+    out = {}
+    for physics, level in TABLE5_BENCHMARKS:
+        row = {}
+        for name, chip in CHIP_CONFIGS.items():
+            row[name] = plan_configuration(physics, level, chip).label
+        out[(physics, level)] = row
+    return out

@@ -1,0 +1,100 @@
+"""End-to-end runtime and energy estimation for compiled benchmarks.
+
+Composes the compiler's per-stage lane times with the §6.3 pipeline
+overlap, the §6.1 batching traffic, static power (Table 3), per-op
+switching energy, HBM and host energy — producing the numbers behind
+Figs. 11 and 12.  The §7.3 28 nm -> 12 nm process scaling is applied on
+request ("3.81x performance improvement and 2.0x energy savings").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler import CompiledBenchmark, WavePimCompiler
+from repro.core.pipeline import pipelined_stage_time, serial_stage_time
+from repro.pim.chip import PimChip
+from repro.pim.hbm import HbmModel
+from repro.pim.params import DEFAULT_SCALING, ChipConfig, ProcessScaling
+
+__all__ = ["PimRunEstimate", "estimate_benchmark", "RK_STAGES_PER_STEP"]
+
+#: "In each time-step, each kernel is launched five times." (Table 6 note)
+RK_STAGES_PER_STEP = 5
+
+
+@dataclass
+class PimRunEstimate:
+    """Timing/energy of one benchmark run on one PIM configuration."""
+
+    compiled: CompiledBenchmark
+    n_steps: int
+    pipelined: bool
+    scaled_to_12nm: bool
+    time_s: float
+    energy_j: float
+    stage_time_s: float
+    dram_time_per_step_s: float
+    dynamic_energy_j: float
+    static_energy_j: float
+    hbm_energy_j: float
+    host_energy_j: float
+
+    @property
+    def name(self) -> str:
+        node = "12nm" if self.scaled_to_12nm else "28nm"
+        return f"PIM-{self.compiled.chip.name}-{node}"
+
+    @property
+    def power_w(self) -> float:
+        return self.energy_j / self.time_s if self.time_s else 0.0
+
+
+def estimate_benchmark(
+    compiled: CompiledBenchmark,
+    n_steps: int = 1024,
+    pipelined: bool = True,
+    scale_to_12nm: bool = False,
+    scaling: ProcessScaling = DEFAULT_SCALING,
+) -> PimRunEstimate:
+    """Turn a compiled benchmark into wall-clock time and energy."""
+    st = compiled.stage_times
+    stage = pipelined_stage_time(st) if pipelined else serial_stage_time(st)
+
+    hbm = HbmModel()
+    plan = compiled.plan
+    dram_per_step = hbm.transfer_time_s(compiled.dram_bytes_per_step)
+    # per time-step: all batches run serially (batching), stages pipelined
+    step_time = stage * RK_STAGES_PER_STEP * plan.n_batches + dram_per_step
+    total_time = step_time * n_steps
+
+    # -- energy --------------------------------------------------------- #
+    chip_model = PimChip(compiled.chip)
+    # dynamic: per-element per-stage energy (all tags) x elements x stages
+    per_elem_stage = sum(compiled.stage_energy_per_element.values())
+    dynamic = per_elem_stage * compiled.n_elements * RK_STAGES_PER_STEP * n_steps
+    static = chip_model.static_power_w(include_host=False) * total_time
+    hbm_energy = hbm.transfer_energy_j(compiled.dram_bytes_per_step) * n_steps
+    host_power = compiled.chip.power.cpu_host_w
+    host_energy = host_power * total_time
+
+    time_s = total_time
+    energy_j = dynamic + static + hbm_energy + host_energy
+    if scale_to_12nm:
+        time_s /= scaling.performance
+        energy_j /= scaling.energy
+
+    return PimRunEstimate(
+        compiled=compiled,
+        n_steps=n_steps,
+        pipelined=pipelined,
+        scaled_to_12nm=scale_to_12nm,
+        time_s=time_s,
+        energy_j=energy_j,
+        stage_time_s=stage,
+        dram_time_per_step_s=dram_per_step,
+        dynamic_energy_j=dynamic,
+        static_energy_j=static,
+        hbm_energy_j=hbm_energy,
+        host_energy_j=host_energy,
+    )

@@ -1,0 +1,45 @@
+"""Discontinuous-Galerkin wave-simulation substrate.
+
+This subpackage is the *functional* wave simulator that Wave-PIM maps onto
+hardware: a nodal DG-SEM solver on uniform hexahedral meshes with
+Gauss-Legendre-Lobatto (GLL) collocation, supporting the acoustic and the
+elastic (velocity-stress) wave equations, central and exact-Riemann (upwind)
+interface fluxes, and low-storage five-stage Runge-Kutta time integration
+(the paper's "five integration steps in each time-step").
+
+It doubles as the single source of truth for operation counts used by both
+the GPU roofline model and the PIM instruction-stream compiler.
+"""
+
+from repro.dg.quadrature import gll_points_weights, gauss_points_weights
+from repro.dg.reference_element import ReferenceElement
+from repro.dg.mesh import HexMesh
+from repro.dg.materials import AcousticMaterial, ElasticMaterial
+from repro.dg.acoustic import AcousticOperator, ACOUSTIC_VARS
+from repro.dg.elastic import ElasticOperator, ELASTIC_VARS
+from repro.dg.timestepping import LSRK45, cfl_timestep
+from repro.dg.solver import WaveSolver, SolverConfig
+from repro.dg.sources import RickerSource, ricker_wavelet
+from repro.dg.maxwell import ElectromagneticMaterial, MaxwellOperator, MAXWELL_VARS
+
+__all__ = [
+    "gll_points_weights",
+    "gauss_points_weights",
+    "ReferenceElement",
+    "HexMesh",
+    "AcousticMaterial",
+    "ElasticMaterial",
+    "AcousticOperator",
+    "ElasticOperator",
+    "ACOUSTIC_VARS",
+    "ELASTIC_VARS",
+    "LSRK45",
+    "cfl_timestep",
+    "WaveSolver",
+    "SolverConfig",
+    "RickerSource",
+    "ricker_wavelet",
+    "ElectromagneticMaterial",
+    "MaxwellOperator",
+    "MAXWELL_VARS",
+]

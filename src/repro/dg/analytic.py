@@ -1,0 +1,130 @@
+"""Closed-form reference solutions for solver verification.
+
+Periodic plane waves for homogeneous acoustic and elastic media.  Each
+returns a full state stack evaluated at the mesh's physical node
+coordinates, so convergence and conservation tests can compare the dG
+solution against the exact field at any time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "acoustic_plane_wave",
+    "elastic_plane_p_wave",
+    "elastic_plane_s_wave",
+    "acoustic_standing_wave",
+]
+
+
+def _node_xyz(mesh, element) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    coords = mesh.node_coordinates(element.node_coords)  # (K, nn, 3)
+    return coords[..., 0], coords[..., 1], coords[..., 2]
+
+
+def acoustic_plane_wave(mesh, element, material, k_int=(1, 0, 0), t: float = 0.0) -> np.ndarray:
+    """Acoustic plane wave ``p = sin(k.x - w t)``, ``v = (p / Z) khat``.
+
+    ``k_int`` are integer wavenumbers so ``k = 2 pi k_int / L`` is periodic
+    on the domain.  Requires homogeneous material.
+    """
+    kappa = float(material.kappa[0])
+    rho = float(material.rho[0])
+    if not (np.allclose(material.kappa, kappa) and np.allclose(material.rho, rho)):
+        raise ValueError("plane-wave solution requires homogeneous material")
+    c = np.sqrt(kappa / rho)
+    z = rho * c
+    k = 2.0 * np.pi * np.asarray(k_int, dtype=np.float64) / mesh.extent
+    kmag = np.linalg.norm(k)
+    if kmag == 0:
+        raise ValueError("k_int must be nonzero")
+    khat = k / kmag
+    omega = c * kmag
+    x, y, zc = _node_xyz(mesh, element)
+    phase = k[0] * x + k[1] * y + k[2] * zc - omega * t
+    p = np.sin(phase)
+    state = np.empty((4,) + p.shape)
+    state[0] = p
+    for i in range(3):
+        state[1 + i] = (khat[i] / z) * p
+    return state
+
+
+def acoustic_standing_wave(mesh, element, material, modes=(1, 1, 1), t: float = 0.0) -> np.ndarray:
+    """Standing acoustic mode ``p = cos(w t) prod cos(k_i x_i)`` (periodic).
+
+    Velocities follow from ``v_t = -(1/rho) grad p``.
+    """
+    kappa = float(material.kappa[0])
+    rho = float(material.rho[0])
+    c = np.sqrt(kappa / rho)
+    k = 2.0 * np.pi * np.asarray(modes, dtype=np.float64) / mesh.extent
+    kmag = np.linalg.norm(k)
+    omega = c * kmag
+    x, y, zc = _node_xyz(mesh, element)
+    cx, cy, cz = np.cos(k[0] * x), np.cos(k[1] * y), np.cos(k[2] * zc)
+    sx, sy, sz = np.sin(k[0] * x), np.sin(k[1] * y), np.sin(k[2] * zc)
+    state = np.empty((4,) + x.shape)
+    state[0] = np.cos(omega * t) * cx * cy * cz
+    # from v_t = -(1/rho) grad p: v_i = +(k_i/(rho w)) sin(w t) s_i prod(c)
+    amp = np.sin(omega * t) / (rho * omega) if omega > 0 else 0.0
+    state[1] = amp * k[0] * sx * cy * cz
+    state[2] = amp * k[1] * cx * sy * cz
+    state[3] = amp * k[2] * cx * cy * sz
+    return state
+
+
+def elastic_plane_p_wave(mesh, element, material, k_int=(1, 0, 0), t: float = 0.0) -> np.ndarray:
+    """Elastic P-wave: ``u = khat g(khat.x - cp t)`` with ``g = sin``.
+
+    Yields ``v = -cp khat g'`` and ``sigma = (lam I + 2 mu khat khat) g'``.
+    """
+    lam = float(material.lam[0])
+    mu = float(material.mu[0])
+    rho = float(material.rho[0])
+    cp = np.sqrt((lam + 2.0 * mu) / rho)
+    k = 2.0 * np.pi * np.asarray(k_int, dtype=np.float64) / mesh.extent
+    kmag = np.linalg.norm(k)
+    khat = k / kmag
+    x, y, zc = _node_xyz(mesh, element)
+    phase = k[0] * x + k[1] * y + k[2] * zc - cp * kmag * t
+    gp = kmag * np.cos(phase)  # g' with chain rule absorbed into d/d(khat.x)
+    # g(s) = sin(|k| s - ...) in the khat.x variable: g'(khat.x) = |k| cos(phase)
+    state = np.empty((9,) + x.shape)
+    voigt = ((0, 0), (1, 1), (2, 2), (1, 2), (0, 2), (0, 1))
+    for q, (i, j) in enumerate(voigt):
+        state[q] = (lam * (1.0 if i == j else 0.0) + 2.0 * mu * khat[i] * khat[j]) * gp
+    for i in range(3):
+        state[6 + i] = -cp * khat[i] * gp
+    return state
+
+
+def elastic_plane_s_wave(
+    mesh, element, material, k_int=(1, 0, 0), polarization=(0, 1, 0), t: float = 0.0
+) -> np.ndarray:
+    """Elastic S-wave: ``u = d g(khat.x - cs t)`` with ``d`` orthogonal to ``khat``."""
+    mu = float(material.mu[0])
+    rho = float(material.rho[0])
+    if mu <= 0:
+        raise ValueError("S-wave needs mu > 0")
+    cs = np.sqrt(mu / rho)
+    k = 2.0 * np.pi * np.asarray(k_int, dtype=np.float64) / mesh.extent
+    kmag = np.linalg.norm(k)
+    khat = k / kmag
+    d = np.asarray(polarization, dtype=np.float64)
+    d = d - (d @ khat) * khat
+    dn = np.linalg.norm(d)
+    if dn < 1e-12:
+        raise ValueError("polarization parallel to propagation direction")
+    d /= dn
+    x, y, zc = _node_xyz(mesh, element)
+    phase = k[0] * x + k[1] * y + k[2] * zc - cs * kmag * t
+    gp = kmag * np.cos(phase)
+    state = np.empty((9,) + x.shape)
+    voigt = ((0, 0), (1, 1), (2, 2), (1, 2), (0, 2), (0, 1))
+    for q, (i, j) in enumerate(voigt):
+        state[q] = mu * (khat[i] * d[j] + khat[j] * d[i]) * gp
+    for i in range(3):
+        state[6 + i] = -cs * d[i] * gp
+    return state

@@ -1,0 +1,229 @@
+"""Elastic wave operator: the dG right-hand side for Eq. (2) of the paper.
+
+Velocity-stress first-order formulation with nine unknowns per node
+(six Voigt stresses + three velocities) — the reason Wave-PIM cannot fit an
+elastic element in one 1K-row memory block and must apply the *expansion*
+technique (§5.1, §6.2)::
+
+    d(sigma)/dt = lam (div v) I + mu (grad v + grad v^T)
+    d(v)/dt     = (1/rho) div(sigma)
+
+Surface corrections (strong-form DG-SEM, diagonal lift) enter through the
+interface traction/velocity star states::
+
+    d(sigma_ij) += lift * (lam d_ij dvn + mu (n_i dv_j + n_j dv_i))
+    d(v_i)      += lift * (1/rho) dt_i
+
+with ``dv = v* - v-``, ``dt = t* - t-``, ``dvn = n . dv``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dg import flux as fluxmod
+from repro.dg.materials import ElasticMaterial
+from repro.dg.mesh import BoundaryKind, HexMesh
+from repro.dg.reference_element import FACE_NORMALS, ReferenceElement, opposite_face
+
+__all__ = ["ElasticOperator", "ELASTIC_VARS", "VOIGT"]
+
+#: Variable names in state-stack order; Voigt stresses then velocities.
+ELASTIC_VARS = ("sxx", "syy", "szz", "syz", "sxz", "sxy", "vx", "vy", "vz")
+
+#: Voigt index -> (i, j) tensor components.
+VOIGT = ((0, 0), (1, 1), (2, 2), (1, 2), (0, 2), (0, 1))
+
+
+class ElasticOperator:
+    """dG right-hand side evaluator for the elastic wave equation."""
+
+    n_vars = 9
+    var_names = ELASTIC_VARS
+
+    def __init__(
+        self,
+        mesh: HexMesh,
+        material: ElasticMaterial,
+        element: ReferenceElement,
+        flux: str = fluxmod.CENTRAL,
+    ):
+        if flux not in fluxmod.FLUX_KINDS:
+            raise ValueError(f"unknown flux kind {flux!r}")
+        if material.n_elements != mesh.n_elements:
+            raise ValueError(
+                f"material has {material.n_elements} elements, mesh has {mesh.n_elements}"
+            )
+        self.mesh = mesh
+        self.material = material
+        self.element = element
+        self.flux_kind = flux
+
+        self._dscale = 2.0 / mesh.h
+        self._lift = self._dscale / element.w_end
+        self._lam = material.lam
+        self._mu = material.mu
+        self._inv_rho = 1.0 / material.rho
+        self._zp = material.zp
+        self._zs = material.zs
+
+    # ------------------------------------------------------------------ #
+
+    def max_wave_speed(self) -> float:
+        return self.material.max_speed
+
+    def zero_state(self, dtype=np.float64) -> np.ndarray:
+        return np.zeros((self.n_vars, self.mesh.n_elements, self.element.n_nodes), dtype=dtype)
+
+    # ------------------------------------------------------------------ #
+
+    def volume_rhs(self, state: np.ndarray) -> np.ndarray:
+        """The *Volume* kernel: local derivatives (grad v, div sigma)."""
+        elem = self.element
+        ds = self._dscale
+        v = state[6:9]
+        # velocity gradient dv[i][j] = d v_i / d x_j
+        dv = np.stack([elem.grad(v[i]) * ds for i in range(3)])  # (3,3,K,nn)
+        rhs = np.empty_like(state)
+        lam = self._lam[:, None]
+        mu = self._mu[:, None]
+        div_v = dv[0, 0] + dv[1, 1] + dv[2, 2]
+        for voigt, (i, j) in enumerate(VOIGT):
+            rhs[voigt] = mu * (dv[i, j] + dv[j, i])
+            if i == j:
+                rhs[voigt] += lam * div_v
+        # div(sigma): row i -> sum_j d sigma_ij / dx_j, Voigt lookup
+        sxx, syy, szz, syz, sxz, sxy = state[0:6]
+        inv_rho = self._inv_rho[:, None]
+        rhs[6] = inv_rho * (elem.deriv(sxx, 0) + elem.deriv(sxy, 1) + elem.deriv(sxz, 2)) * ds
+        rhs[7] = inv_rho * (elem.deriv(sxy, 0) + elem.deriv(syy, 1) + elem.deriv(syz, 2)) * ds
+        rhs[8] = inv_rho * (elem.deriv(sxz, 0) + elem.deriv(syz, 1) + elem.deriv(szz, 2)) * ds
+        return rhs
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def traction(state_faces: np.ndarray, normal: np.ndarray) -> np.ndarray:
+        """Traction ``sigma . n`` from Voigt face values ``(9, K, nfn)``."""
+        sxx, syy, szz, syz, sxz, sxy = state_faces[0:6]
+        nx, ny, nz = normal
+        return np.stack(
+            [
+                sxx * nx + sxy * ny + sxz * nz,
+                sxy * nx + syy * ny + syz * nz,
+                sxz * nx + syz * ny + szz * nz,
+            ]
+        )
+
+    def flux_rhs(self, state: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """The *Flux* kernel: traction/velocity reconciliation on faces."""
+        if out is None:
+            out = np.zeros_like(state)
+        elem, mesh = self.element, self.mesh
+
+        for face in range(6):
+            fn = elem.face_nodes[face]
+            ofn = elem.face_nodes[opposite_face(face)]
+            nbr = mesh.neighbors[:, face]
+            normal = FACE_NORMALS[face]
+
+            q_m = state[:, :, fn]
+            t_m = self.traction(q_m, normal)
+            v_m = q_m[6:9]
+
+            boundary = nbr < 0
+            nbr_safe = np.where(boundary, 0, nbr)
+            q_p = state[:, nbr_safe][:, :, ofn]
+            t_p = self.traction(q_p, normal)
+            v_p = q_p[6:9]
+
+            zp_m = self._zp[:, None]
+            zs_m = self._zs[:, None]
+            zp_p = self._zp[nbr_safe][:, None]
+            zs_p = self._zs[nbr_safe][:, None]
+
+            if np.any(boundary):
+                t_p, v_p, zp_p, zs_p = self._ghost(
+                    t_m, v_m, zp_m, zs_m, t_p, v_p, zp_p, zs_p, boundary
+                )
+
+            if self.flux_kind == fluxmod.CENTRAL:
+                t_s, v_s = fluxmod.elastic_central(t_m, t_p, v_m, v_p)
+                if self.mesh.boundary == BoundaryKind.ABSORBING and np.any(boundary):
+                    t_u, v_u = fluxmod.elastic_riemann(
+                        t_m, t_p, v_m, v_p, normal, zp_m, zp_p, zs_m, zs_p
+                    )
+                    bmask = boundary[None, :, None]
+                    t_s = np.where(bmask, t_u, t_s)
+                    v_s = np.where(bmask, v_u, v_s)
+            else:
+                t_s, v_s = fluxmod.elastic_riemann(
+                    t_m, t_p, v_m, v_p, normal, zp_m, zp_p, zs_m, zs_p
+                )
+
+            d_v = v_s - v_m  # (3, K, nfn)
+            d_t = t_s - t_m
+            d_vn = normal[0] * d_v[0] + normal[1] * d_v[1] + normal[2] * d_v[2]
+
+            lift = self._lift
+            lam = self._lam[:, None]
+            mu = self._mu[:, None]
+            for voigt, (i, j) in enumerate(VOIGT):
+                corr = mu * (normal[i] * d_v[j] + normal[j] * d_v[i])
+                if i == j:
+                    corr = corr + lam * d_vn
+                out[voigt][:, fn] += lift * corr
+            inv_rho = self._inv_rho[:, None]
+            for i in range(3):
+                out[6 + i][:, fn] += lift * inv_rho * d_t[i]
+        return out
+
+    def _ghost(self, t_m, v_m, zp_m, zs_m, t_p, v_p, zp_p, zs_p, boundary):
+        """Synthesize exterior traction/velocity on boundary faces."""
+        kind = self.mesh.boundary
+        bmask = boundary[None, :, None]
+        if kind == BoundaryKind.FREE_SURFACE:
+            t_p = np.where(bmask, -t_m, t_p)
+            v_p = np.where(bmask, v_m, v_p)
+        elif kind == BoundaryKind.RIGID:
+            t_p = np.where(bmask, t_m, t_p)
+            v_p = np.where(bmask, -v_m, v_p)
+        elif kind == BoundaryKind.ABSORBING:
+            t_p = np.where(bmask, 0.0, t_p)
+            v_p = np.where(bmask, 0.0, v_p)
+        bm2 = boundary[:, None]
+        zp_p = np.where(bm2, zp_m, zp_p)
+        zs_p = np.where(bm2, zs_m, zs_p)
+        return t_p, v_p, zp_p, zs_p
+
+    # ------------------------------------------------------------------ #
+
+    def rhs(self, state: np.ndarray) -> np.ndarray:
+        """Full semidiscrete right-hand side (Volume + Flux)."""
+        out = self.volume_rhs(state)
+        self.flux_rhs(state, out)
+        return out
+
+    def energy(self, state: np.ndarray) -> float:
+        """Discrete elastic energy: strain energy + kinetic energy.
+
+        ``E = 1/2 integral( sigma : C^-1 sigma + rho |v|^2 )`` with the
+        isotropic compliance applied in Voigt form.  Conserved by the
+        central flux on periodic meshes; dissipated by the Riemann flux.
+        """
+        elem = self.element
+        jac = (self.mesh.h / 2.0) ** 3
+        lam = self._lam[:, None]
+        mu = self._mu[:, None]
+        sxx, syy, szz, syz, sxz, sxy = state[0:6]
+        vx, vy, vz = state[6:9]
+        tr = sxx + syy + szz
+        # isotropic compliance: eps = (sigma - lam/(3lam+2mu) tr I) / (2 mu)
+        c1 = 1.0 / (2.0 * mu)
+        c2 = lam / (2.0 * mu * (3.0 * lam + 2.0 * mu))
+        strain_energy = c1 * (
+            sxx * sxx + syy * syy + szz * szz + 2.0 * (syz * syz + sxz * sxz + sxy * sxy)
+        ) - c2 * tr * tr
+        kinetic = self.material.rho[:, None] * (vx * vx + vy * vy + vz * vz)
+        dens = strain_energy + kinetic
+        return float(0.5 * jac * np.sum(elem.integrate(dens)))

@@ -1,0 +1,187 @@
+"""Material models for acoustic and elastic wave propagation.
+
+The paper assumes *constant materials within an element* (§5.1), which is
+what lets Wave-PIM pre-process the per-element impedances (the sqrt and
+inverse operations) on the host CPU and serve them from look-up tables.
+Accordingly, materials here are per-element arrays of shape ``(K,)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AcousticMaterial", "ElasticMaterial", "layered_acoustic", "layered_elastic"]
+
+
+def _per_element(value, n_elements: int, name: str) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float64)
+    if arr.ndim == 0:
+        arr = np.full(n_elements, float(arr))
+    if arr.shape != (n_elements,):
+        raise ValueError(f"{name} must be scalar or shape ({n_elements},), got {arr.shape}")
+    if np.any(arr <= 0) and name != "mu":
+        raise ValueError(f"{name} must be positive")
+    if name == "mu" and np.any(arr < 0):
+        raise ValueError("mu must be non-negative")
+    return arr
+
+
+@dataclass
+class AcousticMaterial:
+    """Bulk modulus ``kappa`` and density ``rho`` per element (Table 1: K, rho).
+
+    Derived quantities: sound speed ``c = sqrt(kappa / rho)`` and acoustic
+    impedance ``Z = rho c`` — exactly the sqrt/inverse computations the
+    paper offloads to the host CPU (§5.1).
+    """
+
+    kappa: np.ndarray
+    rho: np.ndarray
+
+    def __post_init__(self):
+        self.kappa = np.atleast_1d(np.asarray(self.kappa, dtype=np.float64))
+        self.rho = np.atleast_1d(np.asarray(self.rho, dtype=np.float64))
+        n = self.kappa.shape[0]
+        self.kappa = _per_element(self.kappa, n, "kappa")
+        self.rho = _per_element(self.rho, n, "rho")
+
+    @classmethod
+    def homogeneous(cls, n_elements: int, kappa: float = 1.0, rho: float = 1.0):
+        return cls(
+            kappa=_per_element(kappa, n_elements, "kappa"),
+            rho=_per_element(rho, n_elements, "rho"),
+        )
+
+    @classmethod
+    def from_fields(cls, kappa, rho, n_elements: int):
+        return cls(
+            kappa=_per_element(kappa, n_elements, "kappa"),
+            rho=_per_element(rho, n_elements, "rho"),
+        )
+
+    @property
+    def n_elements(self) -> int:
+        return self.kappa.shape[0]
+
+    @property
+    def c(self) -> np.ndarray:
+        """Sound speed per element."""
+        return np.sqrt(self.kappa / self.rho)
+
+    @property
+    def impedance(self) -> np.ndarray:
+        """Acoustic impedance ``Z = rho c`` per element."""
+        return self.rho * self.c
+
+    @property
+    def max_speed(self) -> float:
+        return float(self.c.max())
+
+    def host_precomputed(self) -> dict:
+        """The quantities the paper's host CPU pre-computes for the LUTs."""
+        return {
+            "c": self.c,
+            "impedance": self.impedance,
+            "inv_rho": 1.0 / self.rho,
+            "inv_impedance_sum": None,  # filled per-interface by the flux kernel
+        }
+
+
+@dataclass
+class ElasticMaterial:
+    """Lame parameters ``lam``/``mu`` and density ``rho`` per element.
+
+    Derived quantities: P- and S-wave speeds and impedances.  ``mu = 0``
+    degenerates to a fluid (no shear waves), which the Riemann solver
+    handles explicitly.
+    """
+
+    lam: np.ndarray
+    mu: np.ndarray
+    rho: np.ndarray
+
+    def __post_init__(self):
+        self.lam = np.atleast_1d(np.asarray(self.lam, dtype=np.float64))
+        n = self.lam.shape[0]
+        self.lam = _per_element(self.lam, n, "lam")
+        self.mu = _per_element(self.mu, n, "mu")
+        self.rho = _per_element(self.rho, n, "rho")
+
+    @classmethod
+    def homogeneous(cls, n_elements: int, lam: float = 1.0, mu: float = 1.0, rho: float = 1.0):
+        return cls(
+            lam=_per_element(lam, n_elements, "lam"),
+            mu=_per_element(mu, n_elements, "mu"),
+            rho=_per_element(rho, n_elements, "rho"),
+        )
+
+    @property
+    def n_elements(self) -> int:
+        return self.lam.shape[0]
+
+    @property
+    def cp(self) -> np.ndarray:
+        """P-wave (compressional) speed per element."""
+        return np.sqrt((self.lam + 2.0 * self.mu) / self.rho)
+
+    @property
+    def cs(self) -> np.ndarray:
+        """S-wave (shear) speed per element."""
+        return np.sqrt(self.mu / self.rho)
+
+    @property
+    def zp(self) -> np.ndarray:
+        """P-wave impedance ``rho cp``."""
+        return self.rho * self.cp
+
+    @property
+    def zs(self) -> np.ndarray:
+        """S-wave impedance ``rho cs``."""
+        return self.rho * self.cs
+
+    @property
+    def max_speed(self) -> float:
+        return float(self.cp.max())
+
+    def host_precomputed(self) -> dict:
+        """Host-CPU pre-computed quantities served through PIM LUTs."""
+        return {
+            "cp": self.cp,
+            "cs": self.cs,
+            "zp": self.zp,
+            "zs": self.zs,
+            "inv_rho": 1.0 / self.rho,
+        }
+
+
+def layered_acoustic(mesh, interfaces_z, kappas, rhos) -> AcousticMaterial:
+    """Horizontally layered acoustic model (the oil-and-gas motivation).
+
+    ``interfaces_z`` lists layer-top depths (ascending, excluding domain
+    bottom); layer ``i`` spans ``[interfaces_z[i-1], interfaces_z[i])``.
+    """
+    interfaces_z = list(interfaces_z)
+    if len(kappas) != len(interfaces_z) + 1 or len(rhos) != len(kappas):
+        raise ValueError("need one more (kappa, rho) pair than interface depths")
+    centers = np.array([mesh.element_center(e)[2] for e in range(mesh.n_elements)])
+    layer = np.searchsorted(np.asarray(interfaces_z), centers, side="right")
+    return AcousticMaterial(
+        kappa=np.asarray(kappas, dtype=np.float64)[layer],
+        rho=np.asarray(rhos, dtype=np.float64)[layer],
+    )
+
+
+def layered_elastic(mesh, interfaces_z, lams, mus, rhos) -> ElasticMaterial:
+    """Horizontally layered elastic model (site-response style)."""
+    interfaces_z = list(interfaces_z)
+    if not (len(lams) == len(mus) == len(rhos) == len(interfaces_z) + 1):
+        raise ValueError("need one more (lam, mu, rho) triple than interface depths")
+    centers = np.array([mesh.element_center(e)[2] for e in range(mesh.n_elements)])
+    layer = np.searchsorted(np.asarray(interfaces_z), centers, side="right")
+    return ElasticMaterial(
+        lam=np.asarray(lams, dtype=np.float64)[layer],
+        mu=np.asarray(mus, dtype=np.float64)[layer],
+        rho=np.asarray(rhos, dtype=np.float64)[layer],
+    )

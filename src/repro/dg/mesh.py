@@ -1,0 +1,183 @@
+"""Uniform hexahedral meshes with paper-style refinement levels.
+
+Table 1: "Refinement Level n indicates the problem domain is discretized
+into (2^n)^3 elements" — level 4 gives the 4,096-element benchmarks, level
+5 the 32,768-element ones.
+
+The mesh also knows the *slice* decomposition along the y axis used by the
+Flux batching schedule of Fig. 7 (a slice is one plane of ``m x m``
+elements; slices pair up ``(0,1), (2,3), ...`` for the -1 normal and
+``(1,2), (3,4), ...`` for the +1 normal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dg.reference_element import FACE_AXIS, FACE_SIDE
+
+__all__ = ["HexMesh", "BoundaryKind"]
+
+
+class BoundaryKind:
+    """Boundary-condition tags understood by the operators."""
+
+    PERIODIC = "periodic"
+    FREE_SURFACE = "free"
+    RIGID = "rigid"
+    ABSORBING = "absorbing"
+
+    ALL = (PERIODIC, FREE_SURFACE, RIGID, ABSORBING)
+
+
+@dataclass
+class HexMesh:
+    """A uniform ``m x m x m`` hexahedral mesh of a cubic domain.
+
+    Parameters
+    ----------
+    m:
+        Elements per axis.  Use :meth:`from_refinement_level` for the
+        paper's ``m = 2^level`` convention.
+    extent:
+        Physical edge length ``L`` of the cubic domain.
+    boundary:
+        One of :class:`BoundaryKind`; applied on all six domain faces.
+
+    Element ``(ix, iy, iz)`` has id ``e = ix + m iy + m^2 iz``.
+    """
+
+    m: int
+    extent: float = 1.0
+    boundary: str = BoundaryKind.PERIODIC
+    level: int | None = None
+    #: (K, 6) neighbor element id per face; -1 marks a physical boundary
+    #: (only for non-periodic meshes).
+    neighbors: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.m < 1:
+            raise ValueError(f"mesh needs m >= 1, got {self.m}")
+        if self.boundary not in BoundaryKind.ALL:
+            raise ValueError(f"unknown boundary kind {self.boundary!r}")
+        self.n_elements = self.m**3
+        self.h = self.extent / self.m
+        self.neighbors = self._build_neighbors()
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_refinement_level(
+        cls, level: int, extent: float = 1.0, boundary: str = BoundaryKind.PERIODIC
+    ) -> "HexMesh":
+        """Paper convention: refinement level ``n`` -> ``(2^n)^3`` elements."""
+        if level < 0:
+            raise ValueError(f"refinement level must be >= 0, got {level}")
+        return cls(m=2**level, extent=extent, boundary=boundary, level=level)
+
+    # ------------------------------------------------------------------ #
+    # index helpers
+    # ------------------------------------------------------------------ #
+
+    def element_id(self, ix: int, iy: int, iz: int) -> int:
+        """Flat element id of grid cell ``(ix, iy, iz)``."""
+        m = self.m
+        if not (0 <= ix < m and 0 <= iy < m and 0 <= iz < m):
+            raise IndexError(f"element ({ix},{iy},{iz}) outside {m}^3 mesh")
+        return ix + m * iy + m * m * iz
+
+    def element_index(self, e: int) -> tuple[int, int, int]:
+        """Grid cell ``(ix, iy, iz)`` of flat element id ``e``."""
+        m = self.m
+        if not 0 <= e < self.n_elements:
+            raise IndexError(f"element id {e} outside mesh of {self.n_elements}")
+        return e % m, (e // m) % m, e // (m * m)
+
+    def element_center(self, e: int) -> np.ndarray:
+        """Physical center coordinates of element ``e``."""
+        ix, iy, iz = self.element_index(e)
+        return (np.array([ix, iy, iz], dtype=np.float64) + 0.5) * self.h
+
+    def element_origin(self, e: int) -> np.ndarray:
+        """Physical coordinates of the low corner of element ``e``."""
+        ix, iy, iz = self.element_index(e)
+        return np.array([ix, iy, iz], dtype=np.float64) * self.h
+
+    def node_coordinates(self, ref_coords: np.ndarray) -> np.ndarray:
+        """Physical coordinates of every node of every element.
+
+        ``ref_coords`` is the ``(n_nodes, 3)`` reference node table; the
+        result has shape ``(K, n_nodes, 3)``.
+        """
+        e = np.arange(self.n_elements)
+        origins = np.column_stack(
+            [e % self.m, (e // self.m) % self.m, e // (self.m * self.m)]
+        ).astype(np.float64)
+        local = (np.asarray(ref_coords) + 1.0) * 0.5 * self.h  # [0, h]^3
+        return origins[:, None, :] * self.h + local[None, :, :]
+
+    # ------------------------------------------------------------------ #
+    # connectivity
+    # ------------------------------------------------------------------ #
+
+    def _build_neighbors(self) -> np.ndarray:
+        m = self.m
+        k = self.n_elements
+        nbr = np.empty((k, 6), dtype=np.int64)
+        e = np.arange(k)
+        ix, iy, iz = e % m, (e // m) % m, e // (m * m)
+        periodic = self.boundary == BoundaryKind.PERIODIC
+        for face in range(6):
+            axis = FACE_AXIS[face]
+            step = -1 if FACE_SIDE[face] == 0 else 1
+            coord = (ix, iy, iz)[axis]
+            target = coord + step
+            if periodic:
+                target = target % m
+                valid = np.ones(k, dtype=bool)
+            else:
+                valid = (target >= 0) & (target < m)
+                target = np.clip(target, 0, m - 1)
+            parts = [ix.copy(), iy.copy(), iz.copy()]
+            parts[axis] = target
+            ids = parts[0] + m * parts[1] + m * m * parts[2]
+            nbr[:, face] = np.where(valid, ids, -1)
+        return nbr
+
+    def interfaces(self) -> np.ndarray:
+        """All unique interior interfaces as rows ``(e_minus, face, e_plus)``.
+
+        Each physical interface appears exactly once, keyed by the element
+        on its low side (the one whose ``+axis`` face it is).  Used by the
+        tests to check Fig. 7's slice schedule covers every face pair.
+        """
+        rows = []
+        for face in (1, 3, 5):  # +x, +y, +z
+            plus = self.neighbors[:, face]
+            for e in range(self.n_elements):
+                if plus[e] >= 0:
+                    # periodic wrap can pair an element with itself on m == 1
+                    rows.append((e, face, plus[e]))
+        return np.array(rows, dtype=np.int64).reshape(-1, 3)
+
+    # ------------------------------------------------------------------ #
+    # slice decomposition (Fig. 7)
+    # ------------------------------------------------------------------ #
+
+    def slice_elements(self, sl: int, axis: int = 1) -> np.ndarray:
+        """Element ids in slice ``sl`` along ``axis`` (default y, as Fig. 7)."""
+        if not 0 <= sl < self.m:
+            raise IndexError(f"slice {sl} outside [0, {self.m})")
+        e = np.arange(self.n_elements)
+        coord = (e % self.m, (e // self.m) % self.m, e // (self.m * self.m))[axis]
+        return e[coord == sl]
+
+    @property
+    def n_slices(self) -> int:
+        return self.m
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        lvl = f", level={self.level}" if self.level is not None else ""
+        return f"HexMesh(m={self.m}, K={self.n_elements}{lvl}, boundary={self.boundary!r})"

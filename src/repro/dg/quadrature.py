@@ -1,0 +1,122 @@
+"""Gauss-Legendre-Lobatto (GLL) and Gauss-Legendre quadrature rules.
+
+The dG discretization of the paper uses tensor-product hexahedral elements
+whose nodes are GLL points (Table 1: "GLL Weight", "GLL Point").  GLL
+collocation makes the element mass matrix diagonal ("Mass Inverse" in
+Table 1), which is what lets Wave-PIM keep one scalar mass-inverse per node
+row in the memory-block layout of Fig. 5.
+
+Everything here is computed from scratch with Newton iteration on Legendre
+polynomials; no table lookup, so arbitrary orders are supported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "legendre_poly_and_deriv",
+    "gll_points_weights",
+    "gauss_points_weights",
+    "lagrange_basis_at",
+]
+
+#: Newton-iteration convergence tolerance for node computation.
+_NEWTON_TOL = 1e-15
+_NEWTON_MAXIT = 100
+
+
+def legendre_poly_and_deriv(n: int, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Evaluate the Legendre polynomial ``P_n`` and its derivative at ``x``.
+
+    Uses the three-term recurrence; stable for the orders used in wave
+    simulation (the paper's 512-node element is order 7).
+
+    Parameters
+    ----------
+    n:
+        Polynomial degree, ``n >= 0``.
+    x:
+        Evaluation points (any shape).
+
+    Returns
+    -------
+    (P_n(x), P_n'(x)) with the same shape as ``x``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if n == 0:
+        return np.ones_like(x), np.zeros_like(x)
+    p_prev = np.ones_like(x)  # P_0
+    p = x.copy()  # P_1
+    for k in range(2, n + 1):
+        p_prev, p = p, ((2 * k - 1) * x * p - (k - 1) * p_prev) / k
+    # derivative from the standard identity (1-x^2) P_n' = n (P_{n-1} - x P_n)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dp = n * (p_prev - x * p) / (1.0 - x * x)
+    # endpoints: P_n'(+-1) = (+-1)^{n-1} n(n+1)/2
+    endpoint = np.isclose(np.abs(x), 1.0)
+    if np.any(endpoint):
+        sgn = np.where(x > 0, 1.0, (-1.0) ** (n - 1))
+        dp = np.where(endpoint, sgn * n * (n + 1) / 2.0, dp)
+    return p, dp
+
+
+def gll_points_weights(order: int) -> tuple[np.ndarray, np.ndarray]:
+    """Gauss-Legendre-Lobatto points and weights on ``[-1, 1]``.
+
+    ``order`` is the polynomial order ``N``; ``N + 1`` points are returned,
+    including both endpoints.  Interior points are the roots of ``P_N'``;
+    the weights are ``w_i = 2 / (N (N+1) P_N(x_i)^2)``.
+
+    The rule integrates polynomials up to degree ``2N - 1`` exactly, a
+    property the test-suite checks.
+    """
+    n = int(order)
+    if n < 1:
+        raise ValueError(f"GLL rule needs order >= 1, got {order}")
+    if n == 1:
+        return np.array([-1.0, 1.0]), np.array([1.0, 1.0])
+
+    # Chebyshev-Gauss-Lobatto initial guess, then Newton on q(x) = P_N'(x).
+    x = -np.cos(np.pi * np.arange(n + 1) / n)
+    for _ in range(_NEWTON_MAXIT):
+        # q = P_N', q' from Legendre ODE: (1-x^2) P'' - 2x P' + N(N+1) P = 0
+        p, dp = legendre_poly_and_deriv(n, x[1:-1])
+        d2p = (2.0 * x[1:-1] * dp - n * (n + 1) * p) / (1.0 - x[1:-1] ** 2)
+        dx = dp / d2p
+        x[1:-1] -= dx
+        if np.max(np.abs(dx)) < _NEWTON_TOL:
+            break
+    p, _ = legendre_poly_and_deriv(n, x)
+    w = 2.0 / (n * (n + 1) * p * p)
+    return x, w
+
+
+def gauss_points_weights(npts: int) -> tuple[np.ndarray, np.ndarray]:
+    """Classic Gauss-Legendre rule with ``npts`` interior points.
+
+    Used only for verification (e.g. integrating reference solutions); the
+    solver itself is GLL-collocated.
+    """
+    if npts < 1:
+        raise ValueError(f"Gauss rule needs npts >= 1, got {npts}")
+    x, w = np.polynomial.legendre.leggauss(npts)
+    return x, w
+
+
+def lagrange_basis_at(nodes: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Evaluate the Lagrange basis through ``nodes`` at points ``x``.
+
+    Returns a matrix ``B`` with ``B[i, j] = l_j(x_i)`` so that
+    ``f(x) = B @ f(nodes)`` interpolates.  Used for receiver sampling and
+    cross-order comparisons in the tests.
+    """
+    nodes = np.asarray(nodes, dtype=np.float64)
+    x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+    npts = nodes.size
+    out = np.ones((x.size, npts))
+    for j in range(npts):
+        for m in range(npts):
+            if m != j:
+                out[:, j] *= (x - nodes[m]) / (nodes[j] - nodes[m])
+    return out

@@ -1,0 +1,204 @@
+"""Tensor-product hexahedral reference element on ``[-1, 1]^3``.
+
+Holds the 1-D GLL rule, the 1-D differentiation matrix (the paper's
+``dshape`` constants), the 3-D node enumeration, face index maps, and the
+tensor-contraction derivative operators that the Volume kernel evaluates
+("the derivative computation involves a dot-product between a subset of the
+element's nodes and a derivative vector", paper §1 footnote 2).
+
+Node enumeration
+----------------
+Node ``(i, j, k)`` (x-, y-, z-index) flattens to ``n = i + (N+1) j +
+(N+1)^2 k``; equivalently a C-ordered reshape to ``(..., N+1, N+1, N+1)``
+exposes axes ``(z, y, x)`` last-to-first.
+
+Faces are numbered ``0:-x, 1:+x, 2:-y, 3:+y, 4:-z, 5:+z`` and each face's
+node list is ordered so that, on a uniform conforming mesh, face ``2f+1`` of
+an element and face ``2f`` of its neighbor enumerate geometrically
+coincident nodes in the same order — the property that makes the Flux
+kernel's inter-block memcpy a straight row-range copy (§5.1).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.dg.quadrature import gll_points_weights
+
+__all__ = ["ReferenceElement", "FACE_NORMALS", "FACE_AXIS", "FACE_SIDE", "opposite_face"]
+
+#: Outward unit normal of each reference face, indexed by face id.
+FACE_NORMALS = np.array(
+    [
+        [-1.0, 0.0, 0.0],
+        [1.0, 0.0, 0.0],
+        [0.0, -1.0, 0.0],
+        [0.0, 1.0, 0.0],
+        [0.0, 0.0, -1.0],
+        [0.0, 0.0, 1.0],
+    ]
+)
+
+#: Axis (0=x, 1=y, 2=z) each face is orthogonal to.
+FACE_AXIS = np.array([0, 0, 1, 1, 2, 2])
+
+#: Whether the face sits at the low (-1) or high (+1) end of its axis.
+FACE_SIDE = np.array([0, 1, 0, 1, 0, 1])
+
+
+def opposite_face(face: int) -> int:
+    """The face id that touches ``face`` across a conforming interface."""
+    return face ^ 1
+
+
+class ReferenceElement:
+    """Order-``N`` GLL tensor-product hexahedral element.
+
+    Parameters
+    ----------
+    order:
+        Polynomial order ``N``; the element has ``(N+1)^3`` nodes.  The
+        paper's benchmarks use ``order=7`` (512 nodes, one per memory-block
+        row half).
+    """
+
+    def __init__(self, order: int):
+        if order < 1:
+            raise ValueError(f"order must be >= 1, got {order}")
+        self.order = int(order)
+        self.npts = self.order + 1
+        self.n_nodes = self.npts**3
+        self.nodes_1d, self.weights_1d = gll_points_weights(self.order)
+        self.diff_1d = self._differentiation_matrix(self.nodes_1d)
+        #: GLL endpoint weight, the denominator of the diagonal surface lift.
+        self.w_end = float(self.weights_1d[0])
+        self._build_node_tables()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _differentiation_matrix(x: np.ndarray) -> np.ndarray:
+        """Lagrange differentiation matrix on nodes ``x`` (barycentric form).
+
+        ``D[i, j] = l_j'(x_i)``; rows sum to zero (derivative of constants),
+        which the tests assert.
+        """
+        n = x.size
+        # barycentric weights
+        c = np.ones(n)
+        for j in range(n):
+            for m in range(n):
+                if m != j:
+                    c[j] *= x[j] - x[m]
+        d = np.zeros((n, n))
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    d[i, j] = (c[i] / c[j]) / (x[i] - x[j])
+        # diagonal via negative row-sum (exactness on constants)
+        d[np.arange(n), np.arange(n)] = -d.sum(axis=1)
+        return d
+
+    def _build_node_tables(self) -> None:
+        p = self.npts
+        i, j, k = np.meshgrid(np.arange(p), np.arange(p), np.arange(p), indexing="ij")
+        # flatten n = i + p j + p^2 k
+        flat = (i + p * j + p * p * k).ravel()
+        order = np.argsort(flat)
+        #: (n_nodes, 3) reference coordinates of each node, in flat order.
+        self.node_coords = np.column_stack(
+            [
+                self.nodes_1d[i.ravel()[order]],
+                self.nodes_1d[j.ravel()[order]],
+                self.nodes_1d[k.ravel()[order]],
+            ]
+        )
+        #: (n_nodes,) tensor-product quadrature weight of each node.
+        wi = self.weights_1d
+        self.node_weights = (
+            wi[i.ravel()[order]] * wi[j.ravel()[order]] * wi[k.ravel()[order]]
+        )
+
+        # face index maps: face_nodes[f] lists flat node ids on face f,
+        # ordered by the two in-face axes in increasing-axis order.
+        self.face_nodes = np.empty((6, p * p), dtype=np.int64)
+        a = np.arange(p)
+        bb, aa = np.meshgrid(a, a, indexing="ij")  # slow axis bb, fast axis aa
+        for face in range(6):
+            axis = FACE_AXIS[face]
+            fixed = 0 if FACE_SIDE[face] == 0 else p - 1
+            if axis == 0:  # in-face axes (y, z): n = fixed + p*j + p^2*k
+                ids = fixed + p * aa + p * p * bb
+            elif axis == 1:  # in-face axes (x, z)
+                ids = aa + p * fixed + p * p * bb
+            else:  # in-face axes (x, y)
+                ids = aa + p * bb + p * p * fixed
+            self.face_nodes[face] = ids.ravel()
+
+        #: (n_face_nodes,) 2-D quadrature weight for each face node.
+        self.face_weights = (wi[aa.ravel()] * wi[bb.ravel()]).astype(np.float64)
+
+    # ------------------------------------------------------------------ #
+    # derivative operators
+    # ------------------------------------------------------------------ #
+
+    def _as_grid(self, field: np.ndarray) -> np.ndarray:
+        """View a ``(..., n_nodes)`` field as ``(..., z, y, x)``."""
+        p = self.npts
+        return field.reshape(field.shape[:-1] + (p, p, p))
+
+    def deriv(self, field: np.ndarray, axis: int) -> np.ndarray:
+        """Reference-space derivative along ``axis`` (0=x, 1=y, 2=z).
+
+        ``field`` has shape ``(..., n_nodes)``; the result has the same
+        shape.  Multiply by ``2 / h`` for a physical derivative on an
+        element of width ``h``.
+        """
+        g = self._as_grid(field)
+        d = self.diff_1d
+        if axis == 0:
+            out = np.einsum("ab,...zyb->...zya", d, g)
+        elif axis == 1:
+            out = np.einsum("ab,...zby->...zay", d, g)
+        elif axis == 2:
+            out = np.einsum("ab,...bzy->...azy", d, g)
+        else:
+            raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+        return out.reshape(field.shape)
+
+    def grad(self, field: np.ndarray) -> np.ndarray:
+        """Reference-space gradient, shape ``(3, ..., n_nodes)``."""
+        return np.stack([self.deriv(field, a) for a in range(3)])
+
+    def div(self, fx: np.ndarray, fy: np.ndarray, fz: np.ndarray) -> np.ndarray:
+        """Reference-space divergence of a vector field."""
+        return self.deriv(fx, 0) + self.deriv(fy, 1) + self.deriv(fz, 2)
+
+    # ------------------------------------------------------------------ #
+    # interpolation / integration
+    # ------------------------------------------------------------------ #
+
+    def integrate(self, field: np.ndarray) -> np.ndarray:
+        """Reference-element integral of a nodal field (GLL quadrature)."""
+        return field @ self.node_weights
+
+    @lru_cache(maxsize=8)
+    def _face_lift_scale(self) -> float:
+        """1 / w_endpoint — the diagonal lift factor at face nodes."""
+        return 1.0 / self.w_end
+
+    @property
+    def lift_scale(self) -> float:
+        """Diagonal DG-SEM surface-lift factor ``1 / w_end``.
+
+        The full physical lift at a face node of an element of width ``h``
+        is ``(2 / h) * lift_scale``.
+        """
+        return self._face_lift_scale()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReferenceElement(order={self.order}, n_nodes={self.n_nodes})"

@@ -1,0 +1,41 @@
+"""Evaluation harness: one experiment per paper table/figure.
+
+Each experiment is a callable object returning structured rows plus a
+formatted text rendering; ``benchmarks/`` wraps them in pytest-benchmark
+targets and ``EXPERIMENTS.md`` records paper-vs-measured values.
+"""
+
+from repro.eval.report import Table, format_table
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    run_experiment,
+    table2_hardware,
+    table3_pim_power,
+    table4_basic_ops,
+    table5_configurations,
+    table6_benchmarks,
+    fig11_performance,
+    fig12_energy,
+    fig13_pipeline,
+    fig14_htree_vs_bus,
+    sec31_gpu_vs_cpu,
+    sec7_summary,
+)
+
+__all__ = [
+    "Table",
+    "format_table",
+    "EXPERIMENTS",
+    "run_experiment",
+    "table2_hardware",
+    "table3_pim_power",
+    "table4_basic_ops",
+    "table5_configurations",
+    "table6_benchmarks",
+    "fig11_performance",
+    "fig12_energy",
+    "fig13_pipeline",
+    "fig14_htree_vs_bus",
+    "sec31_gpu_vs_cpu",
+    "sec7_summary",
+]

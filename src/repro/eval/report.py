@@ -1,0 +1,63 @@
+"""Plain-text table rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Table", "format_table"]
+
+
+@dataclass
+class Table:
+    """A titled table of rows (dicts) with a fixed column order."""
+
+    title: str
+    columns: list
+    rows: list = field(default_factory=list)
+    notes: list = field(default_factory=list)
+
+    def add(self, **row) -> None:
+        missing = set(self.columns) - set(row)
+        if missing:
+            raise ValueError(f"row missing columns {sorted(missing)}")
+        self.rows.append(row)
+
+    def column(self, name: str) -> list:
+        return [r[name] for r in self.rows]
+
+    def render(self) -> str:
+        return format_table(self)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(table: Table) -> str:
+    """Monospace rendering with per-column width fitting."""
+    headers = [str(c) for c in table.columns]
+    body = [[_fmt(r[c]) for c in table.columns] for r in table.rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in body)) if body else len(headers[i])
+        for i in range(len(headers))
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [table.title, "=" * len(table.title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in body:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(row, widths)))
+    for note in table.notes:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)

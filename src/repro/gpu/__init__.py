@@ -1,0 +1,29 @@
+"""GPU and CPU baselines (paper §3.1, §7, Table 2).
+
+The paper measures three real GPUs (GTX 1080Ti, Tesla P100, Tesla V100)
+and finds the wave kernels **memory-bandwidth bound** even at 900 GB/s
+(§3.1) — precisely the regime a roofline model reproduces.  This package
+prices the unfused and fused GPU implementations per kernel from the same
+operation counts the PIM compiler uses, plus a dual-Xeon CPU baseline for
+the §3.1 speedup table, and a power-state energy model standing in for
+Nvidia-SMI / RAPL measurements.
+"""
+
+from repro.gpu.specs import GpuSpec, GPU_SPECS, CPU_BASELINE
+from repro.gpu.kernels import KernelTraffic, benchmark_traffic
+from repro.gpu.roofline import GpuTiming, gpu_benchmark_time, KERNEL_EFFICIENCY
+from repro.gpu.energy import gpu_benchmark_energy
+from repro.gpu.cpu import cpu_benchmark_time
+
+__all__ = [
+    "GpuSpec",
+    "GPU_SPECS",
+    "CPU_BASELINE",
+    "KernelTraffic",
+    "benchmark_traffic",
+    "GpuTiming",
+    "gpu_benchmark_time",
+    "KERNEL_EFFICIENCY",
+    "gpu_benchmark_energy",
+    "cpu_benchmark_time",
+]

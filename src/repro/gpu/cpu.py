@@ -1,0 +1,43 @@
+"""Dual-Xeon CPU baseline for the §3.1 speedup comparison.
+
+"Our CPU code uses p4est for mesh generation and workload distribution on
+multiple CPUs.  It takes significant amount of time to run even a
+small-sized problem on high-end processors." — a research dG code with
+indirect addressing and little vectorization.  The model is the same
+roofline as the GPUs with the CpuSpec's documented efficiency factors.
+"""
+
+from __future__ import annotations
+
+from repro.gpu.kernels import benchmark_traffic
+from repro.gpu.roofline import RK_STAGES_PER_STEP
+from repro.gpu.specs import CPU_BASELINE, CpuSpec
+from repro.workloads.benchmarks import BenchmarkSpec
+from repro.workloads.opcount import OpCount
+
+__all__ = ["cpu_benchmark_time", "cpu_benchmark_energy"]
+
+
+def cpu_stage_time(spec: BenchmarkSpec, ops: OpCount, cpu: CpuSpec = CPU_BASELINE) -> float:
+    """Roofline time of one RK stage on the CPU baseline (unfused)."""
+    spill = cpu.cache_spill_factor if spec.state_bytes > cpu.llc_bytes else 1.0
+    total = 0.0
+    for k in benchmark_traffic(spec, ops, fused=False):
+        t_compute = k.flops / (cpu.effective_flops * spill)
+        t_memory = k.bytes_moved / (cpu.effective_bw * spill)
+        total += max(t_compute, t_memory)
+    return total
+
+
+def cpu_benchmark_time(
+    spec: BenchmarkSpec, ops: OpCount, n_steps: int, cpu: CpuSpec = CPU_BASELINE
+) -> float:
+    """Full-run wall time on the CPU baseline."""
+    return cpu_stage_time(spec, ops, cpu) * RK_STAGES_PER_STEP * n_steps
+
+
+def cpu_benchmark_energy(
+    spec: BenchmarkSpec, ops: OpCount, n_steps: int, cpu: CpuSpec = CPU_BASELINE
+) -> float:
+    """Full-run energy: both sockets near-TDP (compute-saturated)."""
+    return 0.85 * cpu.tdp_w * cpu_benchmark_time(spec, ops, n_steps, cpu)

@@ -1,0 +1,60 @@
+"""GPU + host energy model (standing in for Nvidia-SMI / RAPL, §7.1-7.2).
+
+Measured board power under a memory-bound HPC load sits well below TDP;
+we model it as ``P = idle + utilization_factor * (tdp - idle)`` with the
+utilization factor keyed to what binds the kernel (memory-bound kernels
+keep the SMs partly idle).  The host is charged a constant activity
+fraction — the CUDA driver spins while kernels run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.roofline import GpuTiming
+from repro.gpu.specs import GpuSpec
+
+__all__ = ["GpuEnergy", "gpu_benchmark_energy"]
+
+#: fraction of TDP drawn at idle (fans, memory refresh, leakage).
+IDLE_FRACTION = 0.20
+#: activity factors by boundedness of the stage-dominant kernel.
+ACTIVITY = {"memory": 0.65, "compute": 0.90}
+#: host CPU busy fraction while the GPU runs (driver + MPI polling).
+HOST_ACTIVITY = 0.45
+
+
+@dataclass(frozen=True)
+class GpuEnergy:
+    gpu: str
+    benchmark: str
+    time_s: float
+    gpu_energy_j: float
+    host_energy_j: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.gpu_energy_j + self.host_energy_j
+
+    @property
+    def power_w(self) -> float:
+        return self.energy_j / self.time_s if self.time_s else 0.0
+
+
+def gpu_benchmark_energy(timing: GpuTiming, gpu: GpuSpec, n_steps: int) -> GpuEnergy:
+    """Energy of a full run: GPU board + host CPU over the wall time."""
+    time_s = timing.total_time_s(n_steps)
+    # time-weighted activity across kernels
+    total = sum(timing.kernel_times_s.values())
+    act = sum(
+        ACTIVITY[timing.bound[k]] * t for k, t in timing.kernel_times_s.items()
+    ) / total if total else 0.0
+    gpu_power = gpu.tdp_w * (IDLE_FRACTION + act * (1.0 - IDLE_FRACTION))
+    host_power = gpu.host_tdp_w * HOST_ACTIVITY
+    return GpuEnergy(
+        gpu=gpu.name,
+        benchmark=timing.benchmark,
+        time_s=time_s,
+        gpu_energy_j=gpu_power * time_s,
+        host_energy_j=host_power * time_s,
+    )

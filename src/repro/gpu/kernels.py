@@ -1,0 +1,96 @@
+"""Per-kernel GPU memory traffic and flop model.
+
+Unfused (the paper's baseline on the GTX 1080Ti): three separate kernels
+per RK stage, each streaming the state through DRAM:
+
+* Volume: read variables + per-element constants, write contributions;
+* Flux: read own and neighbor variables (gather-heavy), write
+  contributions — the paper calls it "the most inefficient kernel" with
+  "a large divergence";
+* Integration: read contributions + auxiliaries + variables, write
+  auxiliaries + variables ("the memory accesses dominate this kernel").
+
+Fused (§7.2): Volume and Flux merged into one kernel ("to minimize the
+data movements"), with better per-thread locality.
+
+Flop counts come from :mod:`repro.workloads.opcount` — the same streams
+the PIM compiler prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.benchmarks import BenchmarkSpec
+from repro.workloads.opcount import OpCount
+
+__all__ = ["KernelTraffic", "benchmark_traffic"]
+
+
+@dataclass(frozen=True)
+class KernelTraffic:
+    """Bytes moved and flops executed by one kernel launch."""
+
+    name: str
+    bytes_moved: float
+    flops: float
+    #: kernel-specific efficiency class ("volume" | "flux" | "integration"
+    #: | "fused") used by the roofline's efficiency table
+    kind: str
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / self.bytes_moved if self.bytes_moved else float("inf")
+
+
+def benchmark_traffic(spec: BenchmarkSpec, ops: OpCount, fused: bool) -> list:
+    """Kernel launch set for one RK stage of one benchmark.
+
+    State-equivalents per kernel (one state = all unknowns once):
+
+    ========== ======================= =====================
+    kernel      unfused                 fused
+    ========== ======================= =====================
+    Volume      vars+const in, contrib  (volume+flux): 2.5 in
+                out -> 2.5 states       (own+neighb+const),
+    Flux        own+neighbor+const in,  contrib out -> 3.5
+                contrib accum -> 3.5
+    Integration contrib+aux+vars in, aux+vars out -> 5 states (both)
+    ========== ======================= =====================
+    """
+    state = float(spec.state_bytes)
+    if fused:
+        return [
+            KernelTraffic(
+                name="volume+flux",
+                bytes_moved=3.5 * state,
+                flops=float(ops.fp_ops_volume + ops.fp_ops_flux),
+                kind="fused",
+            ),
+            KernelTraffic(
+                name="integration",
+                bytes_moved=5.0 * state,
+                flops=float(ops.fp_ops_integration),
+                kind="integration",
+            ),
+        ]
+    return [
+        KernelTraffic(
+            name="volume",
+            bytes_moved=2.5 * state,
+            flops=float(ops.fp_ops_volume),
+            kind="volume",
+        ),
+        KernelTraffic(
+            name="flux",
+            bytes_moved=3.5 * state,
+            flops=float(ops.fp_ops_flux),
+            kind="flux",
+        ),
+        KernelTraffic(
+            name="integration",
+            bytes_moved=5.0 * state,
+            flops=float(ops.fp_ops_integration),
+            kind="integration",
+        ),
+    ]

@@ -1,0 +1,74 @@
+"""Roofline timing model for the GPU implementations.
+
+``kernel_time = max(flops / (peak * ce), bytes / (bw * be)) + launch``
+
+The efficiency pairs ``(ce, be)`` encode the paper's profiling findings
+(§3.1): Volume scales with SMs until bandwidth saturates; Integration is
+dominated by memory accesses; Flux "is the most inefficient kernel, since
+it has a large divergence that degrades the parallelism"; the fused
+kernel trades recomputation for locality.  They are fixed across GPUs and
+benchmarks — per-platform differences come only from the Table 2 specs —
+so relative orderings are genuine model output, not per-case tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.kernels import benchmark_traffic
+from repro.gpu.specs import GpuSpec
+from repro.workloads.benchmarks import BenchmarkSpec
+from repro.workloads.opcount import OpCount
+
+__all__ = ["KERNEL_EFFICIENCY", "GpuTiming", "gpu_benchmark_time", "RK_STAGES_PER_STEP"]
+
+RK_STAGES_PER_STEP = 5
+
+#: kernel kind -> (compute efficiency, bandwidth efficiency)
+KERNEL_EFFICIENCY = {
+    "volume": (0.55, 0.75),
+    "flux": (0.22, 0.40),  # divergence-crippled gather kernel
+    "integration": (0.60, 0.80),  # pure streaming
+    "fused": (0.45, 0.70),
+}
+
+#: fixed per-launch overhead (driver + grid launch), seconds.
+KERNEL_LAUNCH_OVERHEAD_S = 5e-6
+
+
+@dataclass(frozen=True)
+class GpuTiming:
+    """One benchmark's timing on one GPU platform."""
+
+    gpu: str
+    benchmark: str
+    fused: bool
+    stage_time_s: float
+    kernel_times_s: dict
+    bound: dict  # kernel -> "memory" | "compute"
+
+    def total_time_s(self, n_steps: int) -> float:
+        return self.stage_time_s * RK_STAGES_PER_STEP * n_steps
+
+
+def gpu_benchmark_time(spec: BenchmarkSpec, ops: OpCount, gpu: GpuSpec, fused: bool) -> GpuTiming:
+    """Roofline time of one RK stage of ``spec`` on ``gpu``."""
+    kernel_times = {}
+    bound = {}
+    total = 0.0
+    for k in benchmark_traffic(spec, ops, fused):
+        ce, be = KERNEL_EFFICIENCY[k.kind]
+        t_compute = k.flops / (gpu.peak_flops * ce)
+        t_memory = k.bytes_moved / (gpu.memory_bw_bytes * be)
+        t = max(t_compute, t_memory) + KERNEL_LAUNCH_OVERHEAD_S
+        kernel_times[k.name] = t
+        bound[k.name] = "compute" if t_compute > t_memory else "memory"
+        total += t
+    return GpuTiming(
+        gpu=gpu.name,
+        benchmark=spec.name,
+        fused=fused,
+        stage_time_s=total,
+        kernel_times_s=kernel_times,
+        bound=bound,
+    )

@@ -1,0 +1,22 @@
+"""Inter-block interconnect substrate: H-tree and Bus topologies (paper §4.2).
+
+A 256-block memory tile is served either by a 4-ary H-tree (64 + 16 + 4 + 1
+= 85 switches, the paper's count) that lets transfers with disjoint switch
+paths proceed concurrently, or by a single-switch Bus that serializes every
+transfer.  The scheduling model here is what produces the Fig. 14 intra- vs
+inter-element split and the ~2x H-tree advantage on flux-heavy phases.
+"""
+
+from repro.interconnect.topology import Interconnect, Transfer, ScheduledTransfer
+from repro.interconnect.htree import HTree
+from repro.interconnect.bus import Bus
+from repro.interconnect.routing import schedule_transfers
+
+__all__ = [
+    "Interconnect",
+    "Transfer",
+    "ScheduledTransfer",
+    "HTree",
+    "Bus",
+    "schedule_transfers",
+]

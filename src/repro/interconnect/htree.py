@@ -1,0 +1,131 @@
+"""4-ary H-tree interconnect (paper §4.2.1).
+
+Blocks are the leaves of a 4-ary tree; a 256-block tile has 64 level-0
+(S0), 16 level-1, 4 level-2 and 1 level-3 switch — 85 switches, matching
+the paper's count for a 256-block memory tile.
+
+Block indices are interpreted as Morton (Z-order) codes of the block's 2-D
+position in the tile, so the four blocks of each 2x2 quad share an S0
+switch.  A transfer between two blocks under the same S0 occupies exactly
+one switch ("the data will only pass through one S0 H-tree switch", §4.2.1);
+otherwise the path climbs to the lowest common ancestor and back down.
+
+The H-tree generalizes to any power-of-``fanout`` block count and to
+fanouts other than 4 ("the number of children of a tree node does not have
+to be 4", §4.2.1) — used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect.topology import Interconnect
+
+__all__ = ["HTree", "morton_encode", "morton_decode"]
+
+#: Table 3: 85 H-tree switches draw 107.13 mW in a 2 GB-chip tile.
+HTREE_TILE_POWER_W = 0.10713
+HTREE_TILE_SWITCHES = 85
+
+
+def morton_encode(row: int, col: int) -> int:
+    """Interleave the bits of a 2-D grid position into a Z-order index."""
+    code = 0
+    for bit in range(max(row.bit_length(), col.bit_length(), 1)):
+        code |= ((col >> bit) & 1) << (2 * bit)
+        code |= ((row >> bit) & 1) << (2 * bit + 1)
+    return code
+
+
+def morton_decode(code: int) -> tuple[int, int]:
+    """Inverse of :func:`morton_encode`; returns ``(row, col)``."""
+    row = col = 0
+    bit = 0
+    while code >> (2 * bit):
+        col |= ((code >> (2 * bit)) & 1) << bit
+        row |= ((code >> (2 * bit + 1)) & 1) << bit
+        bit += 1
+    return row, col
+
+
+class HTree(Interconnect):
+    """H-tree over ``n_blocks`` leaves with the given switch fanout."""
+
+    def __init__(self, n_blocks: int = 256, fanout: int = 4):
+        super().__init__(n_blocks)
+        if fanout < 2:
+            raise ValueError("fanout must be >= 2")
+        self.fanout = fanout
+        # number of levels: smallest L with fanout^L >= n_blocks
+        levels = 0
+        cap = 1
+        while cap < n_blocks:
+            cap *= fanout
+            levels += 1
+        self.levels = max(levels, 1)
+        #: switches per level, level 0 nearest the blocks.
+        self.switches_per_level = [
+            self._ceil_div(n_blocks, fanout ** (lvl + 1)) for lvl in range(self.levels)
+        ]
+        self._level_offsets = [0]
+        for c in self.switches_per_level[:-1]:
+            self._level_offsets.append(self._level_offsets[-1] + c)
+
+    @staticmethod
+    def _ceil_div(a: int, b: int) -> int:
+        return -(-a // b)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def name(self) -> str:
+        return "htree"
+
+    @property
+    def n_switches(self) -> int:
+        return sum(self.switches_per_level)
+
+    @property
+    def switch_power_w(self) -> float:
+        """Static switch power, scaled from Table 3's 85-switch tile."""
+        return HTREE_TILE_POWER_W * self.n_switches / HTREE_TILE_SWITCHES
+
+    def switch_id(self, level: int, local: int) -> int:
+        """Global id of the ``local``-th switch at ``level``."""
+        if not 0 <= level < self.levels:
+            raise IndexError(f"level {level} outside [0, {self.levels})")
+        if not 0 <= local < self.switches_per_level[level]:
+            raise IndexError(f"switch {local} outside level {level}")
+        return self._level_offsets[level] + local
+
+    def _ancestor(self, block: int, level: int) -> int:
+        """Local id of ``block``'s ancestor switch at ``level``."""
+        return block // (self.fanout ** (level + 1))
+
+    def path(self, src: int, dst: int) -> tuple:
+        """Switch ids on the unique tree path between two blocks.
+
+        ``src == dst`` is an intra-block move and uses no switches.
+        """
+        self._check_block(src)
+        self._check_block(dst)
+        if src == dst:
+            return ()
+        # climb until ancestors coincide
+        lca = 0
+        while self._ancestor(src, lca) != self._ancestor(dst, lca):
+            lca += 1
+        up = [self.switch_id(lvl, self._ancestor(src, lvl)) for lvl in range(lca + 1)]
+        down = [self.switch_id(lvl, self._ancestor(dst, lvl)) for lvl in range(lca)]
+        return tuple(up + list(reversed(down)))
+
+    def path_to_root(self, block: int) -> tuple:
+        """The full ancestor switch chain (used for inter-tile egress)."""
+        self._check_block(block)
+        return tuple(
+            self.switch_id(lvl, self._ancestor(block, lvl)) for lvl in range(self.levels)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HTree(n_blocks={self.n_blocks}, fanout={self.fanout}, "
+            f"switches={self.n_switches})"
+        )

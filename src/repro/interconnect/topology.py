@@ -1,0 +1,126 @@
+"""Abstract interconnect interface and transfer records.
+
+A *transfer* moves one burst (typically one 1024-bit row-buffer image, or a
+few words of it) from a source block to a destination block inside a tile.
+The interconnect assigns each transfer a *path* (the ordered list of switch
+ids it occupies) and a *latency*; the scheduler in :mod:`routing` then packs
+transfers in time subject to switch-occupancy conflicts.
+
+The instruction sequence of the paper's example (§4.2.1) — read I0, memcpy
+I1..I3 hop by hop along D0->D1->D2->D3, write I4 — maps to
+``read_cost + len(path) * hop_latency + write_cost``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+__all__ = ["Transfer", "ScheduledTransfer", "Interconnect"]
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One inter-block burst.
+
+    Parameters
+    ----------
+    src, dst:
+        Block indices within the tile (0 .. n_blocks-1).
+    words:
+        Payload size in 32-bit words (a full row buffer is 32 words).
+    tag:
+        Free-form label used by Fig. 14's intra/inter-element attribution.
+    """
+
+    src: int
+    dst: int
+    words: int = 32
+    tag: str = ""
+
+
+@dataclass
+class ScheduledTransfer:
+    """A transfer placed in time by the conflict scheduler."""
+
+    transfer: Transfer
+    start: float
+    finish: float
+    path: tuple = field(default_factory=tuple)
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+class Interconnect(abc.ABC):
+    """Common interface for tile-level interconnects.
+
+    Concrete topologies provide switch paths, per-transfer latency, switch
+    counts and static power; the conflict scheduler is topology-agnostic.
+    """
+
+    #: seconds for one flit to traverse one switch (model parameter,
+    #: aligned with the crossbar row access time T_search = 1.5 ns).
+    hop_latency_per_flit: float = 1.5e-9
+
+    #: 32-bit words per link flit.  H-tree links are short point-to-point
+    #: segments and afford a 128-bit datapath; the Bus is a single long
+    #: tile-spanning wire with a 32-bit datapath (which is also why its
+    #: switch draws 17.2 mW against the H-tree's 107.13 mW total, Table 3).
+    flit_words: int = 4
+
+    #: exclusive interconnects ("only one data path can be enabled when
+    #: using the bus interconnection", §4.2.2) hold their switches for the
+    #: entire transfer including the row read/write phases; non-exclusive
+    #: ones (H-tree) only during the wire phase, letting disjoint sub-trees
+    #: transfer simultaneously.
+    exclusive: bool = False
+
+    def __init__(self, n_blocks: int):
+        if n_blocks < 1:
+            raise ValueError("interconnect needs at least one block")
+        self.n_blocks = n_blocks
+
+    # -- topology ------------------------------------------------------- #
+
+    @abc.abstractmethod
+    def path(self, src: int, dst: int) -> tuple:
+        """Ordered switch ids a ``src -> dst`` transfer occupies."""
+
+    def path_to_root(self, block: int) -> tuple:
+        """Switch ids from ``block`` up to the tile's root switch.
+
+        Used for transfers that leave the tile through the central
+        controller.  Defaults to the path to block 0's top ancestor; the
+        H-tree overrides with the exact ancestor chain.
+        """
+        self._check_block(block)
+        return self.path(block, block ^ 1) if self.n_blocks > 1 else ()
+
+    @property
+    @abc.abstractmethod
+    def n_switches(self) -> int:
+        """Total number of switches in the tile."""
+
+    @property
+    @abc.abstractmethod
+    def switch_power_w(self) -> float:
+        """Total static switch power for one tile (Table 3)."""
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        ...
+
+    # -- latency -------------------------------------------------------- #
+
+    def transfer_latency(self, transfer: Transfer) -> float:
+        """Wire time of one transfer once granted its path (no queueing)."""
+        hops = len(self.path(transfer.src, transfer.dst))
+        flits = -(-transfer.words // self.flit_words)
+        return hops * self.hop_latency_per_flit * flits
+
+    def _check_block(self, b: int) -> None:
+        if not 0 <= b < self.n_blocks:
+            raise IndexError(f"block {b} outside tile of {self.n_blocks}")

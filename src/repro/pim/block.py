@@ -1,0 +1,121 @@
+"""The PIM memory block: 1K x 1K memristor crossbar with row-parallel math.
+
+"The memory block is the most basic unit, which contains memristor memory
+cells, sense amplifiers, decoders, row and column drivers, and row and
+column buffers ... computations are performed inside the blocks in a
+bit-serial way utilizing NOR operations inherently, without any separate
+ALU hardware." (§4.1)
+
+Functionally we model the block at word granularity: 1024 rows of 32
+float32 words (= 1024 bits).  An arithmetic instruction applies to one
+word-column triple across a *range of rows simultaneously* — the
+row-parallelism that gives PIM its throughput — while the timing model in
+:mod:`repro.pim.arithmetic` prices it at the bit-serial NOR latency.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MemoryBlock"]
+
+
+class MemoryBlock:
+    """Word-level functional model of one crossbar memory block."""
+
+    def __init__(self, rows: int = 1024, row_words: int = 32, block_id: int = 0):
+        if rows < 1 or row_words < 1:
+            raise ValueError("block needs positive rows and row_words")
+        self.rows = rows
+        self.row_words = row_words
+        self.block_id = block_id
+        self.data = np.zeros((rows, row_words), dtype=np.float32)
+
+    # -- bounds checking ------------------------------------------------- #
+
+    def _rows(self, rows):
+        """Normalize a row selector: ``(start, stop)`` tuple or index array.
+
+        The row drivers can activate an arbitrary subset of rows (face
+        nodes are scattered through the node enumeration), so arithmetic
+        accepts either form; timing is row-count independent either way.
+        """
+        if isinstance(rows, tuple):
+            r0, r1 = rows
+            if not (0 <= r0 <= r1 <= self.rows):
+                raise IndexError(f"row range {rows} outside block of {self.rows} rows")
+            return slice(r0, r1), r1 - r0
+        idx = np.asarray(rows, dtype=np.int64)
+        if idx.ndim != 1:
+            raise ValueError("row index array must be 1-D")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.rows):
+            raise IndexError("row index outside block")
+        return idx, idx.size
+
+    def _check(self, rows, *cols: int):
+        sel, _ = self._rows(rows)
+        for c in cols:
+            if c is not None and not 0 <= c < self.row_words:
+                raise IndexError(f"column {c} outside row of {self.row_words} words")
+        return sel
+
+    # -- row-parallel arithmetic ------------------------------------------ #
+
+    def add(self, rows, dst: int, src1: int, src2: int) -> None:
+        sel = self._check(rows, dst, src1, src2)
+        self.data[sel, dst] = self.data[sel, src1] + self.data[sel, src2]
+
+    def sub(self, rows, dst: int, src1: int, src2: int) -> None:
+        sel = self._check(rows, dst, src1, src2)
+        self.data[sel, dst] = self.data[sel, src1] - self.data[sel, src2]
+
+    def mul(self, rows, dst: int, src1: int, src2: int) -> None:
+        sel = self._check(rows, dst, src1, src2)
+        self.data[sel, dst] = self.data[sel, src1] * self.data[sel, src2]
+
+    # -- data movement ----------------------------------------------------- #
+
+    def copy_column(self, rows, dst: int, src: int) -> None:
+        sel = self._check(rows, dst, src)
+        self.data[sel, dst] = self.data[sel, src]
+
+    def gather(self, rows, dst: int, src: int, row_map) -> None:
+        """``data[rows[i], dst] = data[row_map[i], src]``.
+
+        The decoder lowers this to a serial micro-sequence of row
+        reads/writes; functionally it is a permutation copy.
+        """
+        sel, n = self._rows(rows)
+        self._check(rows, dst, src)
+        row_map = np.asarray(row_map, dtype=np.int64)
+        if row_map.shape != (n,):
+            raise ValueError(f"row_map must have {n} entries, got {row_map.shape}")
+        if row_map.size and (np.any(row_map < 0) or np.any(row_map >= self.rows)):
+            raise IndexError("row_map entry outside block")
+        self.data[sel, dst] = self.data[row_map, src]
+
+    def broadcast(self, rows, dst: int, value) -> None:
+        """Write a constant (or per-row vector) into a column slice."""
+        sel, n = self._rows(rows)
+        self._check(rows, dst)
+        value = np.asarray(value, dtype=np.float32)
+        if value.ndim not in (0, 1):
+            raise ValueError("broadcast value must be scalar or 1-D")
+        if value.ndim == 1 and value.shape != (n,):
+            raise ValueError(f"broadcast vector must have {n} entries")
+        self.data[sel, dst] = value
+
+    def read(self, rows, col: int) -> np.ndarray:
+        sel = self._check(rows, col)
+        return self.data[sel, col].copy()
+
+    def write(self, rows, col: int, values) -> None:
+        sel, n = self._rows(rows)
+        self._check(rows, col)
+        values = np.asarray(values, dtype=np.float32)
+        if values.shape != (n,):
+            raise ValueError(f"write expects {n} values, got {values.shape}")
+        self.data[sel, col] = values
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemoryBlock(id={self.block_id}, {self.rows}x{self.row_words} words)"

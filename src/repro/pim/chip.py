@@ -1,0 +1,76 @@
+"""The Wave-PIM chip: tiles + central controller + off-chip HBM path.
+
+Global block id ``g`` lives in tile ``g // blocks_per_tile`` with local id
+``g % blocks_per_tile``.  Transfers between blocks of different tiles hop
+through the central controller; the model charges them the source-tile
+path, the destination-tile path, and a fixed inter-tile hop (documented
+assumption — the paper only details the intra-tile network).
+"""
+
+from __future__ import annotations
+
+from repro.pim.block import MemoryBlock
+from repro.pim.hbm import HbmModel
+from repro.pim.params import ChipConfig
+from repro.pim.tile import Tile
+
+__all__ = ["PimChip"]
+
+#: Extra latency for crossing the central controller between tiles (s).
+INTER_TILE_HOP_S = 10e-9
+
+
+class PimChip:
+    """A full Wave-PIM chip (lazy tiles, shared config)."""
+
+    def __init__(self, config: ChipConfig):
+        self.config = config
+        self.hbm = HbmModel()
+        self._tiles: dict = {}
+
+    # -- geometry --------------------------------------------------------- #
+
+    @property
+    def n_tiles(self) -> int:
+        return self.config.n_tiles
+
+    @property
+    def n_blocks(self) -> int:
+        return self.config.n_blocks
+
+    def locate(self, global_block: int) -> tuple[int, int]:
+        """``global id -> (tile id, local id)``."""
+        if not 0 <= global_block < self.n_blocks:
+            raise IndexError(
+                f"block {global_block} outside chip of {self.n_blocks} blocks"
+            )
+        return divmod(global_block, self.config.blocks_per_tile)
+
+    def tile(self, tile_id: int) -> Tile:
+        if not 0 <= tile_id < self.n_tiles:
+            raise IndexError(f"tile {tile_id} outside chip of {self.n_tiles}")
+        t = self._tiles.get(tile_id)
+        if t is None:
+            t = Tile(self.config, tile_id)
+            self._tiles[tile_id] = t
+        return t
+
+    def block(self, global_block: int) -> MemoryBlock:
+        tid, lid = self.locate(global_block)
+        return self.tile(tid).block(lid)
+
+    # -- power ------------------------------------------------------------- #
+
+    def static_power_w(self, include_host: bool = True, include_hbm: bool = False) -> float:
+        """Chip static power re-derived from Table 3 components."""
+        p = self.config.power
+        total = self.n_tiles * p.tile_w(self.config.interconnect, self.config.blocks_per_tile)
+        total += p.central_controller_w
+        if include_host:
+            total += p.cpu_host_w
+        if include_hbm:
+            total += p.hbm_w
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PimChip({self.config.name}, tiles={self.n_tiles}, {self.config.interconnect})"

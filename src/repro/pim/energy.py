@@ -1,0 +1,81 @@
+"""Energy accounting and the Table 3 power reproduction.
+
+Total energy follows the paper's measurement granularity ("the energy is
+measured from the total power consumption of both host CPU and
+accelerator", §7.2)::
+
+    E = P_static(chip, interconnect) * T_total  +  E_dynamic(ops)
+      + P_HBM * T_dram_busy
+
+:func:`chip_power_table` re-derives every row of Table 3 from the
+component constants so the tests (and EXPERIMENTS.md) can compare the
+totals against the paper's printed 115.02 W / 109.25 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.interconnect.htree import HTree
+from repro.pim.params import ChipConfig, ComponentPower
+
+__all__ = ["EnergyAccount", "chip_power_table"]
+
+
+@dataclass
+class EnergyAccount:
+    """Accumulates named energy contributions (joules)."""
+
+    components: dict = field(default_factory=dict)
+
+    def add(self, name: str, joules: float) -> None:
+        if joules < 0:
+            raise ValueError(f"negative energy for {name}: {joules}")
+        self.components[name] = self.components.get(name, 0.0) + joules
+
+    @property
+    def total_j(self) -> float:
+        return sum(self.components.values())
+
+    def merge(self, other: "EnergyAccount") -> None:
+        for k, v in other.components.items():
+            self.add(k, v)
+
+    def breakdown(self) -> dict:
+        total = self.total_j
+        if total == 0:
+            return {k: 0.0 for k in self.components}
+        return {k: v / total for k, v in self.components.items()}
+
+
+def chip_power_table(config: ChipConfig) -> dict:
+    """Reproduce Table 3 for an arbitrary chip configuration.
+
+    Returns rows keyed like the paper's table, all in watts, for both
+    interconnects, derived purely from :class:`ComponentPower`.
+    """
+    p: ComponentPower = config.power
+    bpt = config.blocks_per_tile
+    htree = HTree(n_blocks=bpt)
+    rows = {
+        "crossbar_array_w": p.crossbar_array_w,
+        "sense_amp_w": p.sense_amp_w,
+        "decoder_w": p.decoder_w,
+        "memory_block_w": p.block_w,
+        "tile_memory_w": p.tile_memory_w(bpt),
+        "htree_switch_count": htree.n_switches,
+        "htree_switches_w": p.htree_switches_per_tile_w,
+        "bus_switch_w": p.bus_switch_w,
+        "tile_w_htree": p.tile_w("htree", bpt),
+        "tile_w_bus": p.tile_w("bus", bpt),
+        "central_controller_w": p.central_controller_w,
+        "cpu_host_w": p.cpu_host_w,
+        "n_tiles": config.n_tiles,
+        "total_w_htree": config.n_tiles * p.tile_w("htree", bpt)
+        + p.central_controller_w
+        + p.cpu_host_w,
+        "total_w_bus": config.n_tiles * p.tile_w("bus", bpt)
+        + p.central_controller_w
+        + p.cpu_host_w,
+    }
+    return rows

@@ -1,0 +1,370 @@
+"""Instruction-stream execution: functional semantics + timing + energy.
+
+The executor consumes a flat list of :class:`~repro.pim.isa.Instruction`
+in program order and maintains:
+
+* per-block clocks (a block executes its own instructions serially — there
+  is one set of drivers per crossbar);
+* per-switch availability inside each tile (the H-tree/Bus contention
+  model of §4.2: disjoint H-tree paths overlap, the bus serializes);
+* a host-CPU clock (sqrt/inverse pre-processing, §4.3) and a DRAM channel
+  clock (batching traffic, §6.1);
+* dynamic-energy and busy-time accounting per attribution tag — the raw
+  data behind the Fig. 13 pipeline breakdown and the Fig. 14 intra/inter
+  split.
+
+With ``functional=True`` instructions also update the blocks' word
+contents, which is how the tests prove the PIM-mapped wave kernels compute
+the same numbers as the numpy dG reference.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pim.arithmetic import HostOpModel, OpCosts, default_op_costs
+from repro.pim.chip import INTER_TILE_HOP_S, PimChip
+from repro.pim.isa import ARITHMETIC_OPS, Instruction, Opcode
+
+__all__ = ["TimingReport", "BlockExecutor", "ChipExecutor"]
+
+#: NOR cycles of a row-parallel column-to-column copy (two cascaded NOTs).
+_COPY_NORS = 2
+
+
+@dataclass
+class TimingReport:
+    """Aggregated outcome of one executed instruction stream."""
+
+    total_time_s: float = 0.0
+    dynamic_energy_j: float = 0.0
+    time_by_tag: dict = field(default_factory=dict)
+    energy_by_tag: dict = field(default_factory=dict)
+    op_counts: dict = field(default_factory=dict)
+    block_busy_s: dict = field(default_factory=dict)
+    host_busy_s: float = 0.0
+    dram_busy_s: float = 0.0
+    n_instructions: int = 0
+
+    def add(self, tag: str, op: Opcode, duration: float, energy: float) -> None:
+        self.time_by_tag[tag] = self.time_by_tag.get(tag, 0.0) + duration
+        self.energy_by_tag[tag] = self.energy_by_tag.get(tag, 0.0) + energy
+        self.op_counts[op.value] = self.op_counts.get(op.value, 0) + 1
+        self.dynamic_energy_j += energy
+        self.n_instructions += 1
+
+    def merge(self, other: "TimingReport") -> None:
+        """Fold another report's accounting into this one (sequential join)."""
+        self.total_time_s += other.total_time_s
+        self.dynamic_energy_j += other.dynamic_energy_j
+        self.host_busy_s += other.host_busy_s
+        self.dram_busy_s += other.dram_busy_s
+        self.n_instructions += other.n_instructions
+        for d_src, d_dst in (
+            (other.time_by_tag, self.time_by_tag),
+            (other.energy_by_tag, self.energy_by_tag),
+            (other.op_counts, self.op_counts),
+            (other.block_busy_s, self.block_busy_s),
+        ):
+            for k, v in d_src.items():
+                d_dst[k] = d_dst.get(k, 0) + v
+
+
+class ChipExecutor:
+    """Executes instruction streams on a :class:`PimChip`."""
+
+    def __init__(
+        self,
+        chip: PimChip,
+        op_costs: OpCosts | None = None,
+        host: HostOpModel | None = None,
+    ):
+        self.chip = chip
+        self.costs = op_costs or default_op_costs(chip.config.device)
+        self.host = host or HostOpModel(power_w=chip.config.power.cpu_host_w)
+        self._block_clock: dict = defaultdict(float)
+        self._switch_free: dict = defaultdict(float)  # (tile, switch) -> time
+        #: separate transfer ports: blocks have row *and* column buffers
+        #: (§4.1), so an outbound read and an inbound write can overlap.
+        self._port_free: dict = defaultdict(float)  # ("r"/"w", block) -> time
+        self._host_clock = 0.0
+        self._dram_clock = 0.0
+        #: floor applied to every lane after a BARRIER (covers blocks that
+        #: have not executed anything yet).
+        self._barrier_time = 0.0
+
+    # ------------------------------------------------------------------ #
+
+    def reset_clocks(self) -> None:
+        self._block_clock.clear()
+        self._switch_free.clear()
+        self._port_free.clear()
+        self._host_clock = 0.0
+        self._dram_clock = 0.0
+        self._barrier_time = 0.0
+
+    def _now(self) -> float:
+        clocks = (
+            list(self._block_clock.values())
+            + list(self._port_free.values())
+            + [self._host_clock, self._dram_clock]
+        )
+        return max(clocks) if clocks else 0.0
+
+    def _compute_start(self, block) -> float:
+        """Compute must wait for pending transfers and the last barrier."""
+        return max(
+            self._block_clock[block],
+            self._port_free[("r", block)],
+            self._port_free[("w", block)],
+            self._barrier_time,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, instructions, functional: bool = True) -> TimingReport:
+        """Execute ``instructions`` in program order; returns the report."""
+        report = TimingReport()
+        for inst in instructions:
+            self._dispatch(inst, functional, report)
+        report.total_time_s = self._now()
+        report.host_busy_s = self._host_clock
+        report.dram_busy_s = self._dram_clock
+        for b, t in self._block_clock.items():
+            report.block_busy_s[b] = t
+        return report
+
+    # ------------------------------------------------------------------ #
+
+    def _dispatch(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
+        op = inst.op
+        if op in ARITHMETIC_OPS:
+            self._arith(inst, functional, report)
+        elif op is Opcode.COPY:
+            self._copy(inst, functional, report)
+        elif op is Opcode.GATHER:
+            self._gather(inst, functional, report)
+        elif op is Opcode.BROADCAST:
+            self._broadcast(inst, functional, report)
+        elif op is Opcode.TRANSFER:
+            self._transfer(inst, functional, report)
+        elif op is Opcode.LUT:
+            self._lut(inst, functional, report)
+        elif op is Opcode.HOSTOP:
+            self._hostop(inst, report)
+        elif op in (Opcode.DRAM_LOAD, Opcode.DRAM_STORE):
+            self._dram(inst, report)
+        elif op is Opcode.BARRIER:
+            self._barrier(report)
+        else:  # pragma: no cover - exhaustive
+            raise ValueError(f"unhandled opcode {op}")
+
+    # -- individual opcodes ------------------------------------------------ #
+
+    def _arith(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
+        dur = self.costs.time_s(inst.op.value)
+        energy = self.costs.energy_j(inst.op.value, active_rows=inst.n_rows)
+        self._block_clock[inst.block] = self._compute_start(inst.block) + dur
+        if functional:
+            blk = self.chip.block(inst.block)
+            getattr(blk, inst.op.value)(inst.rows, inst.dst, inst.src1, inst.src2)
+        report.add(inst.tag, inst.op, dur, energy)
+
+    def _copy(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
+        dur = _COPY_NORS * self.costs.device.t_nor_s
+        energy = _COPY_NORS * 32 * self.costs.device.e_nor_j * inst.n_rows
+        self._block_clock[inst.block] = self._compute_start(inst.block) + dur
+        if functional:
+            self.chip.block(inst.block).copy_column(inst.rows, inst.dst, inst.src1)
+        report.add(inst.tag, inst.op, dur, energy)
+
+    def _gather(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
+        n_unique = len(np.unique(np.asarray(inst.row_map)))
+        dur = self.costs.gather_time_s(n_unique)
+        energy = self.costs.row_move_energy_j(inst.n_rows, words=inst.words)
+        self._block_clock[inst.block] = self._compute_start(inst.block) + dur
+        if functional:
+            self.chip.block(inst.block).gather(inst.rows, inst.dst, inst.src1, inst.row_map)
+        report.add(inst.tag, inst.op, dur, energy)
+
+    def _broadcast(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
+        value = np.asarray(inst.value)
+        if value.ndim == 0:
+            # scalar constant: fill the column buffer once, one
+            # column-parallel write through the column drivers.
+            dur = 2 * self.costs.device.t_row_write_s
+        else:
+            # per-row data arrives from outside the block (host/DRAM) and
+            # streams in row by row — the cost Fig. 6 hoists out of the
+            # batch loop by broadcasting constants only once.
+            dur = self.costs.broadcast_time_s(inst.n_rows)
+        energy = self.costs.row_move_energy_j(inst.n_rows, words=inst.words)
+        self._block_clock[inst.block] = self._compute_start(inst.block) + dur
+        if functional:
+            self.chip.block(inst.block).broadcast(inst.rows, inst.dst, inst.value)
+        report.add(inst.tag, inst.op, dur, energy)
+
+    def _transfer_path(self, src: int, dst: int):
+        """(occupied switch keys, wire hops) of an inter-block transfer."""
+        s_tile, s_loc = self.chip.locate(src)
+        d_tile, d_loc = self.chip.locate(dst)
+        if s_tile == d_tile:
+            path = self.chip.tile(s_tile).interconnect.path(s_loc, d_loc)
+            return [(s_tile, sw) for sw in path], len(path), 0.0
+        # cross-tile: climb the source tile, hop the controller, descend.
+        up = self.chip.tile(s_tile).interconnect.path_to_root(s_loc)
+        down = self.chip.tile(d_tile).interconnect.path_to_root(d_loc)
+        keys = [(s_tile, sw) for sw in up] + [(d_tile, sw) for sw in down]
+        return keys, len(up) + len(down), INTER_TILE_HOP_S
+
+    def _transfer(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
+        src, dst = inst.src_block, inst.block
+        if src is None:
+            raise ValueError("TRANSFER needs src_block")
+        dev = self.costs.device
+        n_rows = inst.n_rows
+        keys, hops, extra = self._transfer_path(src, dst)
+        s_tile, _ = self.chip.locate(src)
+        ic = self.chip.tile(s_tile).interconnect
+        flits = -(-(n_rows * inst.words) // ic.flit_words)
+        wire = hops * ic.hop_latency_per_flit * flits + extra
+        read_t = n_rows * dev.t_row_read_s
+        write_t = n_rows * dev.t_row_write_s
+        dur = read_t + wire + write_t
+
+        # The source/destination ports are busy for the whole transfer.  On
+        # the H-tree, switches are only held during the wire phase
+        # (store-and-forward pipelining: disjoint sub-trees overlap, §4.2.1);
+        # the exclusive Bus holds its switch end-to-end ("only one data path
+        # can be enabled", §4.2.2).
+        exclusive = ic.exclusive
+        flit_train = ic.hop_latency_per_flit * flits
+        # the source's read port and the destination's write port gate the
+        # transfer; compute on either block must also have drained.
+        ready = max(
+            self._port_free[("r", src)],
+            self._port_free[("w", dst)],
+            self._block_clock[src],
+            self._block_clock[dst],
+            self._barrier_time,
+        )
+        if exclusive:
+            # "only one data path can be enabled when using the bus
+            # interconnection" (§4.2.2): the switch is held for the row
+            # read and the wire traversal; the destination's write-back
+            # overlaps the next arbitration.
+            for k in keys:
+                ready = max(ready, self._switch_free[k])
+            finish = ready + dur
+            for k in keys:
+                self._switch_free[k] = ready + read_t + wire
+        else:
+            # H-tree switches behave as pipelined FIFO servers: each one
+            # serves a transfer for one flit-train (wormhole cut-through),
+            # so disjoint sub-trees — and back-to-back transfers through
+            # the same switch — overlap (§4.2.1).  The gate is the switch's
+            # *cumulative service load*, not the last reservation time:
+            # a transfer that starts late (blocked on a port) does not
+            # head-of-line-block unrelated traffic through the switch.
+            for k in keys:
+                ready = max(ready, self._switch_free[k])
+            finish = ready + dur
+            for k in keys:
+                self._switch_free[k] += flit_train
+        # the source is free again once the row buffer has drained into the
+        # network; the destination holds its write port to the end.  The
+        # compute clocks are untouched: ordering against arithmetic is
+        # enforced by _compute_start and the ready condition above.
+        self._port_free[("r", src)] = ready + read_t + flit_train
+        self._port_free[("w", dst)] = finish
+
+        energy = self.costs.row_move_energy_j(n_rows, words=inst.words)
+        energy += hops * n_rows * inst.words * dev.e_search_j  # switch traversal
+
+        if functional:
+            sblk = self.chip.block(src)
+            dblk = self.chip.block(dst)
+            sr = inst.src_rows if inst.src_rows is not None else inst.rows
+            s_sel = slice(sr[0], sr[1]) if isinstance(sr, tuple) else np.asarray(sr)
+            d_sel = (
+                slice(inst.rows[0], inst.rows[1])
+                if isinstance(inst.rows, tuple)
+                else np.asarray(inst.rows)
+            )
+            src_vals = sblk.data[s_sel, inst.src1:inst.src1 + inst.words]
+            if src_vals.shape[0] != n_rows:
+                raise ValueError("TRANSFER src/dst row selections must match in size")
+            dblk.data[d_sel, inst.dst:inst.dst + inst.words] = src_vals
+        report.add(inst.tag, inst.op, dur, energy)
+
+    def _lut(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
+        """Alg. 1: R_1 (index fetch), R_2 (content fetch), W_1 (write back).
+
+        ``inst.block`` is the requester, ``inst.src_block`` the LUT block,
+        ``inst.rows`` the row range served (vectorized micro-sequence),
+        ``src1``/``dst`` the Offset_S / Offset_D word columns.
+        """
+        dev = self.costs.device
+        n = inst.n_rows
+        keys, hops, extra = self._transfer_path(inst.src_block, inst.block)
+        s_tile, _ = self.chip.locate(inst.src_block)
+        hop_lat = self.chip.tile(s_tile).interconnect.hop_latency_per_flit
+        per_row = 2 * dev.t_row_read_s + dev.t_row_write_s + 2 * (hops * hop_lat + extra)
+        dur = n * per_row
+        ready = max(
+            self._compute_start(inst.block), self._compute_start(inst.src_block)
+        )
+        for k in keys:
+            ready = max(ready, self._switch_free[k])
+        finish = ready + dur
+        self._port_free[("w", inst.block)] = finish
+        self._port_free[("r", inst.src_block)] = finish
+        for k in keys:
+            self._switch_free[k] = finish
+        energy = n * (2 * dev.e_search_j + 32 * 0.5 * (dev.e_set_j + dev.e_reset_j))
+
+        if functional:
+            req = self.chip.block(inst.block)
+            lut = self.chip.block(inst.src_block)
+            for r in range(inst.rows[0], inst.rows[1]):
+                index = int(req.data[r, inst.src1])
+                lr, lc = divmod(index, lut.row_words)
+                req.data[r, inst.dst] = lut.data[lr, lc]
+        report.add(inst.tag, inst.op, dur, energy)
+
+    def _hostop(self, inst: Instruction, report: TimingReport) -> None:
+        dur = self.host.time_s(inst.count)
+        energy = self.host.energy_j(inst.count)
+        self._host_clock = max(self._host_clock, self._barrier_time) + dur
+        report.add(inst.tag or "host", inst.op, dur, energy)
+
+    def _dram(self, inst: Instruction, report: TimingReport) -> None:
+        n_bytes = inst.meta.get("bytes", inst.words * 4 * max(inst.n_rows, 1))
+        dur = self.chip.hbm.transfer_time_s(n_bytes)
+        energy = self.chip.hbm.transfer_energy_j(n_bytes)
+        start = max(self._dram_clock, self._barrier_time)
+        if inst.block is not None:
+            start = max(start, self._block_clock[inst.block])
+        finish = start + dur
+        self._dram_clock = finish
+        if inst.block is not None:
+            self._block_clock[inst.block] = finish
+        report.add(inst.tag or "dram", inst.op, dur, energy)
+
+    def _barrier(self, report: TimingReport) -> None:
+        now = self._now()
+        for b in list(self._block_clock):
+            self._block_clock[b] = now
+        for k in list(self._port_free):
+            self._port_free[k] = now
+        self._host_clock = now
+        self._dram_clock = now
+        self._barrier_time = now
+
+
+#: Convenience alias: a single-block executor is just a chip executor used
+#: with instructions targeting one block.
+BlockExecutor = ChipExecutor

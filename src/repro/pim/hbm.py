@@ -1,0 +1,36 @@
+"""Off-chip HBM2 memory model (paper §7.1).
+
+"We assume a 900 GB/s HBM2 DRAM as the off-chip memory for our Wave-PIM,
+where the power of the off-chip memory is 36.91 W."  Off-chip traffic only
+occurs when the problem does not fit on the PIM chip — the *batching*
+technique of §6.1 — which is why the 512 MB chip "does not perform well"
+on the level-5 elastic benchmarks (§7.3): 32 batches of DRAM transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HbmModel"]
+
+
+@dataclass(frozen=True)
+class HbmModel:
+    """Bandwidth/latency/power model of the off-chip DRAM path."""
+
+    bandwidth_bytes_per_s: float = 900e9
+    power_w: float = 36.91
+    #: fixed transaction overhead (row activation + channel arbitration)
+    latency_s: float = 100e-9
+
+    def transfer_time_s(self, n_bytes: float) -> float:
+        """Time to move ``n_bytes`` (one streaming transaction)."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        return self.latency_s + n_bytes / self.bandwidth_bytes_per_s
+
+    def transfer_energy_j(self, n_bytes: float) -> float:
+        """Active energy: DRAM power over the busy window."""
+        return self.transfer_time_s(n_bytes) * self.power_w

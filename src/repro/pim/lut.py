@@ -1,0 +1,89 @@
+"""Look-up tables in ordinary memory blocks (paper §4.3, Fig. 4, Alg. 1).
+
+"In the ISA-based PIM system, look-up tables are implemented with ordinary
+memory blocks, instead of customized hardware units.  Contents of look-up
+tables will be loaded to the reserved memory blocks before the computation
+begins."
+
+A LUT access is "a special case of inter-block data transmission": fetch a
+32-bit index from the requesting block, read the addressed 32-bit entry
+from the LUT block, write it back to the destination offset — the three
+read/read/write steps of Algorithm 1, which :meth:`LookupTable.execute`
+follows literally (the address arithmetic assumes the paper's 1024 x 1024
+block and 32-bit precision, hence the 5-bit offsets).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pim.block import MemoryBlock
+from repro.pim.isa import LutInstructionFormat
+
+__all__ = ["LookupTable"]
+
+
+class LookupTable:
+    """A host-filled table living in a reserved memory block."""
+
+    def __init__(self, block: MemoryBlock, name: str = "lut"):
+        self.block = block
+        self.name = name
+        self.capacity = block.rows * block.row_words
+
+    # -- host side -------------------------------------------------------- #
+
+    def load(self, values) -> int:
+        """Host pre-load: fill the table row-major; returns entry count.
+
+        "Contents of look-up tables will be loaded to the reserved memory
+        blocks before the computation begins."
+        """
+        values = np.asarray(values, dtype=np.float32).ravel()
+        if values.size > self.capacity:
+            raise ValueError(
+                f"{values.size} entries exceed LUT capacity {self.capacity}"
+            )
+        rows = -(-values.size // self.block.row_words)
+        padded = np.zeros(rows * self.block.row_words, dtype=np.float32)
+        padded[: values.size] = values
+        self.block.data[:rows] = padded.reshape(rows, self.block.row_words)
+        return values.size
+
+    def entry(self, index: int) -> float:
+        """Direct (host-view) read of entry ``index``."""
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"LUT index {index} outside capacity {self.capacity}")
+        r, c = divmod(index, self.block.row_words)
+        return float(self.block.data[r, c])
+
+    # -- Algorithm 1 -------------------------------------------------------- #
+
+    def execute(self, requester: MemoryBlock, instruction_word: int) -> float:
+        """Execute one encoded LUT instruction (Alg. 1) functionally.
+
+        1. R_1: fetch the 32-bit index at ``row_id * 1024 + offset_s * 32``
+           of the requesting block.
+        2. R_2: fetch the 32-bit content at ``lut_block * 1M + index * 32``.
+        3. W_1: write the content to ``row_id * 1024 + offset_d * 32``.
+
+        Returns the fetched content.  The index is stored as a float in the
+        requester (everything in the datapath is float32) and truncated.
+        """
+        f = LutInstructionFormat.decode(instruction_word)
+        row = f["row_id"]
+        if row >= requester.rows:
+            raise IndexError(f"row_id {row} outside requesting block")
+        index = int(requester.data[row, f["offset_s"]])
+        content = self.entry(index)
+        requester.data[row, f["offset_d"]] = np.float32(content)
+        return content
+
+    def execute_fields(
+        self, requester: MemoryBlock, row_id: int, offset_s: int, offset_d: int
+    ) -> float:
+        """Convenience wrapper that encodes then executes (round-trips Fig. 4)."""
+        word = LutInstructionFormat.encode(
+            row_id=row_id, offset_s=offset_s, lut_block_id=self.block.block_id, offset_d=offset_d
+        )
+        return self.execute(requester, word)

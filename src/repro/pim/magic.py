@@ -1,0 +1,153 @@
+"""Gate-level MAGIC NOR simulation: derive bit-serial arithmetic costs.
+
+Digital memristive PIM computes with *only* NOR gates executed one per
+cycle inside the crossbar ("arithmetic operations like addition and
+multiplication are achieved by performing NOR operations sequentially",
+paper §2.3).  Rather than quoting per-operation NOR counts from FloatPIM,
+this module *executes* NOR-only netlists for addition and multiplication,
+verifying correctness bit-exactly and measuring the cycle counts that
+:mod:`repro.pim.arithmetic` turns into latency and energy.
+
+Every logic primitive below is reduced to NOR::
+
+    NOT(a)    = NOR(a)                      1 cycle
+    OR(a,b)   = NOT(NOR(a,b))               2 cycles
+    AND(a,b)  = NOR(NOT a, NOT b)           3 cycles
+    XOR(a,b)  = NOR(NOR(a,b), AND(a,b))     5 cycles (sharing NOTs)
+
+The ripple-carry full adder costs a fixed number of cycles per bit
+(measured, exposed as :data:`FULL_ADDER_STEPS`); an N-bit add therefore
+costs ``N * FULL_ADDER_STEPS`` cycles, and the shift-add multiplier costs
+``O(N^2)`` — the reason the paper calls PIM arithmetic "not as efficient
+as other CMOS designs" per op while winning on row-parallelism.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "NorMachine",
+    "nor_add",
+    "nor_multiply",
+    "FULL_ADDER_STEPS",
+    "int_add_steps",
+    "int_multiply_steps",
+]
+
+
+class NorMachine:
+    """Counts NOR cycles while evaluating NOR-only logic on Python ints (0/1)."""
+
+    def __init__(self):
+        self.steps = 0
+
+    def nor(self, *inputs: int) -> int:
+        """An n-input MAGIC NOR: one crossbar cycle."""
+        if not inputs:
+            raise ValueError("NOR needs at least one input")
+        self.steps += 1
+        return 0 if any(inputs) else 1
+
+    # -- derived gates (each expands to NOR cycles) ---------------------- #
+
+    def not_(self, a: int) -> int:
+        return self.nor(a)
+
+    def or_(self, a: int, b: int) -> int:
+        return self.nor(self.nor(a, b))
+
+    def and_(self, a: int, b: int) -> int:
+        return self.nor(self.nor(a), self.nor(b))
+
+    def xor_(self, a: int, b: int) -> int:
+        n1 = self.nor(a, b)
+        n2 = self.nor(self.nor(a), self.nor(b))  # AND(a, b)
+        return self.nor(n1, n2)
+
+    def full_adder(self, a: int, b: int, c: int) -> tuple[int, int]:
+        """One-bit full adder; NOT-sharing keeps it at 12 NOR cycles."""
+        n1 = self.nor(a, b)
+        na = self.nor(a)
+        nb = self.nor(b)
+        ab = self.nor(na, nb)  # AND(a, b)
+        x1 = self.nor(n1, ab)  # XOR(a, b)
+        m1 = self.nor(x1, c)
+        nx = self.nor(x1)
+        nc = self.nor(c)
+        xc = self.nor(nx, nc)  # AND(x1, c)
+        s = self.nor(m1, xc)  # XOR(x1, c)
+        t = self.nor(ab, xc)
+        cout = self.nor(t)  # OR(ab, xc)
+        return s, cout
+
+
+#: Measured NOR cycles of one full-adder invocation (asserted by tests).
+FULL_ADDER_STEPS = 12
+
+
+def _to_bits(value: int, width: int) -> list:
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def _from_bits(bits) -> int:
+    return sum(b << i for i, b in enumerate(bits))
+
+
+def nor_add(a: int, b: int, width: int = 32, machine: NorMachine | None = None):
+    """NOR-only ripple-carry addition of two ``width``-bit unsigned ints.
+
+    Returns ``(sum mod 2^width, carry_out, nor_cycles)``.
+    """
+    m = machine or NorMachine()
+    start = m.steps
+    abits = _to_bits(a, width)
+    bbits = _to_bits(b, width)
+    out = []
+    carry = 0
+    for i in range(width):
+        s, carry = m.full_adder(abits[i], bbits[i], carry)
+        out.append(s)
+    return _from_bits(out), carry, m.steps - start
+
+
+def nor_multiply(a: int, b: int, width: int = 16, machine: NorMachine | None = None):
+    """NOR-only shift-add multiplication of two ``width``-bit unsigned ints.
+
+    Partial products are formed with one NOR per bit (the multiplicand and
+    multiplier bits are pre-inverted once), then accumulated with the
+    ripple-carry adder.  Returns ``(product, nor_cycles)``; the product has
+    ``2 * width`` bits.
+    """
+    m = machine or NorMachine()
+    start = m.steps
+    abits = _to_bits(a, width)
+    bbits = _to_bits(b, width)
+    na = [m.not_(x) for x in abits]
+    nb = [m.not_(x) for x in bbits]
+    acc = [0] * (2 * width)
+    for i in range(width):
+        # partial product i: AND(a_j, b_i) = NOR(na_j, nb_i), one cycle each
+        pp = [m.nor(na[j], nb[i]) for j in range(width)]
+        # accumulate into acc[i : i + width + 1] with ripple carry
+        carry = 0
+        for j in range(width):
+            s, carry = m.full_adder(acc[i + j], pp[j], carry)
+            acc[i + j] = s
+        if i + width < 2 * width:
+            acc[i + width] = carry
+    return _from_bits(acc), m.steps - start
+
+
+def int_add_steps(width: int) -> int:
+    """Closed-form NOR cycles of an N-bit add (tests check vs measurement)."""
+    return width * FULL_ADDER_STEPS
+
+
+def int_multiply_steps(width: int) -> int:
+    """Closed-form NOR cycles of an N-bit shift-add multiply.
+
+    ``2 N`` pre-inversions + per iteration ``N`` partial-product NORs and an
+    ``N``-bit ripple add.
+    """
+    return 2 * width + width * (width + width * FULL_ADDER_STEPS)

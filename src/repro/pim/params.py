@@ -1,0 +1,178 @@
+"""Hardware parameters: the paper's Tables 3 and 4, plus chip configs.
+
+Every constant here is traceable to the paper:
+
+* Table 4 — memristor device energies/latencies (from FloatPIM):
+  ``E_set = 23.8 fJ``, ``E_reset = 0.32 fJ``, ``E_NOR = 0.29 fJ``,
+  ``E_search = 5.34 pJ``, ``T_NOR = 1.1 ns``, ``T_search = 1.5 ns``.
+* Table 3 — component powers of the 2 GB chip: crossbar array 6.14 mW,
+  sense amps 2.38 mW, decoder 0.31 mW (block total 8.83 mW), tile memory
+  (256 crossbars) 1.57 W, H-tree switches 107.13 mW / bus switch 17.2 mW,
+  central controller 6.41 W, CPU host (ARM Cortex-A72) 3.06 W; chip totals
+  115.02 W (H-tree) / 109.25 W (Bus).
+* Table 2 — PIM capacities 512 MB / 2 GB / 8 GB / 16 GB at 900 MHz on a
+  28 nm node with a 900 GB/s HBM2 off-chip memory.
+* §7.3 — 28 nm -> 12 nm approximate scaling: 3.81x performance, 2.0x
+  energy savings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = [
+    "DeviceParams",
+    "ComponentPower",
+    "ChipConfig",
+    "ProcessScaling",
+    "CHIP_CONFIGS",
+    "DEFAULT_DEVICE",
+    "DEFAULT_POWER",
+    "DEFAULT_SCALING",
+    "MB",
+    "GB",
+]
+
+MB = 1 << 20
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class DeviceParams:
+    """Memristor device-level energy and timing (paper Table 4)."""
+
+    e_set_j: float = 23.8e-15
+    e_reset_j: float = 0.32e-15
+    e_nor_j: float = 0.29e-15
+    e_search_j: float = 5.34e-12
+    t_nor_s: float = 1.1e-9
+    t_search_s: float = 1.5e-9
+    #: row-buffer write-back time; Table 4 gives no separate number, we
+    #: assume symmetry with the 1.5 ns row read (documented in DESIGN.md).
+    t_row_write_s: float = 1.5e-9
+
+    @property
+    def t_row_read_s(self) -> float:
+        """Reading one row into the row buffer costs one search."""
+        return self.t_search_s
+
+
+@dataclass(frozen=True)
+class ComponentPower:
+    """Per-component static power in watts (paper Table 3, 2 GB chip)."""
+
+    crossbar_array_w: float = 6.14e-3
+    sense_amp_w: float = 2.38e-3
+    decoder_w: float = 0.31e-3
+    htree_switches_per_tile_w: float = 0.10713
+    bus_switch_w: float = 0.0172
+    central_controller_w: float = 6.41
+    cpu_host_w: float = 3.06
+    hbm_w: float = 36.91  # §7.1, from [34]
+
+    @property
+    def block_w(self) -> float:
+        """Active power of one memory block (8.83 mW in Table 3)."""
+        return self.crossbar_array_w + self.sense_amp_w + self.decoder_w
+
+    def tile_memory_w(self, blocks_per_tile: int = 256) -> float:
+        """Table 3's "Tile Memory" row counts the crossbar arrays (1.57 W)."""
+        return self.crossbar_array_w * blocks_per_tile
+
+    def tile_w(self, interconnect: str, blocks_per_tile: int = 256) -> float:
+        """Tile total: memory + switches (1.68 W H-tree / 1.59 W Bus)."""
+        switches = (
+            self.htree_switches_per_tile_w if interconnect == "htree" else self.bus_switch_w
+        )
+        return self.tile_memory_w(blocks_per_tile) + switches
+
+
+@dataclass(frozen=True)
+class ProcessScaling:
+    """§7.3: approximate 28 nm -> 12 nm scaling per [2, 50]."""
+
+    performance: float = 3.81
+    energy: float = 2.0
+    node_from: str = "28nm"
+    node_to: str = "12nm"
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """One Wave-PIM chip configuration (capacity column of Table 2).
+
+    A block is 1K x 1K bits = 128 KiB; a tile holds 256 blocks = 32 MiB;
+    the chip scales by tile count only ("we keep the crossbar array size as
+    1K*1K ... and only increase/decrease the number of tiles", §7.1).
+    """
+
+    name: str
+    capacity_bytes: int
+    block_rows: int = 1024
+    block_cols: int = 1024
+    blocks_per_tile: int = 256
+    interconnect: str = "htree"
+    clock_hz: float = 900e6
+    process_node: str = "28nm"
+    device: DeviceParams = field(default_factory=DeviceParams)
+    power: ComponentPower = field(default_factory=ComponentPower)
+
+    def __post_init__(self):
+        if self.interconnect not in ("htree", "bus"):
+            raise ValueError(f"interconnect must be 'htree' or 'bus', got {self.interconnect!r}")
+        if self.capacity_bytes % self.tile_bytes:
+            raise ValueError(
+                f"capacity {self.capacity_bytes} not a whole number of "
+                f"{self.tile_bytes}-byte tiles"
+            )
+
+    # -- geometry ------------------------------------------------------- #
+
+    @property
+    def block_bytes(self) -> int:
+        return self.block_rows * self.block_cols // 8
+
+    @property
+    def tile_bytes(self) -> int:
+        return self.block_bytes * self.blocks_per_tile
+
+    @property
+    def n_tiles(self) -> int:
+        return self.capacity_bytes // self.tile_bytes
+
+    @property
+    def n_blocks(self) -> int:
+        return self.n_tiles * self.blocks_per_tile
+
+    @property
+    def row_words(self) -> int:
+        """32-bit words per row (32 for the 1K row)."""
+        return self.block_cols // 32
+
+    @property
+    def max_parallel_ops(self) -> int:
+        """Paper §7.1: max parallelism = capacity / 1024 bits (16M at 2 GB)."""
+        return self.capacity_bytes * 8 // self.block_cols
+
+    def with_interconnect(self, kind: str) -> "ChipConfig":
+        return replace(self, interconnect=kind)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}({self.interconnect})"
+
+
+def _cfg(name: str, capacity: int) -> ChipConfig:
+    return ChipConfig(name=name, capacity_bytes=capacity)
+
+
+#: The four evaluated capacities (Table 2 / Table 5 columns).
+CHIP_CONFIGS: dict = {
+    "512MB": _cfg("512MB", 512 * MB),
+    "2GB": _cfg("2GB", 2 * GB),
+    "8GB": _cfg("8GB", 8 * GB),
+    "16GB": _cfg("16GB", 16 * GB),
+}
+
+DEFAULT_DEVICE = DeviceParams()
+DEFAULT_POWER = ComponentPower()
+DEFAULT_SCALING = ProcessScaling()

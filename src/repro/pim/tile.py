@@ -1,0 +1,62 @@
+"""A memory tile: 256 blocks plus their interconnect (paper Fig. 3).
+
+Blocks are materialized lazily — a functional simulation of a small
+problem touches only a handful of blocks, while the analytic timing path
+never allocates block storage at all.
+"""
+
+from __future__ import annotations
+
+from repro.interconnect import Bus, HTree, Interconnect
+from repro.pim.block import MemoryBlock
+from repro.pim.params import ChipConfig
+
+__all__ = ["Tile", "make_interconnect"]
+
+
+def make_interconnect(kind: str, n_blocks: int, fanout: int = 4) -> Interconnect:
+    """Build a tile interconnect of the configured kind."""
+    if kind == "htree":
+        return HTree(n_blocks=n_blocks, fanout=fanout)
+    if kind == "bus":
+        return Bus(n_blocks=n_blocks)
+    raise ValueError(f"unknown interconnect kind {kind!r}")
+
+
+class Tile:
+    """One memory tile of a Wave-PIM chip."""
+
+    def __init__(self, config: ChipConfig, tile_id: int = 0):
+        self.config = config
+        self.tile_id = tile_id
+        self.n_blocks = config.blocks_per_tile
+        self.interconnect = make_interconnect(config.interconnect, self.n_blocks)
+        self._blocks: dict = {}
+
+    def block(self, local_id: int) -> MemoryBlock:
+        """The block with tile-local id ``local_id`` (lazily created)."""
+        if not 0 <= local_id < self.n_blocks:
+            raise IndexError(f"block {local_id} outside tile of {self.n_blocks}")
+        blk = self._blocks.get(local_id)
+        if blk is None:
+            blk = MemoryBlock(
+                rows=self.config.block_rows,
+                row_words=self.config.row_words,
+                block_id=self.tile_id * self.n_blocks + local_id,
+            )
+            self._blocks[local_id] = blk
+        return blk
+
+    @property
+    def materialized_blocks(self) -> int:
+        return len(self._blocks)
+
+    def static_power_w(self) -> float:
+        """Tile static power (Table 3: 1.68 W H-tree / 1.59 W Bus)."""
+        return self.config.power.tile_w(self.config.interconnect, self.n_blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Tile(id={self.tile_id}, blocks={self.n_blocks}, "
+            f"interconnect={self.interconnect.name})"
+        )

@@ -1,0 +1,13 @@
+"""The paper's six benchmarks and their operation-count model (Table 6)."""
+
+from repro.workloads.benchmarks import BenchmarkSpec, BENCHMARKS, PAPER_TABLE6, benchmark_list
+from repro.workloads.opcount import OpCount, count_benchmark
+
+__all__ = [
+    "BenchmarkSpec",
+    "BENCHMARKS",
+    "PAPER_TABLE6",
+    "benchmark_list",
+    "OpCount",
+    "count_benchmark",
+]

@@ -1,0 +1,95 @@
+"""The six evaluation benchmarks (paper §7.2, Table 6).
+
+Three groups — acoustic, elastic with central flux, elastic with Riemann
+flux — each at refinement levels 4 (4,096 elements) and 5 (32,768
+elements), all with 512-node (order-7) elements and 32-bit floats.
+``PAPER_TABLE6`` holds the paper's measured per-launch instruction and
+FP-op counts (nvprof on a Tesla V100, fused implementation, each kernel
+launched once) for the reproduction comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BenchmarkSpec", "BENCHMARKS", "PAPER_TABLE6", "benchmark_list"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """One evaluation benchmark."""
+
+    key: str
+    physics: str  # "acoustic" | "elastic"
+    flux_kind: str  # "central" | "riemann"
+    refinement_level: int
+    order: int = 7
+
+    @property
+    def n_elements(self) -> int:
+        return (2**self.refinement_level) ** 3
+
+    @property
+    def n_nodes(self) -> int:
+        return (self.order + 1) ** 3
+
+    @property
+    def n_vars(self) -> int:
+        return 4 if self.physics == "acoustic" else 9
+
+    @property
+    def name(self) -> str:
+        if self.physics == "acoustic":
+            return f"Acoustic_{self.refinement_level}"
+        flux = "Central" if self.flux_kind == "central" else "Riemann"
+        return f"Elastic-{flux}_{self.refinement_level}"
+
+    @property
+    def state_bytes(self) -> int:
+        """One copy of the unknowns, fp32."""
+        return self.n_elements * self.n_nodes * self.n_vars * 4
+
+
+BENCHMARKS = {
+    "acoustic_4": BenchmarkSpec("acoustic_4", "acoustic", "riemann", 4),
+    "elastic_central_4": BenchmarkSpec("elastic_central_4", "elastic", "central", 4),
+    "elastic_riemann_4": BenchmarkSpec("elastic_riemann_4", "elastic", "riemann", 4),
+    "acoustic_5": BenchmarkSpec("acoustic_5", "acoustic", "riemann", 5),
+    "elastic_central_5": BenchmarkSpec("elastic_central_5", "elastic", "central", 5),
+    "elastic_riemann_5": BenchmarkSpec("elastic_riemann_5", "elastic", "riemann", 5),
+}
+
+
+def benchmark_list() -> list:
+    """The six benchmarks in the paper's presentation order."""
+    return [
+        BENCHMARKS[k]
+        for k in (
+            "acoustic_4",
+            "elastic_central_4",
+            "elastic_riemann_4",
+            "acoustic_5",
+            "elastic_central_5",
+            "elastic_riemann_5",
+        )
+    ]
+
+
+#: Table 6 as printed: per-launch (instructions, fp ops) on the fused V100
+#: implementation.
+PAPER_TABLE6 = {
+    "acoustic_4": {"elements": 4096, "instructions": 2_140_930_048, "fp_ops": 391_380_992},
+    "elastic_central_4": {"elements": 4096, "instructions": 3_465_543_680, "fp_ops": 990_117_888},
+    "elastic_riemann_4": {"elements": 4096, "instructions": 9_870_131_200, "fp_ops": 1_472_200_704},
+    "acoustic_5": {"elements": 32768, "instructions": 17_127_440_384, "fp_ops": 3_131_047_936},
+    "elastic_central_5": {
+        "elements": 32768,
+        "instructions": 27_724_349_440,
+        "fp_ops": 7_920_943_104,
+    },
+    "elastic_riemann_5": {
+        "elements": 32768,
+        "instructions": 78_960_159_424,
+        "fp_ops": 11_777_661_440,
+    },
+}

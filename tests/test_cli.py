@@ -1,0 +1,36 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_experiments_listing(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out and "fig14" in out
+
+    def test_plan(self, capsys):
+        assert main(["plan", "elastic", "5", "512MB"]) == 0
+        out = capsys.readouterr().out
+        assert "E_r&B" in out and "32" in out
+
+    def test_plan_unknown_chip(self):
+        with pytest.raises(SystemExit):
+            main(["plan", "acoustic", "4", "3GB"])  # argparse choices
+
+    def test_run_table5(self, capsys):
+        assert main(["run", "table5"]) == 0
+        assert "matches_paper" in capsys.readouterr().out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+
+    def test_run_with_order(self, capsys):
+        assert main(["run", "table6", "--order", "2"]) == 0
+        assert "Acoustic_4" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--level", "1", "--order", "2", "--steps", "5"]) == 0
+        assert "energy" in capsys.readouterr().out

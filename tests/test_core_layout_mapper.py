@@ -1,0 +1,161 @@
+"""Element layout (Fig. 5) and element-to-block mapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import ElementLayout, ScratchAllocator
+from repro.core.mapper import ElementMapper, morton3_decode, morton3_encode
+from repro.pim.params import CHIP_CONFIGS
+
+
+class TestScratchAllocator:
+    def test_alloc_sequence(self):
+        s = ScratchAllocator(10, 15)
+        assert s.alloc() == 10
+        assert s.alloc(2) == 11
+        assert s.in_use == 3
+
+    def test_exhaustion(self):
+        s = ScratchAllocator(10, 12)
+        s.alloc(2)
+        with pytest.raises(RuntimeError):
+            s.alloc()
+
+    def test_free_all(self):
+        s = ScratchAllocator(0, 4)
+        s.alloc(4)
+        s.free_all()
+        assert s.alloc() == 0
+
+
+class TestElementLayout:
+    def test_acoustic_fig5_columns(self):
+        """Fig. 5: mass inverse | variables | auxiliaries | contributions."""
+        lay = ElementLayout(7)
+        assert lay.n_nodes == 512
+        assert lay.col_mass == 0
+        assert lay.col_var == {"p": 1, "vx": 2, "vy": 3, "vz": 4}
+        assert lay.col_aux == {"p": 5, "vx": 6, "vy": 7, "vz": 8}
+        assert lay.col_contrib == {"p": 9, "vx": 10, "vy": 11, "vz": 12}
+        assert lay.storage0 == 512  # paper: upper half is storage space
+
+    def test_elastic_nine_vars_rejected(self):
+        """§5.1: 'The 1K memory block row size is not enough for the nine
+        variables in the elastic wave simulation' — the layout proves it."""
+        with pytest.raises(ValueError):
+            ElementLayout(7, variables=tuple(f"v{i}" for i in range(9)))
+
+    def test_order_too_big_rejected(self):
+        with pytest.raises(ValueError):
+            ElementLayout(8)  # 729 nodes > 512 compute rows
+
+    def test_single_variable_layout(self):
+        lay = ElementLayout(7, variables=("v",))
+        assert lay.col_var == {"v": 1}
+        assert lay.scratch0 < 10  # lots of scratch for the expanded form
+
+    def test_tap_row_map_x(self):
+        lay = ElementLayout(1)  # 8 nodes
+        # node (i,j,k), tap a along x -> node (a,j,k)
+        m = lay.tap_row_map(0, 1)
+        # nodes 0..7 = (i + 2j + 4k); tap 1 along x -> odd-index nodes
+        assert list(m) == [1, 1, 3, 3, 5, 5, 7, 7]
+
+    def test_tap_row_map_z(self):
+        lay = ElementLayout(1)
+        m = lay.tap_row_map(2, 0)
+        assert list(m) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=2))
+    @settings(max_examples=30, deadline=None)
+    def test_tap_row_map_in_range(self, order, axis):
+        lay = ElementLayout(order)
+        for tap in range(lay.npts):
+            m = lay.tap_row_map(axis, tap)
+            assert m.min() >= 0 and m.max() < lay.n_nodes
+            # the tap coordinate along the axis must equal `tap`
+            assert np.all(lay.axis_index(axis)[m] == tap)
+
+    def test_tap_out_of_range(self):
+        with pytest.raises(IndexError):
+            ElementLayout(2).tap_row_map(0, 3)
+
+    def test_dshape_row_map(self):
+        lay = ElementLayout(2)
+        m = lay.dshape_row_map(0)
+        assert np.all(m == lay.row_dshape0 + lay.axis_index(0))
+
+    def test_describe(self):
+        d = ElementLayout(2).describe()
+        assert d["n_nodes"] == 27 and "col_var" in d
+
+
+class TestMorton3:
+    @given(*(st.integers(min_value=0, max_value=63) for _ in range(3)))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, x, y, z):
+        assert morton3_decode(morton3_encode(x, y, z)) == (x, y, z)
+
+    def test_octant_locality(self):
+        codes = sorted(
+            morton3_encode(x, y, z) for x in (0, 1) for y in (0, 1) for z in (0, 1)
+        )
+        assert codes == list(range(8))
+
+
+class TestElementMapper:
+    def test_basic_placement(self):
+        m = ElementMapper(4, CHIP_CONFIGS["512MB"], 1)
+        assert m.n_elements == 64
+        blocks = sorted(m.block_of(e) for e in range(64))
+        assert blocks == list(range(64))  # a bijection onto 0..63
+
+    def test_group_placement(self):
+        m = ElementMapper(2, CHIP_CONFIGS["512MB"], 4)
+        for e in range(8):
+            ids = m.block_ids(int(m.elements[0]) if False else e)
+            assert len(ids) == 4
+            assert ids[0] % 4 == 0  # quad-aligned -> shares an S0 switch
+
+    def test_capacity_enforced(self):
+        with pytest.raises(ValueError):
+            ElementMapper(32, CHIP_CONFIGS["512MB"], 4)  # 32768*4 >> 4096
+
+    def test_batch_subset(self):
+        m = ElementMapper(4, CHIP_CONFIGS["512MB"], 1, elements=np.arange(16))
+        assert m.n_elements == 16
+        assert 20 not in m
+        with pytest.raises(KeyError):
+            m.rank(20)
+
+    def test_morton_neighbors_nearby(self):
+        """Face neighbors should usually map to nearby block ids."""
+        m = ElementMapper(8, CHIP_CONFIGS["512MB"], 1)
+        from repro.dg.mesh import HexMesh
+
+        mesh = HexMesh(m=8)
+        dists = []
+        for e in range(mesh.n_elements):
+            for f in range(6):
+                nbr = int(mesh.neighbors[e, f])
+                dists.append(abs(m.block_of(e) - m.block_of(nbr)))
+        # median neighbor distance stays small thanks to Morton ordering
+        assert np.median(dists) <= 8
+
+    def test_utilization(self):
+        m = ElementMapper(4, CHIP_CONFIGS["512MB"], 1)
+        assert m.utilization == pytest.approx(64 / 4096)
+
+    def test_elements_in_tile(self):
+        m = ElementMapper(8, CHIP_CONFIGS["512MB"], 1)
+        tile0 = m.elements_in_tile(0)
+        assert len(tile0) == 256
+        for e in tile0:
+            assert m.tile_of(int(e)) == 0
+
+    def test_part_bounds(self):
+        m = ElementMapper(2, CHIP_CONFIGS["512MB"], 4)
+        with pytest.raises(IndexError):
+            m.block_of(0, 4)

@@ -1,0 +1,159 @@
+"""Materials and interface flux solvers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dg.flux import (
+    acoustic_central,
+    acoustic_riemann,
+    elastic_central,
+    elastic_riemann,
+)
+from repro.dg.materials import (
+    AcousticMaterial,
+    ElasticMaterial,
+    layered_acoustic,
+    layered_elastic,
+)
+from repro.dg.mesh import HexMesh
+
+pos = st.floats(min_value=0.1, max_value=10.0, allow_nan=False)
+val = st.floats(min_value=-5.0, max_value=5.0, allow_nan=False)
+
+
+class TestAcousticMaterial:
+    def test_homogeneous(self):
+        m = AcousticMaterial.homogeneous(8, kappa=4.0, rho=1.0)
+        assert m.n_elements == 8
+        assert np.allclose(m.c, 2.0)
+        assert np.allclose(m.impedance, 2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            AcousticMaterial.homogeneous(4, kappa=-1.0)
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            AcousticMaterial(kappa=np.ones(3), rho=np.ones(3)).__class__(
+                kappa=np.ones((3, 1)), rho=np.ones(3)
+            )
+
+    def test_host_precomputed_keys(self):
+        m = AcousticMaterial.homogeneous(2)
+        pre = m.host_precomputed()
+        assert set(pre) >= {"c", "impedance", "inv_rho"}
+
+    def test_layered(self):
+        mesh = HexMesh(m=2, extent=1.0)
+        mat = layered_acoustic(mesh, [0.5], kappas=[1.0, 4.0], rhos=[1.0, 1.0])
+        # bottom layer (z<0.5) has c=1, top has c=2
+        for e in range(mesh.n_elements):
+            z = mesh.element_center(e)[2]
+            assert mat.c[e] == pytest.approx(1.0 if z < 0.5 else 2.0)
+
+    def test_layered_wrong_lengths(self):
+        mesh = HexMesh(m=2)
+        with pytest.raises(ValueError):
+            layered_acoustic(mesh, [0.5], kappas=[1.0], rhos=[1.0])
+
+
+class TestElasticMaterial:
+    def test_speeds(self):
+        m = ElasticMaterial.homogeneous(4, lam=2.0, mu=1.0, rho=1.0)
+        assert np.allclose(m.cp, 2.0)
+        assert np.allclose(m.cs, 1.0)
+        assert np.allclose(m.zp, 2.0)
+        assert np.allclose(m.zs, 1.0)
+
+    def test_fluid_limit(self):
+        m = ElasticMaterial.homogeneous(4, lam=1.0, mu=0.0, rho=1.0)
+        assert np.allclose(m.cs, 0.0)
+        assert m.max_speed == pytest.approx(1.0)
+
+    def test_negative_mu_rejected(self):
+        with pytest.raises(ValueError):
+            ElasticMaterial.homogeneous(4, mu=-0.1)
+
+    def test_layered(self):
+        mesh = HexMesh(m=2)
+        mat = layered_elastic(mesh, [0.5], lams=[1, 2], mus=[1, 2], rhos=[1, 1])
+        assert len(np.unique(mat.lam)) == 2
+
+
+class TestAcousticFlux:
+    def test_central_is_average(self):
+        p, vn = acoustic_central(1.0, 3.0, -1.0, 5.0)
+        assert p == 2.0 and vn == 2.0
+
+    def test_riemann_consistency(self):
+        """Equal states -> star state equals that state (consistency)."""
+        p, vn = acoustic_riemann(2.0, 2.0, 0.5, 0.5, 1.5, 1.5)
+        assert p == pytest.approx(2.0)
+        assert vn == pytest.approx(0.5)
+
+    def test_riemann_matches_central_for_equal_impedance_symmetric_jump(self):
+        """With Z-=Z+ the star mean terms match the central average."""
+        z = 2.0
+        p_s, vn_s = acoustic_riemann(1.0, 3.0, 0.0, 0.0, z, z)
+        assert p_s == pytest.approx(2.0)  # average
+        assert vn_s == pytest.approx((1.0 - 3.0) / (2 * z))  # upwind term
+
+    @given(val, val, val, val, pos, pos)
+    @settings(max_examples=100, deadline=None)
+    def test_riemann_characteristics_preserved(self, pm, pp, vm, vp, zm, zp):
+        """w+ = p + Z- vn is preserved from the left; w- from the right."""
+        p_s, vn_s = acoustic_riemann(pm, pp, vm, vp, zm, zp)
+        assert p_s + zm * vn_s == pytest.approx(pm + zm * vm, abs=1e-8, rel=1e-8)
+        assert p_s - zp * vn_s == pytest.approx(pp - zp * vp, abs=1e-8, rel=1e-8)
+
+
+class TestElasticFlux:
+    def _states(self, seed=0):
+        rng = np.random.default_rng(seed)
+        t_m, t_p = rng.standard_normal((2, 3, 4))
+        v_m, v_p = rng.standard_normal((2, 3, 4))
+        return t_m, t_p, v_m, v_p
+
+    def test_central(self):
+        t_m, t_p, v_m, v_p = self._states()
+        t_s, v_s = elastic_central(t_m, t_p, v_m, v_p)
+        assert np.allclose(t_s, 0.5 * (t_m + t_p))
+        assert np.allclose(v_s, 0.5 * (v_m + v_p))
+
+    def test_riemann_consistency(self):
+        t_m, _, v_m, _ = self._states()
+        n = np.array([1.0, 0.0, 0.0])
+        t_s, v_s = elastic_riemann(t_m, t_m, v_m, v_m, n, 2.0, 2.0, 1.0, 1.0)
+        assert np.allclose(t_s, t_m, atol=1e-12)
+        assert np.allclose(v_s, v_m, atol=1e-12)
+
+    def test_riemann_normal_characteristics(self):
+        t_m, t_p, v_m, v_p = self._states(3)
+        n = np.array([0.0, 1.0, 0.0])
+        zp_m, zp_p = 2.0, 3.0
+        t_s, v_s = elastic_riemann(t_m, t_p, v_m, v_p, n, zp_m, zp_p, 1.0, 1.5)
+        tn_s = np.sum(t_s * n[:, None], axis=0)
+        vn_s = np.sum(v_s * n[:, None], axis=0)
+        tn_m = np.sum(t_m * n[:, None], axis=0)
+        vn_m = np.sum(v_m * n[:, None], axis=0)
+        tn_p = np.sum(t_p * n[:, None], axis=0)
+        vn_p = np.sum(v_p * n[:, None], axis=0)
+        # with p = -tn: p + Z vn preserved from the minus side
+        assert np.allclose(-tn_s + zp_m * vn_s, -tn_m + zp_m * vn_m, atol=1e-10)
+        assert np.allclose(-tn_s - zp_p * vn_s, -tn_p - zp_p * vn_p, atol=1e-10)
+
+    def test_fluid_fluid_no_shear(self):
+        t_m, t_p, v_m, v_p = self._states(7)
+        n = np.array([1.0, 0.0, 0.0])
+        t_s, v_s = elastic_riemann(t_m, t_p, v_m, v_p, n, 2.0, 2.0, 0.0, 0.0)
+        # tangential traction must vanish
+        tt = t_s - np.sum(t_s * n[:, None], axis=0) * n[:, None]
+        assert np.allclose(tt, 0.0, atol=1e-12)
+
+    def test_broadcast_normal_shapes(self):
+        t_m, t_p, v_m, v_p = self._states(9)
+        n = np.array([0.0, 0.0, 1.0])
+        t_s, v_s = elastic_riemann(t_m, t_p, v_m, v_p, n, 1.0, 2.0, 0.5, 0.7)
+        assert t_s.shape == (3, 4) and v_s.shape == (3, 4)

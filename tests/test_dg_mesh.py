@@ -1,0 +1,132 @@
+"""HexMesh: refinement levels, neighbor tables, slices, boundaries."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dg.mesh import BoundaryKind, HexMesh
+from repro.dg.reference_element import ReferenceElement, opposite_face
+
+
+class TestConstruction:
+    def test_refinement_level_counts(self):
+        for level in range(4):
+            m = HexMesh.from_refinement_level(level)
+            assert m.n_elements == (2**level) ** 3
+
+    def test_paper_levels(self):
+        assert HexMesh.from_refinement_level(4).n_elements == 4096
+        assert HexMesh.from_refinement_level(5).n_elements == 32768
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            HexMesh(m=0)
+
+    def test_rejects_negative_level(self):
+        with pytest.raises(ValueError):
+            HexMesh.from_refinement_level(-1)
+
+    def test_rejects_bad_boundary(self):
+        with pytest.raises(ValueError):
+            HexMesh(m=2, boundary="weird")
+
+    def test_h(self):
+        m = HexMesh(m=4, extent=2.0)
+        assert m.h == pytest.approx(0.5)
+
+
+class TestIndexing:
+    def test_roundtrip(self):
+        m = HexMesh(m=3)
+        for e in range(m.n_elements):
+            assert m.element_id(*m.element_index(e)) == e
+
+    def test_out_of_range(self):
+        m = HexMesh(m=2)
+        with pytest.raises(IndexError):
+            m.element_id(2, 0, 0)
+        with pytest.raises(IndexError):
+            m.element_index(8)
+
+    def test_center_and_origin(self):
+        m = HexMesh(m=2, extent=2.0)
+        assert np.allclose(m.element_origin(0), [0, 0, 0])
+        assert np.allclose(m.element_center(0), [0.5, 0.5, 0.5])
+        e = m.element_id(1, 1, 1)
+        assert np.allclose(m.element_center(e), [1.5, 1.5, 1.5])
+
+    def test_node_coordinates_cover_domain(self):
+        m = HexMesh(m=2, extent=1.0)
+        el = ReferenceElement(2)
+        xyz = m.node_coordinates(el.node_coords)
+        assert xyz.shape == (8, 27, 3)
+        assert xyz.min() == pytest.approx(0.0)
+        assert xyz.max() == pytest.approx(1.0)
+
+
+class TestNeighbors:
+    def test_periodic_symmetry(self):
+        """e's neighbor across f sees e back across the opposite face."""
+        m = HexMesh(m=4)
+        for e in range(m.n_elements):
+            for f in range(6):
+                nbr = m.neighbors[e, f]
+                assert m.neighbors[nbr, opposite_face(f)] == e
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=5, deadline=None)
+    def test_periodic_every_face_paired(self, mm):
+        m = HexMesh(m=mm)
+        assert np.all(m.neighbors >= 0)
+
+    def test_nonperiodic_boundaries(self):
+        m = HexMesh(m=2, boundary=BoundaryKind.FREE_SURFACE)
+        # corner element 0 has three boundary faces (-x, -y, -z)
+        assert m.neighbors[0, 0] == -1
+        assert m.neighbors[0, 2] == -1
+        assert m.neighbors[0, 4] == -1
+        assert m.neighbors[0, 1] == 1
+
+    def test_boundary_count(self):
+        m = HexMesh(m=3, boundary=BoundaryKind.ABSORBING)
+        n_boundary = int(np.sum(m.neighbors < 0))
+        assert n_boundary == 6 * 3 * 3  # 6 faces x m^2 each
+
+    def test_periodic_wrap(self):
+        m = HexMesh(m=4)
+        e = m.element_id(0, 2, 2)
+        assert m.neighbors[e, 0] == m.element_id(3, 2, 2)
+
+    def test_interfaces_unique_and_complete(self):
+        m = HexMesh(m=2)
+        inter = m.interfaces()
+        # periodic m^3 mesh: 3 axes x m^3 interfaces
+        assert len(inter) == 3 * m.n_elements
+        seen = set()
+        for e, f, nbr in inter:
+            key = (int(e), int(f))
+            assert key not in seen
+            seen.add(key)
+
+
+class TestSlices:
+    def test_slice_sizes(self):
+        m = HexMesh(m=4)
+        for axis in range(3):
+            for s in range(4):
+                assert len(m.slice_elements(s, axis)) == 16
+
+    def test_slices_partition(self):
+        m = HexMesh(m=3)
+        all_ids = np.sort(np.concatenate([m.slice_elements(s, 1) for s in range(3)]))
+        assert np.array_equal(all_ids, np.arange(m.n_elements))
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(IndexError):
+            HexMesh(m=2).slice_elements(2)
+
+    def test_y_slice_is_constant_iy(self):
+        m = HexMesh(m=4)
+        for e in m.slice_elements(2, axis=1):
+            assert m.element_index(int(e))[1] == 2

@@ -1,0 +1,244 @@
+"""Acoustic and elastic dG operators: analytic RHS checks, energy behavior."""
+
+import numpy as np
+import pytest
+
+from repro.dg import (
+    AcousticMaterial,
+    AcousticOperator,
+    ElasticMaterial,
+    ElasticOperator,
+    HexMesh,
+    ReferenceElement,
+)
+from repro.dg.analytic import (
+    acoustic_plane_wave,
+    elastic_plane_p_wave,
+    elastic_plane_s_wave,
+)
+from repro.dg.mesh import BoundaryKind
+
+
+@pytest.fixture(scope="module")
+def setup_acoustic():
+    mesh = HexMesh.from_refinement_level(1)
+    elem = ReferenceElement(3)
+    mat = AcousticMaterial.homogeneous(mesh.n_elements, kappa=2.0, rho=0.5)
+    return mesh, elem, mat
+
+
+@pytest.fixture(scope="module")
+def setup_elastic():
+    mesh = HexMesh.from_refinement_level(1)
+    elem = ReferenceElement(3)
+    mat = ElasticMaterial.homogeneous(mesh.n_elements, lam=2.0, mu=1.0, rho=1.0)
+    return mesh, elem, mat
+
+
+class TestAcousticOperator:
+    def test_rejects_bad_flux(self, setup_acoustic):
+        mesh, elem, mat = setup_acoustic
+        with pytest.raises(ValueError):
+            AcousticOperator(mesh, mat, elem, flux="fancy")
+
+    def test_rejects_material_mismatch(self, setup_acoustic):
+        mesh, elem, _ = setup_acoustic
+        with pytest.raises(ValueError):
+            AcousticOperator(mesh, AcousticMaterial.homogeneous(5), elem)
+
+    def test_zero_state_shape(self, setup_acoustic):
+        mesh, elem, mat = setup_acoustic
+        op = AcousticOperator(mesh, mat, elem)
+        assert op.zero_state().shape == (4, mesh.n_elements, elem.n_nodes)
+
+    def test_rhs_zero_on_constants(self, setup_acoustic):
+        """Constant pressure and zero velocity is a steady state."""
+        mesh, elem, mat = setup_acoustic
+        for flux in ("central", "riemann"):
+            op = AcousticOperator(mesh, mat, elem, flux=flux)
+            state = op.zero_state()
+            state[0] = 3.0
+            state[1:] = 0.0
+            assert np.max(np.abs(op.rhs(state))) < 1e-12
+
+    def test_rhs_matches_plane_wave_time_derivative(self, setup_acoustic):
+        """rhs(q) must equal dq/dt of the analytic plane wave (order 5)."""
+        mesh, _, mat = setup_acoustic
+        elem = ReferenceElement(5)
+        op = AcousticOperator(mesh, mat, elem, flux="central")
+        eps = 1e-6
+        q0 = acoustic_plane_wave(mesh, elem, mat, (1, 0, 0), t=0.3)
+        q1 = acoustic_plane_wave(mesh, elem, mat, (1, 0, 0), t=0.3 + eps)
+        dqdt_fd = (q1 - q0) / eps
+        rhs = op.rhs(q0)
+        err = np.max(np.abs(rhs - dqdt_fd)) / np.max(np.abs(dqdt_fd))
+        assert err < 2e-2
+
+    def test_rhs_spectral_convergence_with_order(self, setup_acoustic):
+        """The RHS error against the analytic time derivative collapses as
+        the element order grows (spectral accuracy)."""
+        mesh, _, mat = setup_acoustic
+        errs = []
+        for order in (2, 4, 6):
+            elem = ReferenceElement(order)
+            op = AcousticOperator(mesh, mat, elem, flux="central")
+            eps = 1e-6
+            q0 = acoustic_plane_wave(mesh, elem, mat, (1, 0, 0), t=0.3)
+            q1 = acoustic_plane_wave(mesh, elem, mat, (1, 0, 0), t=0.3 + eps)
+            rhs = op.rhs(q0)
+            errs.append(np.max(np.abs(rhs - (q1 - q0) / eps)))
+        assert errs[0] > 10 * errs[1] > 100 * errs[2]
+
+    def test_flux_vanishes_on_smooth_continuous_field(self, setup_acoustic):
+        """Plane wave is continuous across faces -> flux corrections ~ 0
+        for the central flux (jump terms vanish)."""
+        mesh, elem, mat = setup_acoustic
+        op = AcousticOperator(mesh, mat, elem, flux="central")
+        q = acoustic_plane_wave(mesh, elem, mat, (1, 1, 0))
+        corr = op.flux_rhs(q)
+        assert np.max(np.abs(corr)) < 1e-8
+
+    def test_energy_positive(self, setup_acoustic):
+        mesh, elem, mat = setup_acoustic
+        op = AcousticOperator(mesh, mat, elem)
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal((4, mesh.n_elements, elem.n_nodes))
+        assert op.energy(q) > 0
+
+    def test_central_semidiscrete_energy_conservation(self, setup_acoustic):
+        """d/dt E = <q, rhs>_M = 0 for the central flux (skew-symmetry)."""
+        mesh, elem, mat = setup_acoustic
+        op = AcousticOperator(mesh, mat, elem, flux="central")
+        rng = np.random.default_rng(1)
+        q = rng.standard_normal((4, mesh.n_elements, elem.n_nodes))
+        r = op.rhs(q)
+        jac = (mesh.h / 2.0) ** 3
+        # dE/dt = sum over vars of <dE/dq_i, rhs_i>
+        de = (
+            np.sum(elem.integrate(q[0] * r[0] / mat.kappa[:, None]))
+            + np.sum(
+                elem.integrate(
+                    mat.rho[:, None] * (q[1] * r[1] + q[2] * r[2] + q[3] * r[3])
+                )
+            )
+        ) * jac
+        scale = abs(op.energy(q)) + 1.0
+        assert abs(de) / scale < 1e-10
+
+    def test_riemann_semidiscrete_energy_dissipation(self, setup_acoustic):
+        mesh, elem, mat = setup_acoustic
+        op = AcousticOperator(mesh, mat, elem, flux="riemann")
+        rng = np.random.default_rng(2)
+        q = rng.standard_normal((4, mesh.n_elements, elem.n_nodes))
+        r = op.rhs(q)
+        jac = (mesh.h / 2.0) ** 3
+        de = (
+            np.sum(elem.integrate(q[0] * r[0] / mat.kappa[:, None]))
+            + np.sum(
+                elem.integrate(
+                    mat.rho[:, None] * (q[1] * r[1] + q[2] * r[2] + q[3] * r[3])
+                )
+            )
+        ) * jac
+        assert de < 0  # strictly dissipative on rough data
+
+
+class TestAcousticBoundaries:
+    @pytest.mark.parametrize(
+        "kind", [BoundaryKind.FREE_SURFACE, BoundaryKind.RIGID, BoundaryKind.ABSORBING]
+    )
+    def test_rhs_finite(self, kind):
+        mesh = HexMesh.from_refinement_level(1, boundary=kind)
+        elem = ReferenceElement(2)
+        mat = AcousticMaterial.homogeneous(mesh.n_elements)
+        op = AcousticOperator(mesh, mat, elem, flux="riemann")
+        rng = np.random.default_rng(0)
+        q = rng.standard_normal((4, mesh.n_elements, elem.n_nodes))
+        assert np.all(np.isfinite(op.rhs(q)))
+
+    def test_absorbing_dissipates(self):
+        mesh = HexMesh.from_refinement_level(1, boundary=BoundaryKind.ABSORBING)
+        elem = ReferenceElement(2)
+        mat = AcousticMaterial.homogeneous(mesh.n_elements)
+        op = AcousticOperator(mesh, mat, elem, flux="riemann")
+        rng = np.random.default_rng(3)
+        q = rng.standard_normal((4, mesh.n_elements, elem.n_nodes))
+        r = op.rhs(q)
+        jac = (mesh.h / 2.0) ** 3
+        de = (
+            np.sum(elem.integrate(q[0] * r[0] / mat.kappa[:, None]))
+            + np.sum(elem.integrate(mat.rho[:, None] * np.sum(q[1:4] * r[1:4], axis=0)))
+        ) * jac
+        assert de < 0
+
+
+class TestElasticOperator:
+    def test_zero_state_shape(self, setup_elastic):
+        mesh, elem, mat = setup_elastic
+        op = ElasticOperator(mesh, mat, elem)
+        assert op.zero_state().shape == (9, mesh.n_elements, elem.n_nodes)
+
+    def test_rhs_zero_on_equilibrium(self, setup_elastic):
+        """Uniform hydrostatic stress, zero velocity: steady state."""
+        mesh, elem, mat = setup_elastic
+        for flux in ("central", "riemann"):
+            op = ElasticOperator(mesh, mat, elem, flux=flux)
+            q = op.zero_state()
+            q[0] = q[1] = q[2] = -2.0  # isotropic stress
+            assert np.max(np.abs(op.rhs(q))) < 1e-12
+
+    @pytest.mark.parametrize("wave,k", [("p", (1, 0, 0)), ("s", (0, 1, 0))])
+    def test_rhs_matches_analytic_time_derivative(self, setup_elastic, wave, k):
+        mesh, elem, mat = setup_elastic
+        op = ElasticOperator(mesh, mat, elem, flux="central")
+        elem = ReferenceElement(5)
+        op = ElasticOperator(mesh, mat, elem, flux="central")
+        fn = elastic_plane_p_wave if wave == "p" else elastic_plane_s_wave
+        kw = {} if wave == "p" else {"polarization": (0, 0, 1)}
+        eps = 1e-6
+        q0 = fn(mesh, elem, mat, k, t=0.1, **kw)
+        q1 = fn(mesh, elem, mat, k, t=0.1 + eps, **kw)
+        dqdt = (q1 - q0) / eps
+        rhs = op.rhs(q0)
+        err = np.max(np.abs(rhs - dqdt)) / np.max(np.abs(dqdt))
+        assert err < 3e-2
+
+    def test_central_energy_conservation_semidiscrete(self, setup_elastic):
+        mesh, elem, mat = setup_elastic
+        op = ElasticOperator(mesh, mat, elem, flux="central")
+        rng = np.random.default_rng(5)
+        q = rng.standard_normal((9, mesh.n_elements, elem.n_nodes))
+        e0 = op.energy(q)
+        dt = 1e-5
+        q1 = q + dt * op.rhs(q)  # forward Euler probe
+        e1 = op.energy(q1)
+        # energy change should be O(dt^2) for a conservative semidiscretization
+        assert abs(e1 - e0) / e0 < 1e-7
+
+    def test_riemann_dissipates(self, setup_elastic):
+        mesh, elem, mat = setup_elastic
+        op = ElasticOperator(mesh, mat, elem, flux="riemann")
+        rng = np.random.default_rng(6)
+        q = rng.standard_normal((9, mesh.n_elements, elem.n_nodes))
+        e0 = op.energy(q)
+        dt = 1e-4
+        q1 = q + dt * op.rhs(q)
+        assert op.energy(q1) < e0
+
+    def test_traction_computation(self, setup_elastic):
+        mesh, elem, mat = setup_elastic
+        q = np.zeros((9, 1, 4))
+        q[0] = 2.0  # sxx
+        q[5] = 1.0  # sxy
+        t = ElasticOperator.traction(q, np.array([1.0, 0.0, 0.0]))
+        assert np.allclose(t[0], 2.0)
+        assert np.allclose(t[1], 1.0)
+        assert np.allclose(t[2], 0.0)
+
+    def test_energy_positive_definite(self, setup_elastic):
+        mesh, elem, mat = setup_elastic
+        op = ElasticOperator(mesh, mat, elem)
+        rng = np.random.default_rng(8)
+        for _ in range(5):
+            q = rng.standard_normal((9, mesh.n_elements, elem.n_nodes))
+            assert op.energy(q) > 0

@@ -1,0 +1,139 @@
+"""GLL quadrature: nodes, weights, exactness, Lagrange interpolation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dg.quadrature import (
+    gauss_points_weights,
+    gll_points_weights,
+    lagrange_basis_at,
+    legendre_poly_and_deriv,
+)
+
+
+class TestLegendre:
+    def test_p0_p1(self):
+        x = np.linspace(-1, 1, 7)
+        p, dp = legendre_poly_and_deriv(0, x)
+        assert np.allclose(p, 1.0) and np.allclose(dp, 0.0)
+        p, dp = legendre_poly_and_deriv(1, x)
+        assert np.allclose(p, x) and np.allclose(dp, 1.0)
+
+    def test_p2_closed_form(self):
+        x = np.linspace(-0.9, 0.9, 5)
+        p, dp = legendre_poly_and_deriv(2, x)
+        assert np.allclose(p, 0.5 * (3 * x**2 - 1))
+        assert np.allclose(dp, 3 * x)
+
+    def test_endpoint_values(self):
+        for n in range(1, 9):
+            p, dp = legendre_poly_and_deriv(n, np.array([1.0, -1.0]))
+            assert p[0] == pytest.approx(1.0)
+            assert p[1] == pytest.approx((-1.0) ** n)
+            assert dp[0] == pytest.approx(n * (n + 1) / 2)
+
+    def test_orthogonality(self):
+        x, w = gauss_points_weights(20)
+        for m in range(5):
+            for n in range(5):
+                pm, _ = legendre_poly_and_deriv(m, x)
+                pn, _ = legendre_poly_and_deriv(n, x)
+                integral = np.sum(w * pm * pn)
+                expected = 2.0 / (2 * n + 1) if m == n else 0.0
+                assert integral == pytest.approx(expected, abs=1e-12)
+
+
+class TestGll:
+    def test_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            gll_points_weights(0)
+
+    def test_order_one(self):
+        x, w = gll_points_weights(1)
+        assert np.allclose(x, [-1, 1]) and np.allclose(w, [1, 1])
+
+    def test_order_two_known(self):
+        x, w = gll_points_weights(2)
+        assert np.allclose(x, [-1, 0, 1])
+        assert np.allclose(w, [1 / 3, 4 / 3, 1 / 3])
+
+    def test_order_three_known(self):
+        x, w = gll_points_weights(3)
+        assert np.allclose(x, [-1, -np.sqrt(1 / 5), np.sqrt(1 / 5), 1])
+        assert np.allclose(w, [1 / 6, 5 / 6, 5 / 6, 1 / 6])
+
+    @pytest.mark.parametrize("order", range(1, 12))
+    def test_weights_sum_to_two(self, order):
+        _, w = gll_points_weights(order)
+        assert np.sum(w) == pytest.approx(2.0, rel=1e-13)
+
+    @pytest.mark.parametrize("order", range(1, 12))
+    def test_symmetry(self, order):
+        x, w = gll_points_weights(order)
+        assert np.allclose(x, -x[::-1])
+        assert np.allclose(w, w[::-1])
+
+    @pytest.mark.parametrize("order", range(2, 10))
+    def test_nodes_sorted_and_include_endpoints(self, order):
+        x, _ = gll_points_weights(order)
+        assert x[0] == -1.0 and x[-1] == 1.0
+        assert np.all(np.diff(x) > 0)
+
+    @pytest.mark.parametrize("order", range(1, 10))
+    def test_exactness_degree(self, order):
+        """GLL with N+1 points integrates degree 2N-1 exactly."""
+        x, w = gll_points_weights(order)
+        for deg in range(2 * order):
+            exact = 2.0 / (deg + 1) if deg % 2 == 0 else 0.0
+            assert np.sum(w * x**deg) == pytest.approx(exact, abs=1e-11), deg
+
+    def test_not_exact_beyond_guarantee(self):
+        """Degree 2N is generally NOT integrated exactly (x^{2N} term)."""
+        order = 4
+        x, w = gll_points_weights(order)
+        deg = 2 * order
+        exact = 2.0 / (deg + 1)
+        assert abs(np.sum(w * x**deg) - exact) > 1e-6
+
+    @given(st.integers(min_value=1, max_value=15))
+    @settings(max_examples=15, deadline=None)
+    def test_interior_points_are_dp_roots(self, order):
+        x, _ = gll_points_weights(order)
+        if order >= 2:
+            _, dp = legendre_poly_and_deriv(order, x[1:-1])
+            assert np.max(np.abs(dp)) < 1e-9
+
+
+class TestGauss:
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            gauss_points_weights(0)
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 10])
+    def test_exactness(self, n):
+        x, w = gauss_points_weights(n)
+        for deg in range(2 * n):
+            exact = 2.0 / (deg + 1) if deg % 2 == 0 else 0.0
+            assert np.sum(w * x**deg) == pytest.approx(exact, abs=1e-12)
+
+
+class TestLagrange:
+    def test_cardinal_property(self):
+        nodes, _ = gll_points_weights(4)
+        b = lagrange_basis_at(nodes, nodes)
+        assert np.allclose(b, np.eye(len(nodes)), atol=1e-12)
+
+    def test_partition_of_unity(self):
+        nodes, _ = gll_points_weights(5)
+        x = np.linspace(-1, 1, 33)
+        b = lagrange_basis_at(nodes, x)
+        assert np.allclose(b.sum(axis=1), 1.0, atol=1e-10)
+
+    def test_reproduces_polynomials(self):
+        nodes, _ = gll_points_weights(4)
+        x = np.linspace(-1, 1, 17)
+        f = lambda t: 3 * t**4 - 2 * t**2 + t - 0.5  # noqa: E731
+        b = lagrange_basis_at(nodes, x)
+        assert np.allclose(b @ f(nodes), f(x), atol=1e-11)

@@ -1,0 +1,131 @@
+"""Reference element: differentiation, faces, integration, node maps."""
+
+import numpy as np
+import pytest
+
+from repro.dg.reference_element import (
+    FACE_AXIS,
+    FACE_NORMALS,
+    FACE_SIDE,
+    ReferenceElement,
+    opposite_face,
+)
+
+
+@pytest.fixture(scope="module")
+def e3():
+    return ReferenceElement(3)
+
+
+class TestConstruction:
+    def test_rejects_order_zero(self):
+        with pytest.raises(ValueError):
+            ReferenceElement(0)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 7])
+    def test_counts(self, order):
+        e = ReferenceElement(order)
+        assert e.npts == order + 1
+        assert e.n_nodes == (order + 1) ** 3
+        assert e.face_nodes.shape == (6, (order + 1) ** 2)
+
+    def test_order7_is_paper_element(self):
+        assert ReferenceElement(7).n_nodes == 512
+
+    def test_node_weights_sum(self, e3):
+        """Tensor weights integrate the unit reference volume (= 8)."""
+        assert np.sum(e3.node_weights) == pytest.approx(8.0)
+
+    def test_node_coords_flat_order(self, e3):
+        p = e3.npts
+        # node n = i + p j + p^2 k
+        for n in (0, 1, p, p * p, e3.n_nodes - 1):
+            i, j, k = n % p, (n // p) % p, n // (p * p)
+            expect = [e3.nodes_1d[i], e3.nodes_1d[j], e3.nodes_1d[k]]
+            assert np.allclose(e3.node_coords[n], expect)
+
+
+class TestDifferentiation:
+    def test_rows_sum_to_zero(self, e3):
+        assert np.allclose(e3.diff_1d.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_exact_on_monomials_1d(self, e3):
+        x = e3.nodes_1d
+        for deg in range(e3.order + 1):
+            d = e3.diff_1d @ (x**deg)
+            expect = deg * x ** max(deg - 1, 0) if deg else np.zeros_like(x)
+            assert np.allclose(d, expect, atol=1e-10)
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_deriv_exact_on_polynomials(self, e3, axis):
+        x, y, z = (e3.node_coords[:, i] for i in range(3))
+        f = x**2 * y + y * z**2 + x * y * z
+        grads = {0: 2 * x * y + y * z, 1: x**2 + z**2 + x * z, 2: 2 * y * z + x * y}
+        got = e3.deriv(f[None, :], axis)[0]
+        assert np.allclose(got, grads[axis], atol=1e-10)
+
+    def test_deriv_invalid_axis(self, e3):
+        with pytest.raises(ValueError):
+            e3.deriv(np.zeros((1, e3.n_nodes)), 3)
+
+    def test_grad_stacks_derivs(self, e3, ):
+        rng = np.random.default_rng(0)
+        f = rng.standard_normal((2, e3.n_nodes))
+        g = e3.grad(f)
+        assert g.shape == (3, 2, e3.n_nodes)
+        for a in range(3):
+            assert np.allclose(g[a], e3.deriv(f, a))
+
+    def test_div_of_gradient_symmetric(self, e3):
+        """div(grad f) equals the trace of the Hessian operator applied."""
+        x, y, z = (e3.node_coords[:, i] for i in range(3))
+        f = (x**2 + y**2 + z**2)[None, :]
+        lap = e3.div(e3.deriv(f, 0), e3.deriv(f, 1), e3.deriv(f, 2))
+        assert np.allclose(lap, 6.0, atol=1e-9)
+
+    def test_integrate_constant(self, e3):
+        assert e3.integrate(np.ones(e3.n_nodes)) == pytest.approx(8.0)
+
+    def test_integrate_polynomial(self, e3):
+        x = e3.node_coords[:, 0]
+        # integral of x^2 over [-1,1]^3 = (2/3)*2*2
+        assert e3.integrate(x**2) == pytest.approx(8.0 / 3.0)
+
+
+class TestFaces:
+    def test_opposite_face_involution(self):
+        for f in range(6):
+            assert opposite_face(opposite_face(f)) == f
+            assert FACE_AXIS[f] == FACE_AXIS[opposite_face(f)]
+            assert FACE_SIDE[f] != FACE_SIDE[opposite_face(f)]
+
+    def test_normals_unit(self):
+        assert np.allclose(np.linalg.norm(FACE_NORMALS, axis=1), 1.0)
+
+    @pytest.mark.parametrize("face", range(6))
+    def test_face_nodes_on_face(self, e3, face):
+        axis = FACE_AXIS[face]
+        value = -1.0 if FACE_SIDE[face] == 0 else 1.0
+        coords = e3.node_coords[e3.face_nodes[face]]
+        assert np.allclose(coords[:, axis], value)
+
+    @pytest.mark.parametrize("face", range(6))
+    def test_face_nodes_unique(self, e3, face):
+        fn = e3.face_nodes[face]
+        assert len(np.unique(fn)) == len(fn)
+
+    @pytest.mark.parametrize("pair", [(0, 1), (2, 3), (4, 5)])
+    def test_opposite_faces_align(self, e3, pair):
+        """Matching index -> same in-face coordinates (transfer property)."""
+        a, b = pair
+        ca = e3.node_coords[e3.face_nodes[a]]
+        cb = e3.node_coords[e3.face_nodes[b]]
+        axis = FACE_AXIS[a]
+        keep = [i for i in range(3) if i != axis]
+        assert np.allclose(ca[:, keep], cb[:, keep])
+
+    def test_face_weights_sum(self, e3):
+        assert np.sum(e3.face_weights) == pytest.approx(4.0)
+
+    def test_lift_scale(self, e3):
+        assert e3.lift_scale == pytest.approx(1.0 / e3.weights_1d[0])

@@ -1,0 +1,160 @@
+"""H-tree and Bus topologies + the conflict-aware transfer scheduler."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interconnect import Bus, HTree, Transfer, schedule_transfers
+from repro.interconnect.htree import morton_decode, morton_encode
+from repro.interconnect.routing import transfer_duration
+
+blocks256 = st.integers(min_value=0, max_value=255)
+
+
+class TestMorton:
+    @given(st.integers(min_value=0, max_value=1023), st.integers(min_value=0, max_value=1023))
+    @settings(max_examples=100, deadline=None)
+    def test_roundtrip(self, r, c):
+        assert morton_decode(morton_encode(r, c)) == (r, c)
+
+    def test_quad_locality(self):
+        """The four blocks of each 2x2 quad have consecutive codes."""
+        codes = sorted(morton_encode(r, c) for r in (0, 1) for c in (0, 1))
+        assert codes == [0, 1, 2, 3]
+
+
+class TestHTree:
+    def test_paper_switch_count(self):
+        """256-block tile: 64 + 16 + 4 + 1 = 85 switches (§4.2.2)."""
+        h = HTree(256)
+        assert h.switches_per_level == [64, 16, 4, 1]
+        assert h.n_switches == 85
+
+    def test_16_block_example(self):
+        """Fig. 3's example: 4 S0 switches and 1 S1."""
+        h = HTree(16)
+        assert h.switches_per_level == [4, 1]
+
+    def test_same_quad_single_switch(self):
+        """Blocks under one S0 use exactly that one switch (§4.2.1)."""
+        h = HTree(256)
+        assert h.path(0, 1) == (h.switch_id(0, 0),)
+        assert h.path(2, 3) == (h.switch_id(0, 0),)
+
+    def test_paper_fig3_path_lengths(self):
+        """Fig. 3: Block 0 -> Block 5 crosses S0, S1, S0 (3 switches)."""
+        h = HTree(16)
+        assert len(h.path(0, 5)) == 3
+
+    def test_path_symmetric_length(self):
+        h = HTree(256)
+        for a, b in ((0, 255), (13, 200), (64, 65)):
+            assert len(h.path(a, b)) == len(h.path(b, a))
+
+    def test_self_path_empty(self):
+        assert HTree(64).path(7, 7) == ()
+
+    def test_path_to_root_chain(self):
+        h = HTree(256)
+        chain = h.path_to_root(0)
+        assert len(chain) == h.levels
+        assert chain[-1] == h.switch_id(h.levels - 1, 0)
+
+    @given(blocks256, blocks256)
+    @settings(max_examples=100, deadline=None)
+    def test_path_endpoints_ancestors(self, a, b):
+        """Every switch on the path is an ancestor of a or b."""
+        h = HTree(256)
+        path = h.path(a, b)
+        anc = set(h.path_to_root(a)) | set(h.path_to_root(b))
+        assert set(path) <= anc
+
+    def test_fanout_generalization(self):
+        """§4.2.1: 'the number of children of a tree node does not have
+        to be 4' — a fanout-16 tree over 256 blocks has 2 levels."""
+        h = HTree(256, fanout=16)
+        assert h.switches_per_level == [16, 1]
+        assert h.n_switches == 17
+
+    def test_switch_power_scales(self):
+        full = HTree(256).switch_power_w
+        assert full == pytest.approx(0.10713)
+        small = HTree(16).switch_power_w
+        assert small == pytest.approx(0.10713 * 5 / 85)
+
+    def test_rejects_bad_fanout(self):
+        with pytest.raises(ValueError):
+            HTree(16, fanout=1)
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            HTree(16).path(0, 16)
+
+
+class TestBus:
+    def test_single_switch(self):
+        b = Bus(256)
+        assert b.n_switches == 1
+        assert b.path(0, 200) == (0,)
+        assert b.path(5, 5) == ()
+        assert b.switch_power_w == pytest.approx(0.0172)
+        assert b.exclusive
+
+    def test_power_cheaper_than_htree(self):
+        assert Bus(256).switch_power_w < HTree(256).switch_power_w
+
+
+class TestScheduler:
+    def test_disjoint_quads_parallel_on_htree(self):
+        """Fig. 3 bottom: Block 0->2 and 5->7 overlap on the H-tree but
+        serialize on the Bus."""
+        t1 = Transfer(src=0, dst=2, words=32)
+        t2 = Transfer(src=5, dst=7, words=32)
+        h = schedule_transfers(HTree(16), [t1, t2])
+        b = schedule_transfers(Bus(16), [t1, t2])
+        d_h = transfer_duration(HTree(16), t1, 1.5e-9, 1.5e-9)
+        assert h.makespan == pytest.approx(d_h)  # fully parallel
+        assert b.makespan > h.makespan  # bus serializes through switch 0
+
+    def test_same_switch_serializes(self):
+        t1 = Transfer(src=0, dst=1, words=32)
+        t2 = Transfer(src=2, dst=3, words=32)  # same S0 quad
+        res = schedule_transfers(HTree(16), [t1, t2])
+        d = transfer_duration(HTree(16), t1, 1.5e-9, 1.5e-9)
+        assert res.makespan > d
+
+    def test_port_conflicts(self):
+        """Two transfers into the same destination serialize."""
+        t1 = Transfer(src=0, dst=8, words=32)
+        t2 = Transfer(src=4, dst=8, words=32)
+        res = schedule_transfers(HTree(16), [t1, t2])
+        assert res.scheduled[1].start >= res.scheduled[0].finish
+
+    def test_makespan_nonnegative_and_bounded(self):
+        rng = np.random.default_rng(0)
+        transfers = [
+            Transfer(int(rng.integers(0, 16)), int(rng.integers(0, 16)), 32)
+            for _ in range(20)
+        ]
+        res = schedule_transfers(HTree(16), transfers)
+        serial = sum(
+            transfer_duration(HTree(16), t, 1.5e-9, 1.5e-9) for t in transfers
+        )
+        assert 0 <= res.makespan <= serial + 1e-12
+
+    def test_tag_attribution(self):
+        transfers = [
+            Transfer(0, 1, 32, tag="inter"),
+            Transfer(2, 3, 32, tag="intra"),
+        ]
+        res = schedule_transfers(HTree(16), transfers)
+        by_tag = res.time_by_tag()
+        assert set(by_tag) == {"inter", "intra"}
+        assert all(v > 0 for v in by_tag.values())
+
+    def test_switch_busy_accounting(self):
+        t = Transfer(0, 5, words=32)
+        res = schedule_transfers(HTree(16), [t])
+        # 3 switches on the path, each busy for the transfer's duration
+        assert res.switch_busy_time == pytest.approx(3 * res.scheduled[0].duration)

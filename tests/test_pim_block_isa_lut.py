@@ -1,0 +1,189 @@
+"""Memory block functional semantics, ISA encoding, LUT instruction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pim.block import MemoryBlock
+from repro.pim.isa import Instruction, LutInstructionFormat, Opcode
+from repro.pim.lut import LookupTable
+
+
+class TestMemoryBlock:
+    def test_shape(self):
+        b = MemoryBlock(rows=64, row_words=8)
+        assert b.data.shape == (64, 8)
+        assert b.data.dtype == np.float32
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            MemoryBlock(rows=0)
+
+    def test_arithmetic_range(self):
+        b = MemoryBlock(rows=16, row_words=8)
+        b.broadcast((0, 16), 1, np.arange(16, dtype=np.float32))
+        b.broadcast((0, 16), 2, 10.0)
+        b.add((4, 8), 3, 1, 2)
+        assert np.allclose(b.data[4:8, 3], np.arange(4, 8) + 10)
+        assert np.allclose(b.data[0:4, 3], 0.0)  # untouched rows
+
+    def test_sub_mul(self):
+        b = MemoryBlock(rows=8, row_words=8)
+        b.broadcast((0, 8), 0, 6.0)
+        b.broadcast((0, 8), 1, 2.0)
+        b.sub((0, 8), 2, 0, 1)
+        b.mul((0, 8), 3, 0, 1)
+        assert np.allclose(b.data[:, 2], 4.0)
+        assert np.allclose(b.data[:, 3], 12.0)
+
+    def test_row_set_selection(self):
+        b = MemoryBlock(rows=16, row_words=4)
+        rows = np.array([1, 5, 9])
+        b.broadcast(rows, 0, 7.0)
+        assert np.allclose(b.data[rows, 0], 7.0)
+        assert b.data[0, 0] == 0.0
+
+    def test_gather_permutation(self):
+        b = MemoryBlock(rows=8, row_words=4)
+        b.broadcast((0, 8), 0, np.arange(8, dtype=np.float32))
+        perm = np.array([7, 6, 5, 4, 3, 2, 1, 0])
+        b.gather((0, 8), 1, 0, perm)
+        assert np.allclose(b.data[:, 1], perm)
+
+    def test_gather_validates_map(self):
+        b = MemoryBlock(rows=8, row_words=4)
+        with pytest.raises(ValueError):
+            b.gather((0, 8), 1, 0, np.arange(4))
+        with pytest.raises(IndexError):
+            b.gather((0, 4), 1, 0, np.array([0, 1, 2, 99]))
+
+    def test_column_bounds(self):
+        b = MemoryBlock(rows=8, row_words=4)
+        with pytest.raises(IndexError):
+            b.add((0, 4), 4, 0, 1)
+
+    def test_row_bounds(self):
+        b = MemoryBlock(rows=8, row_words=4)
+        with pytest.raises(IndexError):
+            b.add((0, 9), 0, 1, 2)
+
+    def test_read_write_roundtrip(self):
+        b = MemoryBlock(rows=8, row_words=4)
+        vals = np.linspace(0, 1, 8).astype(np.float32)
+        b.write((0, 8), 2, vals)
+        assert np.allclose(b.read((0, 8), 2), vals)
+
+    def test_copy_column(self):
+        b = MemoryBlock(rows=8, row_words=4)
+        b.broadcast((0, 8), 0, 3.5)
+        b.copy_column((2, 6), 1, 0)
+        assert np.allclose(b.data[2:6, 1], 3.5)
+        assert b.data[0, 1] == 0.0
+
+
+class TestInstruction:
+    def test_requires_opcode(self):
+        with pytest.raises(TypeError):
+            Instruction("add")
+
+    def test_n_rows_tuple_and_array(self):
+        i = Instruction(Opcode.ADD, rows=(3, 10))
+        assert i.n_rows == 7
+        i = Instruction(Opcode.ADD, rows=np.array([1, 5, 9]))
+        assert i.n_rows == 3
+
+
+class TestLutFormat:
+    def test_field_layout_matches_fig4(self):
+        f = LutInstructionFormat
+        assert f.OPCODE_SHIFT == 57
+        assert f.ROW_SHIFT == 31
+        assert f.OFFSET_S_SHIFT == 26
+        assert f.LUT_BLOCK_SHIFT == 5
+        # 7 + 26 + 5 + 21 + 5 bits = 64
+        assert (
+            f.OPCODE_BITS + f.ROW_BITS + 2 * f.OFFSET_BITS + f.LUT_BLOCK_BITS == 64
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=(1 << 26) - 1),
+        st.integers(min_value=0, max_value=31),
+        st.integers(min_value=0, max_value=(1 << 21) - 1),
+        st.integers(min_value=0, max_value=31),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, row, offs, lut, offd):
+        word = LutInstructionFormat.encode(row, offs, lut, offd)
+        assert 0 <= word < (1 << 64)
+        f = LutInstructionFormat.decode(word)
+        assert f["row_id"] == row
+        assert f["offset_s"] == offs
+        assert f["lut_block_id"] == lut
+        assert f["offset_d"] == offd
+        assert f["opcode"] == LutInstructionFormat.LUT_OPCODE
+
+    def test_rejects_overflow_fields(self):
+        with pytest.raises(ValueError):
+            LutInstructionFormat.encode(1 << 26, 0, 0, 0)
+        with pytest.raises(ValueError):
+            LutInstructionFormat.encode(0, 32, 0, 0)
+
+    def test_decode_rejects_non_64bit(self):
+        with pytest.raises(ValueError):
+            LutInstructionFormat.decode(1 << 64)
+
+
+class TestLookupTable:
+    def _lut(self):
+        block = MemoryBlock(rows=32, row_words=8, block_id=5)
+        return LookupTable(block)
+
+    def test_load_and_entry(self):
+        lut = self._lut()
+        n = lut.load(np.arange(20) * 2.0)
+        assert n == 20
+        assert lut.entry(7) == 14.0
+
+    def test_load_capacity(self):
+        lut = self._lut()
+        with pytest.raises(ValueError):
+            lut.load(np.zeros(lut.capacity + 1))
+
+    def test_entry_bounds(self):
+        lut = self._lut()
+        with pytest.raises(IndexError):
+            lut.entry(lut.capacity)
+
+    def test_algorithm1_execution(self):
+        """Alg. 1 literally: index fetch, content fetch, write back."""
+        lut = self._lut()
+        lut.load(np.arange(32) * 1.5)
+        requester = MemoryBlock(rows=16, row_words=8)
+        requester.data[3, 2] = 10  # the index, stored as a float
+        word = LutInstructionFormat.encode(row_id=3, offset_s=2, lut_block_id=5, offset_d=6)
+        content = lut.execute(requester, word)
+        assert content == 15.0
+        assert requester.data[3, 6] == np.float32(15.0)
+
+    def test_execute_fields_wrapper(self):
+        lut = self._lut()
+        lut.load([1.0, 2.0, 3.0])
+        requester = MemoryBlock(rows=16, row_words=8)
+        requester.data[0, 0] = 2
+        assert lut.execute_fields(requester, 0, 0, 1) == 3.0
+
+    def test_execute_row_bounds(self):
+        lut = self._lut()
+        requester = MemoryBlock(rows=4, row_words=8)
+        word = LutInstructionFormat.encode(row_id=9, offset_s=0, lut_block_id=5, offset_d=1)
+        with pytest.raises(IndexError):
+            lut.execute(requester, word)
+
+    def test_index_truncation(self):
+        """Float index 4.9 truncates to entry 4 (32-bit datapath)."""
+        lut = self._lut()
+        lut.load(np.arange(10, dtype=np.float32))
+        requester = MemoryBlock(rows=4, row_words=8)
+        requester.data[0, 0] = 4.9
+        assert lut.execute_fields(requester, 0, 0, 1) == 4.0
