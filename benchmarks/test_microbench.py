@@ -97,3 +97,90 @@ def test_folded_step_throughput(benchmark):
 
     rep = benchmark.pedantic(run, rounds=2, iterations=1)
     assert rep.n_instructions > 0
+
+
+# --------------------------------------------------------------------- #
+# perf-regression guard
+# --------------------------------------------------------------------- #
+
+#: Wall-clock baselines of the pre-optimization (seed) tree, measured on
+#: the reference machine with this file's best-of-3 methodology; kept for
+#: the trajectory record in BENCH_perf.json.
+SEED_BASELINE = {
+    "compile_s": 0.0425,  # WavePimCompiler(order=3) acoustic level-2 on 512MB
+    "executor_step_s": 0.133,  # level-1/order-2 acoustic time_step, ~7.4k insts
+}
+
+#: Only flag order-of-magnitude breakage, not machine-to-machine noise.
+REGRESSION_FACTOR = 3.0
+
+
+def _best_of(fn, rounds=3):
+    import time as _time
+
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = _time.perf_counter()
+        fn()
+        best = min(best, _time.perf_counter() - t0)
+    return best
+
+
+def test_perf_regression_guard():
+    """Time the two hot paths, record the trajectory, fail only on >3x.
+
+    Writes ``BENCH_perf.json`` at the repo root: the seed baselines, this
+    run's numbers, and an appended history so regressions are visible as a
+    time series rather than a single boolean.
+    """
+    import json
+    import platform
+    import time as _time
+    from pathlib import Path
+
+    from repro.core.compiler import WavePimCompiler
+
+    def compile_once():
+        WavePimCompiler(order=3).compile("acoustic", 2, CHIP_CONFIGS["512MB"])
+
+    compile_s = _best_of(compile_once)
+
+    mesh = HexMesh.from_refinement_level(1)
+    elem = ReferenceElement(2)
+    mat = AcousticMaterial.homogeneous(mesh.n_elements)
+    mapper = ElementMapper(mesh.m, CHIP_CONFIGS["512MB"], 1)
+    kern = AcousticOneBlockKernels(mesh, elem, mat, mapper, "riemann")
+    ex = ChipExecutor(PimChip(CHIP_CONFIGS["512MB"]))
+    state = np.zeros((4, mesh.n_elements, elem.n_nodes), dtype=np.float32)
+    ex.run(kern.setup() + kern.load_state(state), functional=True)
+    step = kern.time_step(1e-4)
+    executor_step_s = _best_of(lambda: ex.run(step, functional=True))
+
+    current = {"compile_s": compile_s, "executor_step_s": executor_step_s}
+    entry = {
+        "timestamp": _time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "machine": platform.machine(),
+        **current,
+        "speedup_vs_seed": {
+            k: SEED_BASELINE[k] / max(v, 1e-12) for k, v in current.items()
+        },
+    }
+
+    path = Path(__file__).resolve().parents[1] / "BENCH_perf.json"
+    doc = {"seed_baseline": SEED_BASELINE, "history": []}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except (ValueError, OSError):
+            pass
+    doc["seed_baseline"] = SEED_BASELINE
+    doc.setdefault("history", []).append(entry)
+    doc["latest"] = entry
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+
+    for key, now in current.items():
+        limit = REGRESSION_FACTOR * SEED_BASELINE[key]
+        assert now < limit, (
+            f"{key} regressed: {now:.4f}s vs seed {SEED_BASELINE[key]:.4f}s "
+            f"(>{REGRESSION_FACTOR}x; see BENCH_perf.json)"
+        )

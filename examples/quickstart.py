@@ -10,6 +10,8 @@ Runs in a few seconds:
 Usage: python examples/quickstart.py
 """
 
+import time
+
 import numpy as np
 
 from repro import (
@@ -22,6 +24,7 @@ from repro import (
     count_benchmark,
     estimate_benchmark,
 )
+from repro.core.cache import default_cache
 from repro.dg.solver import Receiver
 from repro.gpu import gpu_benchmark_time
 from repro.workloads import BENCHMARKS
@@ -57,7 +60,13 @@ def deploy():
     print("=" * 64)
     compiler = WavePimCompiler(order=7)
     chip = CHIP_CONFIGS["2GB"]
-    compiled = compiler.compile("acoustic", 4, chip, "riemann")
+    cache = default_cache()
+    t0 = time.perf_counter()
+    compiled = compiler.compile("acoustic", 4, chip, "riemann", cache=cache)
+    elapsed = time.perf_counter() - t0
+    status = "hit" if cache.stats.hits else ("off" if not cache.enabled else "miss")
+    print(f"compile: {elapsed:.2f}s (persistent cache: {status} — "
+          f"rerun is near-instant on a hit)")
     plan = compiled.plan
     print(f"plan on {chip.name}: technique={plan.label} "
           f"blocks/element={plan.blocks_per_element} batches={plan.n_batches} "

@@ -7,12 +7,18 @@ Commands
 ``plan <physics> <level> <chip>``  show the Table 5 planner's decision
 ``simulate``               run a small demo wave simulation
 ``all``                    regenerate every artifact (the EXPERIMENTS.md set)
+``cache stats|clear``      inspect or wipe the persistent compile cache
+
+Performance knobs: ``--jobs N`` (or ``REPRO_JOBS``) compiles the experiment
+matrix with N worker processes; ``--no-cache`` (or ``REPRO_NO_CACHE=1``)
+bypasses the on-disk compile cache in ``REPRO_CACHE_DIR``.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro import (
     CHIP_CONFIGS,
@@ -23,6 +29,21 @@ from repro import (
     plan_configuration,
     run_experiment,
 )
+from repro.core.cache import default_cache
+
+
+def _configure_cache(args) -> None:
+    if getattr(args, "no_cache", False):
+        default_cache(refresh=True).enabled = False
+
+
+def _cache_status(elapsed_s: float) -> str:
+    cache = default_cache()
+    s = cache.stats
+    state = f"{s.hits} hit{'s' if s.hits != 1 else ''}, {s.misses} miss{'es' if s.misses != 1 else ''}"
+    if not cache.enabled:
+        state = "disabled"
+    return f"[compile cache: {state}] elapsed {elapsed_s:.2f}s"
 
 
 def _cmd_experiments(_args) -> int:
@@ -34,23 +55,44 @@ def _cmd_experiments(_args) -> int:
 
 
 def _cmd_run(args) -> int:
+    _configure_cache(args)
     kwargs = {}
     if args.order is not None:
         kwargs["order"] = args.order
+    t0 = time.perf_counter()
     try:
-        table = run_experiment(args.id, **kwargs)
-    except KeyError as exc:
+        table = run_experiment(args.id, jobs=args.jobs, **kwargs)
+    except (KeyError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
     print(table.render())
+    print(_cache_status(time.perf_counter() - t0), file=sys.stderr)
     return 0
 
 
 def _cmd_all(args) -> int:
+    _configure_cache(args)
+    t0 = time.perf_counter()
     for name in EXPERIMENTS:
         kwargs = {"order": args.order} if args.order is not None else {}
-        print(run_experiment(name, **kwargs).render())
+        try:
+            print(run_experiment(name, jobs=args.jobs, **kwargs).render())
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
         print()
+    print(_cache_status(time.perf_counter() - t0), file=sys.stderr)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = default_cache(refresh=True)
+    if args.action == "clear":
+        n = cache.clear()
+        print(f"cleared {n} cached compile{'s' if n != 1 else ''} from {cache.root}")
+        return 0
+    for k, v in cache.disk_stats().items():
+        print(f"{k:10s} {v}")
     return 0
 
 
@@ -95,11 +137,23 @@ def main(argv=None) -> int:
     p.add_argument("id")
     p.add_argument("--order", type=int, default=None,
                    help="element order (default: the paper's 7)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="compile worker processes (default: REPRO_JOBS or 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the persistent compile cache")
     p.set_defaults(fn=_cmd_run)
 
     p = sub.add_parser("all")
     p.add_argument("--order", type=int, default=None)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="compile worker processes (default: REPRO_JOBS or 1)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="bypass the persistent compile cache")
     p.set_defaults(fn=_cmd_all)
+
+    p = sub.add_parser("cache")
+    p.add_argument("action", choices=["stats", "clear"])
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("plan")
     p.add_argument("physics", choices=["acoustic", "elastic"])

@@ -1,0 +1,202 @@
+"""Content-addressed persistent cache for compiled benchmarks.
+
+``WavePimCompiler.compile`` costs 0.1–1 s per (benchmark, chip) cell and
+every grid experiment (fig11, fig12, ...) needs 24+ cells, so each CLI or
+pytest *process* used to pay the full compile matrix cold.  This module
+gives :class:`~repro.core.compiler.CompiledBenchmark` a content-addressed
+on-disk home:
+
+* the **fingerprint** hashes everything the result depends on — physics,
+  refinement level, flux kind, element order, the complete chip parameter
+  set (capacity, geometry, interconnect, device constants, power table,
+  clock), and a schema version — so any model-knob change invalidates
+  stale entries by construction;
+* entries are pickles written atomically (tmp file + rename), and a
+  corrupted or unreadable entry is treated as a miss (and deleted), never
+  an error: the worst case is a recompile;
+* the cache directory defaults to ``~/.cache/wave-pim-repro`` and is
+  overridden with ``REPRO_CACHE_DIR``; ``REPRO_NO_CACHE=1`` (or the CLI
+  ``--no-cache`` flag) bypasses it entirely.
+
+Bump :data:`SCHEMA_VERSION` whenever the compiler's cost model or the
+``CompiledBenchmark`` layout changes meaning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "CacheStats",
+    "CompileCache",
+    "default_cache",
+    "compile_fingerprint",
+    "cache_enabled",
+]
+
+#: Version of the (cost model, CompiledBenchmark layout) contract.  Any
+#: change to compiler semantics that keeps the same inputs must bump this.
+SCHEMA_VERSION = 1
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_NO_CACHE = "REPRO_NO_CACHE"
+
+
+def _default_root() -> Path:
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "wave-pim-repro"
+
+
+def cache_enabled() -> bool:
+    """False when ``REPRO_NO_CACHE`` is set to a truthy value."""
+    return os.environ.get(_ENV_NO_CACHE, "") not in ("1", "true", "yes")
+
+
+def compile_fingerprint(physics: str, refinement_level: int, chip,
+                        flux_kind: str, order: int) -> str:
+    """Stable content hash of one compile cell.
+
+    ``chip`` is a :class:`~repro.pim.params.ChipConfig`; every field
+    (including the nested device/power dataclasses and the interconnect
+    kind) lands in the digest, so two chips that differ in any knob can
+    never alias.
+    """
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "physics": physics,
+        "level": int(refinement_level),
+        "flux": flux_kind,
+        "order": int(order),
+        "chip": dataclasses.asdict(chip),
+    }
+    blob = json.dumps(payload, sort_keys=True, default=repr).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Per-process hit/miss accounting of one :class:`CompileCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class CompileCache:
+    """Pickle-per-entry on-disk cache keyed by content fingerprint."""
+
+    def __init__(self, root: Path | str | None = None, enabled: bool | None = None):
+        self.root = Path(root) if root is not None else _default_root()
+        self.enabled = cache_enabled() if enabled is None else enabled
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str):
+        """Cached value for ``key`` or None; never raises on bad entries."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            # truncated/corrupted/incompatible pickle: drop it and recompile
+            self.stats.errors += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` atomically; IO failures are silently ignored."""
+        if not self.enabled:
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._path(key))
+            finally:
+                if os.path.exists(tmp):
+                    os.unlink(tmp)
+        except OSError:
+            self.stats.errors += 1
+            return
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------ #
+
+    def entries(self) -> list:
+        """Paths of all on-disk entries (empty when the dir is absent)."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for p in self.entries():
+            try:
+                p.unlink()
+                n += 1
+            except OSError:
+                pass
+        return n
+
+    def disk_stats(self) -> dict:
+        """On-disk entry count and byte size plus this process's hit/miss."""
+        entries = self.entries()
+        size = sum(p.stat().st_size for p in entries if p.exists())
+        return {
+            "dir": str(self.root),
+            "enabled": self.enabled,
+            "entries": len(entries),
+            "bytes": size,
+            **self.stats.as_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CompileCache({self.root}, enabled={self.enabled}, {self.stats})"
+
+
+_DEFAULT: CompileCache | None = None
+
+
+def default_cache(refresh: bool = False) -> CompileCache:
+    """Process-wide cache instance honoring the env knobs at first use.
+
+    ``refresh=True`` re-reads ``REPRO_CACHE_DIR``/``REPRO_NO_CACHE`` (used
+    by the CLI after parsing ``--no-cache`` and by tests that monkeypatch
+    the environment).
+    """
+    global _DEFAULT
+    if _DEFAULT is None or refresh:
+        _DEFAULT = CompileCache()
+    return _DEFAULT

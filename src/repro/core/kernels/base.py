@@ -55,7 +55,8 @@ class KernelBase:
     @staticmethod
     def _gather(block, rows, dst, src, row_map, tag) -> Instruction:
         return Instruction(
-            Opcode.GATHER, block=block, rows=rows, dst=dst, src1=src, row_map=row_map, tag=tag
+            Opcode.GATHER, block=block, rows=rows, dst=dst, src1=src, row_map=row_map,
+            n_unique_rows=len(np.unique(np.asarray(row_map))), tag=tag,
         )
 
     @staticmethod

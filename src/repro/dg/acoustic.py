@@ -20,8 +20,8 @@ import numpy as np
 
 from repro.dg import flux as fluxmod
 from repro.dg.materials import AcousticMaterial
-from repro.dg.mesh import BoundaryKind, HexMesh
-from repro.dg.reference_element import FACE_NORMALS, ReferenceElement, opposite_face
+from repro.dg.mesh import BoundaryKind, FaceExchange, HexMesh
+from repro.dg.reference_element import ReferenceElement
 
 __all__ = ["AcousticOperator", "ACOUSTIC_VARS"]
 
@@ -66,6 +66,7 @@ class AcousticOperator:
         self._z = material.impedance  # (K,)
         self._inv_rho = 1.0 / material.rho
         self._kappa = material.kappa
+        self._fx = FaceExchange(mesh, element)
 
     # ------------------------------------------------------------------ #
 
@@ -77,11 +78,14 @@ class AcousticOperator:
 
     # ------------------------------------------------------------------ #
 
-    def volume_rhs(self, state: np.ndarray) -> np.ndarray:
-        """The *Volume* kernel: local derivatives only (paper Fig. 2 green)."""
+    def volume_rhs(self, state: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """The *Volume* kernel: local derivatives only (paper Fig. 2 green).
+
+        Every entry of ``out`` is overwritten (allocated if ``None``).
+        """
         elem = self.element
         p, vx, vy, vz = state
-        rhs = np.empty_like(state)
+        rhs = np.empty_like(state) if out is None else out
         div_v = elem.div(vx, vy, vz) * self._dscale
         grad_p = elem.grad(p) * self._dscale
         rhs[0] = -self._kappa[:, None] * div_v
@@ -95,56 +99,54 @@ class AcousticOperator:
         """The *Flux* kernel: inter-element reconciliation (Fig. 2 red).
 
         Adds the surface corrections into ``out`` (allocated if ``None``).
+        All six faces are gathered at once through the precomputed
+        :class:`~repro.dg.mesh.FaceExchange` tables; per-face work is
+        reduced to the scatter-accumulate at the end.
         """
         if out is None:
             out = np.zeros_like(state)
-        elem, mesh = self.element, self.mesh
-        p = state[0]
-        v = state[1:4]
+        fx = self._fx
+        sf = state.reshape(-1)
 
+        sign = fx.sign[:, None, None]  # (6, 1, 1)
+        voff = (1 + fx.axis)[:, None, None] * fx.k_nn  # velocity-var offsets
+        p_m = sf[fx.gather_m]  # (6, K, nfn)
+        vn_m = sign * sf[voff + fx.gather_m]
+        z_m = self._z[None, :, None]
+
+        boundary = fx.boundary  # (6, K)
+        p_p = sf[fx.gather_p]
+        vn_p = sign * sf[voff + fx.gather_p]
+        z_p = self._z[fx.nbr_safe][:, :, None]
+
+        if fx.any_boundary:
+            p_p, vn_p, z_p = self._ghost(p_m, vn_m, z_m, p_p, vn_p, z_p, boundary)
+
+        if self.flux_kind == fluxmod.CENTRAL and self.mesh.boundary != BoundaryKind.ABSORBING:
+            p_s, vn_s = fluxmod.acoustic_central(p_m, p_p, vn_m, vn_p)
+        elif self.flux_kind == fluxmod.CENTRAL:
+            # central in the interior, upwind on absorbing boundaries
+            p_c, vn_c = fluxmod.acoustic_central(p_m, p_p, vn_m, vn_p)
+            p_u, vn_u = fluxmod.acoustic_riemann(p_m, p_p, vn_m, vn_p, z_m, z_p)
+            bmask = boundary[..., None]
+            p_s = np.where(bmask, p_u, p_c)
+            vn_s = np.where(bmask, vn_u, vn_c)
+        else:
+            p_s, vn_s = fluxmod.acoustic_riemann(p_m, p_p, vn_m, vn_p, z_m, z_p)
+
+        lift = self._lift
+        dp = lift * self._kappa[None, :, None] * (vn_m - vn_s)
+        dv = lift * self._inv_rho[None, :, None] * (p_m - p_s) * sign
         for face in range(6):
-            fn = elem.face_nodes[face]
-            nbr = mesh.neighbors[:, face]
-            normal = FACE_NORMALS[face]
-            axis = int(np.argmax(np.abs(normal)))
-            sign = float(normal[axis])
-
-            p_m = p[:, fn]
-            vn_m = sign * v[axis][:, fn]
-            z_m = self._z[:, None]
-
-            boundary = nbr < 0
-            nbr_safe = np.where(boundary, 0, nbr)
-            ofn = elem.face_nodes[opposite_face(face)]
-            p_p = p[nbr_safe][:, ofn]
-            vn_p = sign * v[axis][nbr_safe][:, ofn]
-            z_p = self._z[nbr_safe][:, None]
-
-            if np.any(boundary):
-                p_p, vn_p, z_p = self._ghost(p_m, vn_m, z_m, p_p, vn_p, z_p, boundary)
-
-            if self.flux_kind == fluxmod.CENTRAL and self.mesh.boundary != BoundaryKind.ABSORBING:
-                p_s, vn_s = fluxmod.acoustic_central(p_m, p_p, vn_m, vn_p)
-            elif self.flux_kind == fluxmod.CENTRAL:
-                # central in the interior, upwind on absorbing boundaries
-                p_c, vn_c = fluxmod.acoustic_central(p_m, p_p, vn_m, vn_p)
-                p_u, vn_u = fluxmod.acoustic_riemann(p_m, p_p, vn_m, vn_p, z_m, z_p)
-                bmask = boundary[:, None]
-                p_s = np.where(bmask, p_u, p_c)
-                vn_s = np.where(bmask, vn_u, vn_c)
-            else:
-                p_s, vn_s = fluxmod.acoustic_riemann(p_m, p_p, vn_m, vn_p, z_m, z_p)
-
-            lift = self._lift
-            out[0][:, fn] += lift * self._kappa[:, None] * (vn_m - vn_s)
-            dv = lift * self._inv_rho[:, None] * (p_m - p_s) * sign
-            out[1 + axis][:, fn] += dv
+            fn = fx.face_nodes[face]
+            out[0][:, fn] += dp[face]
+            out[1 + fx.axis[face]][:, fn] += dv[face]
         return out
 
     def _ghost(self, p_m, vn_m, z_m, p_p, vn_p, z_p, boundary):
         """Synthesize exterior states on physical boundary faces."""
         kind = self.mesh.boundary
-        bmask = boundary[:, None]
+        bmask = boundary[..., None]
         if kind == BoundaryKind.FREE_SURFACE:
             p_p = np.where(bmask, -p_m, p_p)
             vn_p = np.where(bmask, vn_m, vn_p)
@@ -159,9 +161,13 @@ class AcousticOperator:
 
     # ------------------------------------------------------------------ #
 
-    def rhs(self, state: np.ndarray) -> np.ndarray:
-        """Full semidiscrete right-hand side (Volume + Flux)."""
-        out = self.volume_rhs(state)
+    def rhs(self, state: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Full semidiscrete right-hand side (Volume + Flux).
+
+        ``out``, when given, is fully overwritten and returned — the time
+        loop reuses one buffer instead of allocating per RK stage.
+        """
+        out = self.volume_rhs(state, out)
         self.flux_rhs(state, out)
         return out
 

@@ -23,8 +23,8 @@ import numpy as np
 
 from repro.dg import flux as fluxmod
 from repro.dg.materials import ElasticMaterial
-from repro.dg.mesh import BoundaryKind, HexMesh
-from repro.dg.reference_element import FACE_NORMALS, ReferenceElement, opposite_face
+from repro.dg.mesh import BoundaryKind, FaceExchange, HexMesh
+from repro.dg.reference_element import ReferenceElement
 
 __all__ = ["ElasticOperator", "ELASTIC_VARS", "VOIGT"]
 
@@ -66,6 +66,7 @@ class ElasticOperator:
         self._inv_rho = 1.0 / material.rho
         self._zp = material.zp
         self._zs = material.zs
+        self._fx = FaceExchange(mesh, element)
 
     # ------------------------------------------------------------------ #
 
@@ -77,14 +78,17 @@ class ElasticOperator:
 
     # ------------------------------------------------------------------ #
 
-    def volume_rhs(self, state: np.ndarray) -> np.ndarray:
-        """The *Volume* kernel: local derivatives (grad v, div sigma)."""
+    def volume_rhs(self, state: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """The *Volume* kernel: local derivatives (grad v, div sigma).
+
+        Every entry of ``out`` is overwritten (allocated if ``None``).
+        """
         elem = self.element
         ds = self._dscale
         v = state[6:9]
         # velocity gradient dv[i][j] = d v_i / d x_j
         dv = np.stack([elem.grad(v[i]) * ds for i in range(3)])  # (3,3,K,nn)
-        rhs = np.empty_like(state)
+        rhs = np.empty_like(state) if out is None else out
         lam = self._lam[:, None]
         mu = self._mu[:, None]
         div_v = dv[0, 0] + dv[1, 1] + dv[2, 2]
@@ -104,7 +108,11 @@ class ElasticOperator:
 
     @staticmethod
     def traction(state_faces: np.ndarray, normal: np.ndarray) -> np.ndarray:
-        """Traction ``sigma . n`` from Voigt face values ``(9, K, nfn)``."""
+        """Traction ``sigma . n`` from Voigt face values ``(9, ...)``.
+
+        ``normal`` components may be scalars (one face) or broadcastable
+        arrays (the fused all-faces path).
+        """
         sxx, syy, szz, syz, sxz, sxy = state_faces[0:6]
         nx, ny, nz = normal
         return np.stack(
@@ -116,72 +124,77 @@ class ElasticOperator:
         )
 
     def flux_rhs(self, state: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """The *Flux* kernel: traction/velocity reconciliation on faces."""
+        """The *Flux* kernel: traction/velocity reconciliation on faces.
+
+        All six faces are gathered at once through the precomputed
+        :class:`~repro.dg.mesh.FaceExchange` tables — the former per-face
+        loop reordered the full 9-variable state six times per call.
+        """
         if out is None:
             out = np.zeros_like(state)
-        elem, mesh = self.element, self.mesh
+        fx = self._fx
+        flat = state.reshape(self.n_vars, -1)
 
-        for face in range(6):
-            fn = elem.face_nodes[face]
-            ofn = elem.face_nodes[opposite_face(face)]
-            nbr = mesh.neighbors[:, face]
-            normal = FACE_NORMALS[face]
+        q_m = flat[:, fx.gather_m]  # (9, 6, K, nfn)
+        q_p = flat[:, fx.gather_p]
+        normal = fx.normals.T[:, :, None, None]  # (3, 6, 1, 1)
+        t_m = self.traction(q_m, normal)
+        v_m = q_m[6:9]
+        t_p = self.traction(q_p, normal)
+        v_p = q_p[6:9]
 
-            q_m = state[:, :, fn]
-            t_m = self.traction(q_m, normal)
-            v_m = q_m[6:9]
+        zp_m = self._zp[None, :, None]
+        zs_m = self._zs[None, :, None]
+        zp_p = self._zp[fx.nbr_safe][:, :, None]
+        zs_p = self._zs[fx.nbr_safe][:, :, None]
 
-            boundary = nbr < 0
-            nbr_safe = np.where(boundary, 0, nbr)
-            q_p = state[:, nbr_safe][:, :, ofn]
-            t_p = self.traction(q_p, normal)
-            v_p = q_p[6:9]
+        boundary = fx.boundary  # (6, K)
+        if fx.any_boundary:
+            t_p, v_p, zp_p, zs_p = self._ghost(
+                t_m, v_m, zp_m, zs_m, t_p, v_p, zp_p, zs_p, boundary
+            )
 
-            zp_m = self._zp[:, None]
-            zs_m = self._zs[:, None]
-            zp_p = self._zp[nbr_safe][:, None]
-            zs_p = self._zs[nbr_safe][:, None]
-
-            if np.any(boundary):
-                t_p, v_p, zp_p, zs_p = self._ghost(
-                    t_m, v_m, zp_m, zs_m, t_p, v_p, zp_p, zs_p, boundary
-                )
-
-            if self.flux_kind == fluxmod.CENTRAL:
-                t_s, v_s = fluxmod.elastic_central(t_m, t_p, v_m, v_p)
-                if self.mesh.boundary == BoundaryKind.ABSORBING and np.any(boundary):
-                    t_u, v_u = fluxmod.elastic_riemann(
-                        t_m, t_p, v_m, v_p, normal, zp_m, zp_p, zs_m, zs_p
-                    )
-                    bmask = boundary[None, :, None]
-                    t_s = np.where(bmask, t_u, t_s)
-                    v_s = np.where(bmask, v_u, v_s)
-            else:
-                t_s, v_s = fluxmod.elastic_riemann(
+        if self.flux_kind == fluxmod.CENTRAL:
+            t_s, v_s = fluxmod.elastic_central(t_m, t_p, v_m, v_p)
+            if self.mesh.boundary == BoundaryKind.ABSORBING and fx.any_boundary:
+                t_u, v_u = fluxmod.elastic_riemann(
                     t_m, t_p, v_m, v_p, normal, zp_m, zp_p, zs_m, zs_p
                 )
+                bmask = boundary[None, ..., None]
+                t_s = np.where(bmask, t_u, t_s)
+                v_s = np.where(bmask, v_u, v_s)
+        else:
+            t_s, v_s = fluxmod.elastic_riemann(
+                t_m, t_p, v_m, v_p, normal, zp_m, zp_p, zs_m, zs_p
+            )
 
-            d_v = v_s - v_m  # (3, K, nfn)
-            d_t = t_s - t_m
-            d_vn = normal[0] * d_v[0] + normal[1] * d_v[1] + normal[2] * d_v[2]
+        d_v = v_s - v_m  # (3, 6, K, nfn)
+        d_t = t_s - t_m
+        d_vn = normal[0] * d_v[0] + normal[1] * d_v[1] + normal[2] * d_v[2]
 
-            lift = self._lift
-            lam = self._lam[:, None]
-            mu = self._mu[:, None]
-            for voigt, (i, j) in enumerate(VOIGT):
-                corr = mu * (normal[i] * d_v[j] + normal[j] * d_v[i])
-                if i == j:
-                    corr = corr + lam * d_vn
-                out[voigt][:, fn] += lift * corr
-            inv_rho = self._inv_rho[:, None]
+        lift = self._lift
+        lam = self._lam[None, :, None]
+        mu = self._mu[None, :, None]
+        corr = []
+        for voigt, (i, j) in enumerate(VOIGT):
+            c = mu * (normal[i] * d_v[j] + normal[j] * d_v[i])
+            if i == j:
+                c = c + lam * d_vn
+            corr.append(lift * c)
+        inv_rho = self._inv_rho[None, :, None]
+        d_vel = [lift * inv_rho * d_t[i] for i in range(3)]
+        for face in range(6):
+            fn = fx.face_nodes[face]
+            for voigt in range(6):
+                out[voigt][:, fn] += corr[voigt][face]
             for i in range(3):
-                out[6 + i][:, fn] += lift * inv_rho * d_t[i]
+                out[6 + i][:, fn] += d_vel[i][face]
         return out
 
     def _ghost(self, t_m, v_m, zp_m, zs_m, t_p, v_p, zp_p, zs_p, boundary):
         """Synthesize exterior traction/velocity on boundary faces."""
         kind = self.mesh.boundary
-        bmask = boundary[None, :, None]
+        bmask = boundary[None, ..., None]
         if kind == BoundaryKind.FREE_SURFACE:
             t_p = np.where(bmask, -t_m, t_p)
             v_p = np.where(bmask, v_m, v_p)
@@ -191,16 +204,20 @@ class ElasticOperator:
         elif kind == BoundaryKind.ABSORBING:
             t_p = np.where(bmask, 0.0, t_p)
             v_p = np.where(bmask, 0.0, v_p)
-        bm2 = boundary[:, None]
+        bm2 = boundary[..., None]
         zp_p = np.where(bm2, zp_m, zp_p)
         zs_p = np.where(bm2, zs_m, zs_p)
         return t_p, v_p, zp_p, zs_p
 
     # ------------------------------------------------------------------ #
 
-    def rhs(self, state: np.ndarray) -> np.ndarray:
-        """Full semidiscrete right-hand side (Volume + Flux)."""
-        out = self.volume_rhs(state)
+    def rhs(self, state: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Full semidiscrete right-hand side (Volume + Flux).
+
+        ``out``, when given, is fully overwritten and returned — the time
+        loop reuses one buffer instead of allocating per RK stage.
+        """
+        out = self.volume_rhs(state, out)
         self.flux_rhs(state, out)
         return out
 

@@ -16,9 +16,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.dg.reference_element import FACE_AXIS, FACE_SIDE
+from repro.dg.reference_element import FACE_AXIS, FACE_NORMALS, FACE_SIDE, opposite_face
 
-__all__ = ["HexMesh", "BoundaryKind"]
+__all__ = ["HexMesh", "BoundaryKind", "FaceExchange"]
 
 
 class BoundaryKind:
@@ -181,3 +181,40 @@ class HexMesh:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         lvl = f", level={self.level}" if self.level is not None else ""
         return f"HexMesh(m={self.m}, K={self.n_elements}{lvl}, boundary={self.boundary!r})"
+
+
+class FaceExchange:
+    """Precomputed whole-mesh face gather tables for the dG flux kernels.
+
+    The topology (neighbors, face node lists) is static, so the per-face
+    trace extraction of the flux kernels reduces to fancy-indexing a
+    flattened ``(K * n_nodes,)`` scalar field with these tables:
+
+    ``gather_m[face, k, i]``
+        flat node index of face node ``i`` of element ``k`` (interior trace);
+    ``gather_p[face, k, i]``
+        flat node index of the matching node on the neighbor's opposite
+        face (exterior trace; boundary faces point at element 0 and are
+        overridden by the ghost-state synthesis, masked by ``boundary``).
+
+    One ``field[gather_m]`` covers all six faces at once — the operators'
+    former per-face ``state[nbr]`` reorderings copied the entire state
+    array six times per variable per evaluation.
+    """
+
+    def __init__(self, mesh: "HexMesh", element):
+        K, nn = mesh.n_elements, element.n_nodes
+        fn = np.asarray(element.face_nodes)  # (6, nfn)
+        ofn = np.stack([element.face_nodes[opposite_face(f)] for f in range(6)])
+        self.face_nodes = fn
+        self.normals = np.asarray(FACE_NORMALS, dtype=np.float64)  # (6, 3)
+        self.axis = np.argmax(np.abs(self.normals), axis=1)  # (6,)
+        self.sign = self.normals[np.arange(6), self.axis]  # (6,)
+        nbr = mesh.neighbors.T  # (6, K)
+        self.boundary = nbr < 0
+        self.any_boundary = bool(self.boundary.any())
+        self.nbr_safe = np.where(self.boundary, 0, nbr)
+        ke = np.arange(K, dtype=np.int64)
+        self.gather_m = ke[None, :, None] * nn + fn[:, None, :]  # (6, K, nfn)
+        self.gather_p = self.nbr_safe[:, :, None] * nn + ofn[:, None, :]
+        self.k_nn = K * nn

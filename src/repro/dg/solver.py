@@ -95,6 +95,7 @@ class WaveSolver:
         self.state = self.operator.zero_state(dtype=np.dtype(config.dtype))
         self.time = 0.0
         self.steps_taken = 0
+        self._rhs_buf: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -119,7 +120,12 @@ class WaveSolver:
     # ------------------------------------------------------------------ #
 
     def _rhs(self, state: np.ndarray, t: float) -> np.ndarray:
-        out = self.operator.rhs(state)
+        # one buffer reused across all RK stages and time-steps; the
+        # operator overwrites every entry, so no clearing is needed
+        buf = self._rhs_buf
+        if buf is None or buf.shape != state.shape or buf.dtype != state.dtype:
+            buf = self._rhs_buf = np.empty_like(state)
+        out = self.operator.rhs(state, out=buf)
         for src in self.sources:
             src.add_to_rhs(out, t, self.mesh, self.element)
         return out

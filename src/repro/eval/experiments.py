@@ -9,10 +9,13 @@ points) rather than absolute numbers.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ProcessPoolExecutor
 from functools import lru_cache
 
 import numpy as np
 
+from repro.core.cache import compile_fingerprint, default_cache
 from repro.core.compiler import WavePimCompiler
 from repro.core.pipeline import (
     pipeline_timeline,
@@ -37,6 +40,8 @@ from repro.workloads import PAPER_TABLE6, benchmark_list, count_benchmark
 __all__ = [
     "EXPERIMENTS",
     "run_experiment",
+    "warm_compile_grid",
+    "clear_compiled_cache",
     "table2_hardware",
     "table3_pim_power",
     "table4_basic_ops",
@@ -56,6 +61,10 @@ N_STEPS = 1024
 
 _COMPILER_CACHE: dict = {}
 
+#: in-process memo of compiled cells; backed by the persistent on-disk
+#: cache (repro.core.cache) so a *second process* starts warm too.
+_COMPILED: dict = {}
+
 
 def _compiler(order: int) -> WavePimCompiler:
     if order not in _COMPILER_CACHE:
@@ -63,10 +72,108 @@ def _compiler(order: int) -> WavePimCompiler:
     return _COMPILER_CACHE[order]
 
 
-@lru_cache(maxsize=256)
 def _compiled(physics: str, level: int, chip_name: str, flux: str, order: int, interconnect: str):
+    key = (physics, level, chip_name, flux, order, interconnect)
+    cb = _COMPILED.get(key)
+    if cb is None:
+        chip = CHIP_CONFIGS[chip_name].with_interconnect(interconnect)
+        cb = _compiler(order).compile(physics, level, chip, flux, cache=default_cache())
+        _COMPILED[key] = cb
+    return cb
+
+
+def clear_compiled_cache() -> None:
+    """Drop the in-process compile memo (does not touch the disk cache)."""
+    _COMPILED.clear()
+
+
+# --------------------------------------------------------------------- #
+# parallel compile fan-out
+# --------------------------------------------------------------------- #
+
+
+def _resolve_jobs(jobs=None) -> int:
+    """CLI/env job count: explicit arg wins, then ``REPRO_JOBS``, then 1."""
+    if jobs is None:
+        jobs = os.environ.get("REPRO_JOBS", "1")
+    try:
+        jobs = int(jobs)
+    except (TypeError, ValueError):
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}") from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _grid_cells(order: int) -> list:
+    return [
+        (spec.physics, spec.refinement_level, cname, spec.flux_kind, order, "htree")
+        for spec in benchmark_list()
+        for cname in CHIP_CONFIGS
+    ]
+
+
+def _cells_for(name: str, order: int) -> list:
+    """The compile cells one experiment needs (for parallel prewarm)."""
+    if name in ("fig11", "fig12", "sec7_summary", "energy_breakdown"):
+        return _grid_cells(order)
+    if name == "fig13":
+        return [("acoustic", 4, "2GB", "riemann", order, "htree")]
+    if name == "fig14":
+        return [
+            (physics, level, chip, flux, order, ic)
+            for physics, level, flux, chip, _kind in FIG14_CASES
+            for ic in ("htree", "bus")
+        ]
+    return []
+
+
+def _compile_cell(cell):
+    """Worker-side compile of one cell (module-level: must pickle)."""
+    physics, level, chip_name, flux, order, interconnect = cell
     chip = CHIP_CONFIGS[chip_name].with_interconnect(interconnect)
-    return _compiler(order).compile(physics, level, chip, flux)
+    return cell, WavePimCompiler(order=order).compile(physics, level, chip, flux)
+
+
+def warm_compile_grid(order: int = 7, jobs=None, cells=None) -> int:
+    """Fan the compile matrix out over worker processes.
+
+    Compiles every missing cell (``cells`` defaults to the full 6-benchmark
+    x 4-chip grid) with ``jobs`` workers, and lands the results in both the
+    in-process memo and the persistent cache — ``compile`` is deterministic,
+    so parallel results are exactly the serial ones.  Returns the number of
+    cells compiled (0 when everything was already warm).
+    """
+    jobs = _resolve_jobs(jobs)
+    if cells is None:
+        cells = _grid_cells(order)
+    cache = default_cache()
+    missing = [c for c in cells if c not in _COMPILED]
+    if cache.enabled:
+        # pull disk hits in-process first; only true misses hit the pool
+        still = []
+        for cell in missing:
+            physics, level, chip_name, flux, cell_order, ic = cell
+            chip = CHIP_CONFIGS[chip_name].with_interconnect(ic)
+            hit = cache.get(compile_fingerprint(physics, level, chip, flux, cell_order))
+            if hit is not None:
+                _COMPILED[cell] = hit
+            else:
+                still.append(cell)
+        missing = still
+    if not missing:
+        return 0
+    if jobs == 1:
+        for cell in missing:
+            _compiled(*cell)
+        return len(missing)
+    with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
+        for cell, cb in pool.map(_compile_cell, missing):
+            _COMPILED[cell] = cb
+            physics, level, chip_name, flux, cell_order, ic = cell
+            chip = CHIP_CONFIGS[chip_name].with_interconnect(ic)
+            cache.put(compile_fingerprint(physics, level, chip, flux, cell_order), cb)
+    return len(missing)
 
 
 @lru_cache(maxsize=64)
@@ -534,10 +641,20 @@ EXPERIMENTS = {
 }
 
 
-def run_experiment(name: str, **kwargs) -> Table:
-    """Run one registered experiment by id (see DESIGN.md's index)."""
+def run_experiment(name: str, jobs=None, **kwargs) -> Table:
+    """Run one registered experiment by id (see DESIGN.md's index).
+
+    ``jobs`` (default: ``REPRO_JOBS`` or 1) prewarms the experiment's
+    compile cells with that many worker processes before the single-process
+    table assembly; results are identical to the serial path.
+    """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
         raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}") from None
+    jobs = _resolve_jobs(jobs)
+    if jobs > 1:
+        cells = _cells_for(name, kwargs.get("order", 7))
+        if cells:
+            warm_compile_grid(order=kwargs.get("order", 7), jobs=jobs, cells=cells)
     return fn(**kwargs)

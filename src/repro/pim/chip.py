@@ -27,6 +27,11 @@ class PimChip:
         self.config = config
         self.hbm = HbmModel()
         self._tiles: dict = {}
+        #: (src, dst) -> (switch keys, hops, extra latency, source-tile
+        #: interconnect).  The topology never changes, so every executor on
+        #: this chip shares one memoized path table instead of re-walking
+        #: the H-tree/Bus per TRANSFER/LUT instruction.
+        self._path_cache: dict = {}
 
     # -- geometry --------------------------------------------------------- #
 
@@ -58,6 +63,28 @@ class PimChip:
     def block(self, global_block: int) -> MemoryBlock:
         tid, lid = self.locate(global_block)
         return self.tile(tid).block(lid)
+
+    def transfer_path(self, src: int, dst: int) -> tuple:
+        """Memoized ``(switch keys, hops, extra latency, interconnect)`` of
+        an inter-block transfer (the interconnect is the source tile's —
+        the one whose flit geometry prices the wire phase)."""
+        cached = self._path_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        s_tile, s_loc = self.locate(src)
+        d_tile, d_loc = self.locate(dst)
+        ic = self.tile(s_tile).interconnect
+        if s_tile == d_tile:
+            path = ic.path(s_loc, d_loc)
+            result = ([(s_tile, sw) for sw in path], len(path), 0.0, ic)
+        else:
+            # cross-tile: climb the source tile, hop the controller, descend.
+            up = ic.path_to_root(s_loc)
+            down = self.tile(d_tile).interconnect.path_to_root(d_loc)
+            keys = [(s_tile, sw) for sw in up] + [(d_tile, sw) for sw in down]
+            result = (keys, len(up) + len(down), INTER_TILE_HOP_S, ic)
+        self._path_cache[(src, dst)] = result
+        return result
 
     # -- power ------------------------------------------------------------- #
 

@@ -20,19 +20,46 @@ the same numbers as the numpy dG reference.
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.pim.arithmetic import HostOpModel, OpCosts, default_op_costs
-from repro.pim.chip import INTER_TILE_HOP_S, PimChip
+from repro.pim.chip import PimChip
 from repro.pim.isa import ARITHMETIC_OPS, Instruction, Opcode
 
 __all__ = ["TimingReport", "BlockExecutor", "ChipExecutor"]
 
 #: NOR cycles of a row-parallel column-to-column copy (two cascaded NOTs).
 _COPY_NORS = 2
+
+#: Opcodes the batched analytic mode may group (same block / rows / tag).
+_BATCHABLE_OPS = frozenset(ARITHMETIC_OPS) | {Opcode.COPY}
+
+
+def _float_dict() -> defaultdict:
+    """Picklable ``defaultdict(float)`` factory for report accumulators."""
+    return defaultdict(float)
+
+
+def _fold_add(base: float, value: float, count: int) -> float:
+    """Left-fold ``count`` additions of ``value`` onto ``base``.
+
+    Bit-identical to ``for _ in range(count): base += value`` — IEEE float
+    addition is deterministic and ``np.add.accumulate`` is a strict
+    sequential fold (no pairwise re-association), so the batched executor
+    can price a whole run of identical instructions in one shot and still
+    match the serial path float-for-float.
+    """
+    if count <= 64:
+        for _ in range(count):
+            base += value
+        return base
+    arr = np.empty(count + 1)
+    arr[0] = base
+    arr[1:] = value
+    return float(np.add.accumulate(arr)[-1])
 
 
 @dataclass
@@ -41,20 +68,45 @@ class TimingReport:
 
     total_time_s: float = 0.0
     dynamic_energy_j: float = 0.0
-    time_by_tag: dict = field(default_factory=dict)
-    energy_by_tag: dict = field(default_factory=dict)
-    op_counts: dict = field(default_factory=dict)
-    block_busy_s: dict = field(default_factory=dict)
+    time_by_tag: dict = field(default_factory=_float_dict)
+    energy_by_tag: dict = field(default_factory=_float_dict)
+    op_counts: Counter = field(default_factory=Counter)
+    block_busy_s: dict = field(default_factory=_float_dict)
     host_busy_s: float = 0.0
     dram_busy_s: float = 0.0
     n_instructions: int = 0
 
+    def __post_init__(self) -> None:
+        # accept plain dicts from callers; the accumulators below rely on
+        # defaultdict/Counter semantics.
+        if not isinstance(self.time_by_tag, defaultdict):
+            self.time_by_tag = defaultdict(float, self.time_by_tag)
+        if not isinstance(self.energy_by_tag, defaultdict):
+            self.energy_by_tag = defaultdict(float, self.energy_by_tag)
+        if not isinstance(self.op_counts, Counter):
+            self.op_counts = Counter(self.op_counts)
+        if not isinstance(self.block_busy_s, defaultdict):
+            self.block_busy_s = defaultdict(float, self.block_busy_s)
+
     def add(self, tag: str, op: Opcode, duration: float, energy: float) -> None:
-        self.time_by_tag[tag] = self.time_by_tag.get(tag, 0.0) + duration
-        self.energy_by_tag[tag] = self.energy_by_tag.get(tag, 0.0) + energy
-        self.op_counts[op.value] = self.op_counts.get(op.value, 0) + 1
+        self.time_by_tag[tag] += duration
+        self.energy_by_tag[tag] += energy
+        self.op_counts[op.value] += 1
         self.dynamic_energy_j += energy
         self.n_instructions += 1
+
+    def add_batch(self, tag: str, op: Opcode, duration: float, energy: float,
+                  count: int) -> None:
+        """Account ``count`` identical instructions in one call.
+
+        Float-identical to ``count`` serial :meth:`add` calls (left-fold
+        accumulation, see :func:`_fold_add`).
+        """
+        self.time_by_tag[tag] = _fold_add(self.time_by_tag[tag], duration, count)
+        self.energy_by_tag[tag] = _fold_add(self.energy_by_tag[tag], energy, count)
+        self.op_counts[op.value] += count
+        self.dynamic_energy_j = _fold_add(self.dynamic_energy_j, energy, count)
+        self.n_instructions += count
 
     def merge(self, other: "TimingReport") -> None:
         """Fold another report's accounting into this one (sequential join)."""
@@ -63,14 +115,13 @@ class TimingReport:
         self.host_busy_s += other.host_busy_s
         self.dram_busy_s += other.dram_busy_s
         self.n_instructions += other.n_instructions
-        for d_src, d_dst in (
-            (other.time_by_tag, self.time_by_tag),
-            (other.energy_by_tag, self.energy_by_tag),
-            (other.op_counts, self.op_counts),
-            (other.block_busy_s, self.block_busy_s),
-        ):
-            for k, v in d_src.items():
-                d_dst[k] = d_dst.get(k, 0) + v
+        for k, v in other.time_by_tag.items():
+            self.time_by_tag[k] += v
+        for k, v in other.energy_by_tag.items():
+            self.energy_by_tag[k] += v
+        self.op_counts.update(other.op_counts)
+        for k, v in other.block_busy_s.items():
+            self.block_busy_s[k] += v
 
 
 class ChipExecutor:
@@ -125,17 +176,81 @@ class ChipExecutor:
 
     # ------------------------------------------------------------------ #
 
-    def run(self, instructions, functional: bool = True) -> TimingReport:
-        """Execute ``instructions`` in program order; returns the report."""
+    def run(self, instructions, functional: bool = True,
+            batched: bool = False) -> TimingReport:
+        """Execute ``instructions`` in program order; returns the report.
+
+        With ``batched=True`` runs of consecutive same-shape arithmetic/COPY
+        instructions on one block are priced analytically in one shot
+        (vectorized accounting) instead of one dict update per instruction.
+        The resulting report is float-identical to the serial path — the
+        grouped accumulation replays the exact left-fold addition order.
+        """
         report = TimingReport()
-        for inst in instructions:
-            self._dispatch(inst, functional, report)
+        if batched:
+            self._run_batched(instructions, functional, report)
+        else:
+            for inst in instructions:
+                self._dispatch(inst, functional, report)
         report.total_time_s = self._now()
         report.host_busy_s = self._host_clock
         report.dram_busy_s = self._dram_clock
         for b, t in self._block_clock.items():
             report.block_busy_s[b] = t
         return report
+
+    def _run_batched(self, instructions, functional: bool, report: TimingReport) -> None:
+        insts = instructions if isinstance(instructions, (list, tuple)) else list(instructions)
+        i, n = 0, len(insts)
+        while i < n:
+            inst = insts[i]
+            op = inst.op
+            if op in _BATCHABLE_OPS and isinstance(inst.rows, tuple):
+                block, rows, tag = inst.block, inst.rows, inst.tag
+                j = i + 1
+                while j < n:
+                    nxt = insts[j]
+                    if (nxt.op is not op or nxt.block != block
+                            or not isinstance(nxt.rows, tuple)
+                            or nxt.rows != rows or nxt.tag != tag):
+                        break
+                    j += 1
+                if j - i > 1:
+                    self._batched_group(insts[i:j], functional, report)
+                    i = j
+                    continue
+            self._dispatch(inst, functional, report)
+            i += 1
+
+    def _batched_group(self, group, functional: bool, report: TimingReport) -> None:
+        """Price a run of identical-shape arithmetic/COPY ops on one block.
+
+        Per-instruction cost is constant across the group (same opcode and
+        row count), so the block clock and the report accumulators advance
+        by an exact left-fold of ``count`` additions (:func:`_fold_add`) —
+        bit-identical to serial dispatch, without the per-instruction
+        dispatch and dict-update overhead.
+        """
+        inst = group[0]
+        count = len(group)
+        if inst.op is Opcode.COPY:
+            dur = _COPY_NORS * self.costs.device.t_nor_s
+            energy = _COPY_NORS * 32 * self.costs.device.e_nor_j * inst.n_rows
+        else:
+            dur = self.costs.time_s(inst.op.value)
+            energy = self.costs.energy_j(inst.op.value, active_rows=inst.n_rows)
+        start = self._compute_start(inst.block)
+        self._block_clock[inst.block] = _fold_add(start, dur, count)
+        if functional:
+            blk = self.chip.block(inst.block)
+            if inst.op is Opcode.COPY:
+                for g in group:
+                    blk.copy_column(g.rows, g.dst, g.src1)
+            else:
+                fn = getattr(blk, inst.op.value)
+                for g in group:
+                    fn(g.rows, g.dst, g.src1, g.src2)
+        report.add_batch(inst.tag, inst.op, dur, energy, count)
 
     # ------------------------------------------------------------------ #
 
@@ -182,7 +297,9 @@ class ChipExecutor:
         report.add(inst.tag, inst.op, dur, energy)
 
     def _gather(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
-        n_unique = len(np.unique(np.asarray(inst.row_map)))
+        n_unique = inst.n_unique_rows
+        if n_unique is None:  # hand-built instruction: derive on the spot
+            n_unique = len(np.unique(np.asarray(inst.row_map)))
         dur = self.costs.gather_time_s(n_unique)
         energy = self.costs.row_move_energy_j(inst.n_rows, words=inst.words)
         self._block_clock[inst.block] = self._compute_start(inst.block) + dur
@@ -208,17 +325,13 @@ class ChipExecutor:
         report.add(inst.tag, inst.op, dur, energy)
 
     def _transfer_path(self, src: int, dst: int):
-        """(occupied switch keys, wire hops) of an inter-block transfer."""
-        s_tile, s_loc = self.chip.locate(src)
-        d_tile, d_loc = self.chip.locate(dst)
-        if s_tile == d_tile:
-            path = self.chip.tile(s_tile).interconnect.path(s_loc, d_loc)
-            return [(s_tile, sw) for sw in path], len(path), 0.0
-        # cross-tile: climb the source tile, hop the controller, descend.
-        up = self.chip.tile(s_tile).interconnect.path_to_root(s_loc)
-        down = self.chip.tile(d_tile).interconnect.path_to_root(d_loc)
-        keys = [(s_tile, sw) for sw in up] + [(d_tile, sw) for sw in down]
-        return keys, len(up) + len(down), INTER_TILE_HOP_S
+        """(occupied switch keys, wire hops) of an inter-block transfer.
+
+        The topology is static, so the path is memoized per (chip, src,
+        dst) on the chip model itself — see :meth:`PimChip.transfer_path`.
+        """
+        keys, hops, extra, _ = self.chip.transfer_path(src, dst)
+        return keys, hops, extra
 
     def _transfer(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
         src, dst = inst.src_block, inst.block
@@ -226,9 +339,7 @@ class ChipExecutor:
             raise ValueError("TRANSFER needs src_block")
         dev = self.costs.device
         n_rows = inst.n_rows
-        keys, hops, extra = self._transfer_path(src, dst)
-        s_tile, _ = self.chip.locate(src)
-        ic = self.chip.tile(s_tile).interconnect
+        keys, hops, extra, ic = self.chip.transfer_path(src, dst)
         flits = -(-(n_rows * inst.words) // ic.flit_words)
         wire = hops * ic.hop_latency_per_flit * flits + extra
         read_t = n_rows * dev.t_row_read_s
@@ -309,9 +420,8 @@ class ChipExecutor:
         """
         dev = self.costs.device
         n = inst.n_rows
-        keys, hops, extra = self._transfer_path(inst.src_block, inst.block)
-        s_tile, _ = self.chip.locate(inst.src_block)
-        hop_lat = self.chip.tile(s_tile).interconnect.hop_latency_per_flit
+        keys, hops, extra, ic = self.chip.transfer_path(inst.src_block, inst.block)
+        hop_lat = ic.hop_latency_per_flit
         per_row = 2 * dev.t_row_read_s + dev.t_row_write_s + 2 * (hops * hop_lat + extra)
         dur = n * per_row
         ready = max(

@@ -71,6 +71,12 @@ class Instruction:
     row_map:
         For GATHER: sequence such that ``data[r, dst] = data[row_map[r -
         rows[0]], src1]``.
+    n_unique_rows:
+        For GATHER: number of distinct source rows in ``row_map``, the
+        quantity that prices the micro-sequence.  Computed once at emit
+        time (the row map is static) so the executor's hot loop does not
+        re-run ``np.unique`` per dispatch; left ``None`` for hand-built
+        instructions, in which case the executor derives it.
     value:
         For BROADCAST: the constant (or per-row array) to write.
     src_block/words:
@@ -87,6 +93,7 @@ class Instruction:
     src1: int | None = None
     src2: int | None = None
     row_map: object = None
+    n_unique_rows: int | None = None
     value: object = None
     src_block: int | None = None
     src_rows: tuple | None = None

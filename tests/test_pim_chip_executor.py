@@ -258,3 +258,131 @@ class TestExecutor:
         n1 = r1.n_instructions
         r1.merge(r1)
         assert r1.n_instructions == 2 * n1
+
+
+class TestTimingReportMerge:
+    def _report(self, seed: int):
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["512MB"]))
+        insts = [
+            Instruction(Opcode.ADD, block=seed % 4, rows=(0, 4), dst=3, src1=1,
+                        src2=2, tag="volume"),
+            Instruction(Opcode.MUL, block=(seed + 1) % 4, rows=(0, 8), dst=4,
+                        src1=3, src2=2, tag="flux"),
+            Instruction(Opcode.COPY, block=seed % 4, rows=(0, 4), dst=5, src1=3,
+                        tag="volume"),
+        ]
+        return ex.run(insts, functional=False)
+
+    def test_merge_covers_all_accounting_dicts(self):
+        a, b = self._report(0), self._report(1)
+        expect_time = {t: a.time_by_tag.get(t, 0.0) + b.time_by_tag.get(t, 0.0)
+                       for t in set(a.time_by_tag) | set(b.time_by_tag)}
+        expect_energy = {t: a.energy_by_tag.get(t, 0.0) + b.energy_by_tag.get(t, 0.0)
+                         for t in set(a.energy_by_tag) | set(b.energy_by_tag)}
+        expect_ops = {o: a.op_counts.get(o, 0) + b.op_counts.get(o, 0)
+                      for o in set(a.op_counts) | set(b.op_counts)}
+        expect_busy = {k: a.block_busy_s.get(k, 0.0) + b.block_busy_s.get(k, 0.0)
+                       for k in set(a.block_busy_s) | set(b.block_busy_s)}
+        total = a.total_time_s + b.total_time_s
+        energy = a.dynamic_energy_j + b.dynamic_energy_j
+        n = a.n_instructions + b.n_instructions
+
+        a.merge(b)
+        assert dict(a.time_by_tag) == expect_time
+        assert dict(a.energy_by_tag) == expect_energy
+        assert dict(a.op_counts) == expect_ops
+        assert dict(a.block_busy_s) == expect_busy
+        assert a.total_time_s == total
+        assert a.dynamic_energy_j == energy
+        assert a.n_instructions == n
+
+    def test_merge_accepts_plain_dict_report(self):
+        from repro.pim.executor import TimingReport
+
+        a = TimingReport(time_by_tag={"x": 1.0}, energy_by_tag={"x": 2.0},
+                         op_counts={"add": 1}, block_busy_s={0: 1.0})
+        b = TimingReport(time_by_tag={"y": 3.0}, energy_by_tag={"x": 1.0},
+                         op_counts={"mul": 2}, block_busy_s={1: 2.0})
+        a.merge(b)
+        assert dict(a.time_by_tag) == {"x": 1.0, "y": 3.0}
+        assert dict(a.energy_by_tag) == {"x": 3.0}
+        assert dict(a.op_counts) == {"add": 1, "mul": 2}
+        assert dict(a.block_busy_s) == {0: 1.0, 1: 2.0}
+
+
+class TestBatchedExecutor:
+    """The batched analytic mode must be float-identical to serial."""
+
+    def _stream(self):
+        insts = []
+        # long same-shape runs (the batchable case) ...
+        for _ in range(100):
+            insts.append(Instruction(Opcode.ADD, block=0, rows=(0, 64), dst=3,
+                                     src1=1, src2=2, tag="volume"))
+        for _ in range(70):
+            insts.append(Instruction(Opcode.COPY, block=1, rows=(0, 32), dst=2,
+                                     src1=1, tag="flux"))
+        # ... interrupted by non-batchable / shape-changing instructions
+        insts.append(Instruction(Opcode.BARRIER))
+        for b in range(4):
+            insts.append(Instruction(Opcode.SUB, block=b, rows=(0, 16), dst=4,
+                                     src1=3, src2=1, tag="volume"))
+        insts.append(Instruction(Opcode.TRANSFER, block=5, src_block=0,
+                                 rows=(0, 8), src_rows=(0, 8), dst=1, src1=3,
+                                 words=1, tag="fetch"))
+        for _ in range(33):
+            insts.append(Instruction(Opcode.MUL, block=2, rows=(0, 64), dst=5,
+                                     src1=3, src2=1, tag="integration"))
+        insts.append(Instruction(Opcode.HOSTOP, count=100, tag="host"))
+        return insts
+
+    def _boot(self, chip):
+        rng = np.random.default_rng(7)
+        for b in range(6):
+            blk = chip.block(b)
+            blk.data[0:64, 1:4] = rng.standard_normal((64, 3)).astype(np.float32)
+        return ChipExecutor(chip)
+
+    @pytest.mark.parametrize("functional", [False, True])
+    def test_batched_matches_serial_exactly(self, functional):
+        chip_s = PimChip(CHIP_CONFIGS["512MB"])
+        chip_b = PimChip(CHIP_CONFIGS["512MB"])
+        ex_s, ex_b = self._boot(chip_s), self._boot(chip_b)
+        serial = ex_s.run(self._stream(), functional=functional, batched=False)
+        batched = ex_b.run(self._stream(), functional=functional, batched=True)
+
+        assert batched.total_time_s == serial.total_time_s
+        assert batched.dynamic_energy_j == serial.dynamic_energy_j
+        assert dict(batched.time_by_tag) == dict(serial.time_by_tag)
+        assert dict(batched.energy_by_tag) == dict(serial.energy_by_tag)
+        assert dict(batched.op_counts) == dict(serial.op_counts)
+        assert dict(batched.block_busy_s) == dict(serial.block_busy_s)
+        assert batched.host_busy_s == serial.host_busy_s
+        assert batched.n_instructions == serial.n_instructions
+        if functional:
+            for b in range(6):
+                assert np.array_equal(chip_s.block(b).data, chip_b.block(b).data)
+
+    def test_batched_compile_stream_identical(self):
+        """A real kernel stream (the compiler's hot path) prices identically."""
+        from repro.core.kernels.acoustic import AcousticOneBlockKernels
+        from repro.core.mapper import ElementMapper
+        from repro.dg import AcousticMaterial, HexMesh, ReferenceElement
+
+        mesh = HexMesh.from_refinement_level(1)
+        elem = ReferenceElement(2)
+        mat = AcousticMaterial.homogeneous(mesh.n_elements)
+        chip_cfg = CHIP_CONFIGS["512MB"]
+        mapper = ElementMapper(mesh.m, chip_cfg, 1)
+        kern = AcousticOneBlockKernels(mesh, elem, mat, mapper, "riemann")
+        insts = kern.volume() + kern.flux() + kern.integration(0, 1e-4)
+
+        serial = ChipExecutor(PimChip(chip_cfg)).run(insts, functional=False)
+        batched = ChipExecutor(PimChip(chip_cfg)).run(insts, functional=False,
+                                                      batched=True)
+        assert batched.total_time_s == serial.total_time_s
+        assert batched.dynamic_energy_j == serial.dynamic_energy_j
+        assert dict(batched.time_by_tag) == dict(serial.time_by_tag)
+        assert dict(batched.energy_by_tag) == dict(serial.energy_by_tag)
+        assert dict(batched.op_counts) == dict(serial.op_counts)
+        assert dict(batched.block_busy_s) == dict(serial.block_busy_s)
