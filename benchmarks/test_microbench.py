@@ -139,11 +139,27 @@ def test_perf_regression_guard():
     from pathlib import Path
 
     from repro.core.compiler import WavePimCompiler
+    from repro.obs import get_metrics
+
+    metrics = get_metrics()
 
     def compile_once():
         WavePimCompiler(order=3).compile("acoustic", 2, CHIP_CONFIGS["512MB"])
 
+    emitted0 = metrics.value("compiler.instructions_emitted")
+    compiles0 = metrics.value("compiler.compiles")
+    hits0 = metrics.value("cache.hits")
+    misses0 = metrics.value("cache.misses")
     compile_s = _best_of(compile_once)
+    # Instructions are only emitted by *uncached* compiles, so normalize by
+    # the number of compiles that actually ran rather than by rounds.
+    emitted = metrics.value("compiler.instructions_emitted") - emitted0
+    compiles = metrics.value("compiler.compiles") - compiles0
+    instructions_emitted = emitted // compiles if compiles else None
+    hits = metrics.value("cache.hits") - hits0
+    misses = metrics.value("cache.misses") - misses0
+    accesses = hits + misses
+    cache_hit_rate = hits / accesses if accesses else None
 
     mesh = HexMesh.from_refinement_level(1)
     elem = ReferenceElement(2)
@@ -164,6 +180,8 @@ def test_perf_regression_guard():
         "speedup_vs_seed": {
             k: SEED_BASELINE[k] / max(v, 1e-12) for k, v in current.items()
         },
+        "instructions_emitted": instructions_emitted,
+        "cache_hit_rate": cache_hit_rate,
     }
 
     path = Path(__file__).resolve().parents[1] / "BENCH_perf.json"

@@ -47,6 +47,7 @@ from repro.gpu import CPU_BASELINE, GPU_SPECS
 from repro.workloads import BENCHMARKS, benchmark_list, count_benchmark
 from repro.eval import EXPERIMENTS, run_experiment
 from repro.apps import TimeReversalImager
+from repro.obs import configure_logging, get_logger, get_metrics, get_tracer
 
 __version__ = "1.0.0"
 
@@ -84,5 +85,10 @@ __all__ = [
     "EXPERIMENTS",
     "run_experiment",
     "TimeReversalImager",
+    # observability
+    "configure_logging",
+    "get_logger",
+    "get_metrics",
+    "get_tracer",
     "__version__",
 ]

@@ -8,15 +8,22 @@ Commands
 ``simulate``               run a small demo wave simulation
 ``all``                    regenerate every artifact (the EXPERIMENTS.md set)
 ``cache stats|clear``      inspect or wipe the persistent compile cache
+``trace summary <file>``   summarize a trace written by ``--profile``
 
 Performance knobs: ``--jobs N`` (or ``REPRO_JOBS``) compiles the experiment
 matrix with N worker processes; ``--no-cache`` (or ``REPRO_NO_CACHE=1``)
 bypasses the on-disk compile cache in ``REPRO_CACHE_DIR``.
+
+Observability knobs: ``--profile`` records a span/metric trace and writes
+it as JSON (plus a Chrome ``trace_event`` sibling) to ``--trace-file`` /
+``REPRO_TRACE_FILE``; ``--log-level`` (or ``REPRO_LOG_LEVEL``) tunes the
+package-wide logger.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -30,6 +37,17 @@ from repro import (
     run_experiment,
 )
 from repro.core.cache import default_cache
+from repro.obs import (
+    build_document,
+    configure_logging,
+    format_duration,
+    get_metrics,
+    get_tracer,
+    load_trace,
+    render_tree,
+    summarize,
+    write_trace,
+)
 
 
 def _configure_cache(args) -> None:
@@ -43,7 +61,29 @@ def _cache_status(elapsed_s: float) -> str:
     state = f"{s.hits} hit{'s' if s.hits != 1 else ''}, {s.misses} miss{'es' if s.misses != 1 else ''}"
     if not cache.enabled:
         state = "disabled"
-    return f"[compile cache: {state}] elapsed {elapsed_s:.2f}s"
+    return f"[compile cache: {state}] elapsed {format_duration(elapsed_s)}"
+
+
+def _profile_begin(args) -> bool:
+    """Arm the tracer/metrics for a ``--profile`` run. Returns armed state."""
+    if not getattr(args, "profile", False):
+        return False
+    tracer = get_tracer()
+    tracer.clear()
+    tracer.enable()
+    get_metrics().reset()
+    return True
+
+
+def _profile_end(args, command: str) -> None:
+    """Export the recorded trace: tree to stderr, JSON + Chrome to disk."""
+    tracer = get_tracer()
+    tracer.disable()
+    doc = build_document(tracer, get_metrics(), meta={"command": command})
+    print(render_tree(doc), file=sys.stderr)
+    path = getattr(args, "trace_file", None) or os.environ.get("REPRO_TRACE_FILE") or "repro_trace.json"
+    json_path, chrome_path = write_trace(doc, path)
+    print(f"[trace: {json_path} ({chrome_path} for chrome://tracing)]", file=sys.stderr)
 
 
 def _cmd_experiments(_args) -> int:
@@ -59,28 +99,45 @@ def _cmd_run(args) -> int:
     kwargs = {}
     if args.order is not None:
         kwargs["order"] = args.order
+    profiling = _profile_begin(args)
     t0 = time.perf_counter()
     try:
-        table = run_experiment(args.id, jobs=args.jobs, **kwargs)
-    except (KeyError, ValueError) as exc:
-        print(exc, file=sys.stderr)
-        return 2
-    print(table.render())
+        with get_tracer().span(f"run/{args.id}"):
+            try:
+                table = run_experiment(args.id, jobs=args.jobs, **kwargs)
+            except (KeyError, ValueError) as exc:
+                print(exc, file=sys.stderr)
+                return 2
+            with get_tracer().span("report", experiment=args.id):
+                rendered = table.render()
+        print(rendered)
+    finally:
+        if profiling:
+            _profile_end(args, f"run {args.id}")
     print(_cache_status(time.perf_counter() - t0), file=sys.stderr)
     return 0
 
 
 def _cmd_all(args) -> int:
     _configure_cache(args)
+    profiling = _profile_begin(args)
     t0 = time.perf_counter()
-    for name in EXPERIMENTS:
-        kwargs = {"order": args.order} if args.order is not None else {}
-        try:
-            print(run_experiment(name, jobs=args.jobs, **kwargs).render())
-        except ValueError as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        print()
+    try:
+        for name in EXPERIMENTS:
+            kwargs = {"order": args.order} if args.order is not None else {}
+            with get_tracer().span(f"run/{name}"):
+                try:
+                    table = run_experiment(name, jobs=args.jobs, **kwargs)
+                except ValueError as exc:
+                    print(exc, file=sys.stderr)
+                    return 2
+                with get_tracer().span("report", experiment=name):
+                    rendered = table.render()
+            print(rendered)
+            print()
+    finally:
+        if profiling:
+            _profile_end(args, "all")
     print(_cache_status(time.perf_counter() - t0), file=sys.stderr)
     return 0
 
@@ -127,13 +184,38 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    try:
+        doc = load_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.file!r}: {exc}", file=sys.stderr)
+        return 2
+    print(summarize(doc))
+    return 0
+
+
 def main(argv=None) -> int:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--log-level", default=None,
+        metavar="LEVEL",
+        help="logging level for the repro package "
+             "(debug/info/warning/error; default: REPRO_LOG_LEVEL or info)")
+
+    profiled = argparse.ArgumentParser(add_help=False)
+    profiled.add_argument("--profile", action="store_true",
+                          help="record a span/metric trace and write it as JSON "
+                               "(+ Chrome trace_event sibling)")
+    profiled.add_argument("--trace-file", default=None, metavar="PATH",
+                          help="trace output path (default: REPRO_TRACE_FILE "
+                               "or repro_trace.json)")
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("experiments").set_defaults(fn=_cmd_experiments)
+    sub.add_parser("experiments", parents=[common]).set_defaults(fn=_cmd_experiments)
 
-    p = sub.add_parser("run")
+    p = sub.add_parser("run", parents=[common, profiled])
     p.add_argument("id")
     p.add_argument("--order", type=int, default=None,
                    help="element order (default: the paper's 7)")
@@ -143,7 +225,7 @@ def main(argv=None) -> int:
                    help="bypass the persistent compile cache")
     p.set_defaults(fn=_cmd_run)
 
-    p = sub.add_parser("all")
+    p = sub.add_parser("all", parents=[common, profiled])
     p.add_argument("--order", type=int, default=None)
     p.add_argument("--jobs", type=int, default=None,
                    help="compile worker processes (default: REPRO_JOBS or 1)")
@@ -151,24 +233,32 @@ def main(argv=None) -> int:
                    help="bypass the persistent compile cache")
     p.set_defaults(fn=_cmd_all)
 
-    p = sub.add_parser("cache")
+    p = sub.add_parser("cache", parents=[common])
     p.add_argument("action", choices=["stats", "clear"])
     p.set_defaults(fn=_cmd_cache)
 
-    p = sub.add_parser("plan")
+    p = sub.add_parser("plan", parents=[common])
     p.add_argument("physics", choices=["acoustic", "elastic"])
     p.add_argument("level", type=int)
     p.add_argument("chip", choices=list(CHIP_CONFIGS))
     p.set_defaults(fn=_cmd_plan)
 
-    p = sub.add_parser("simulate")
+    p = sub.add_parser("simulate", parents=[common])
     p.add_argument("--physics", default="acoustic", choices=["acoustic", "elastic"])
     p.add_argument("--level", type=int, default=2)
     p.add_argument("--order", type=int, default=None)
     p.add_argument("--steps", type=int, default=100)
     p.set_defaults(fn=_cmd_simulate)
 
+    p = sub.add_parser("trace", parents=[common],
+                       help="inspect a trace recorded with --profile")
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+    ps = trace_sub.add_parser("summary")
+    ps.add_argument("file")
+    ps.set_defaults(fn=_cmd_trace)
+
     args = parser.parse_args(argv)
+    configure_logging(getattr(args, "log_level", None))
     return args.fn(args)
 
 

@@ -33,6 +33,8 @@ import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs import get_metrics
+
 __all__ = [
     "SCHEMA_VERSION",
     "CacheStats",
@@ -85,12 +87,24 @@ def compile_fingerprint(physics: str, refinement_level: int, chip,
 
 @dataclass
 class CacheStats:
-    """Per-process hit/miss accounting of one :class:`CompileCache`."""
+    """Per-instance hit/miss accounting of one :class:`CompileCache`.
+
+    Every field is mirrored into the process-wide metrics registry
+    (``cache.hits``, ``cache.misses``, ``cache.stores``, ``cache.errors``,
+    ``cache.bytes_read``, ``cache.bytes_written``) so traces and the
+    BENCH_perf.json guard see cache behaviour across *all* instances.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     errors: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def record(self, field_name: str, n: int = 1) -> None:
+        setattr(self, field_name, getattr(self, field_name) + n)
+        get_metrics().inc(f"cache.{field_name}", n)
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -116,20 +130,22 @@ class CompileCache:
         path = self._path(key)
         try:
             with open(path, "rb") as fh:
-                value = pickle.load(fh)
+                blob = fh.read()
+            value = pickle.loads(blob)
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.record("misses")
             return None
         except Exception:
             # truncated/corrupted/incompatible pickle: drop it and recompile
-            self.stats.errors += 1
-            self.stats.misses += 1
+            self.stats.record("errors")
+            self.stats.record("misses")
             try:
                 path.unlink()
             except OSError:
                 pass
             return None
-        self.stats.hits += 1
+        self.stats.record("hits")
+        self.stats.record("bytes_read", len(blob))
         return value
 
     def put(self, key: str, value) -> None:
@@ -138,18 +154,20 @@ class CompileCache:
             return
         try:
             self.root.mkdir(parents=True, exist_ok=True)
+            blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
             fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(blob)
                 os.replace(tmp, self._path(key))
             finally:
                 if os.path.exists(tmp):
                     os.unlink(tmp)
         except OSError:
-            self.stats.errors += 1
+            self.stats.record("errors")
             return
-        self.stats.stores += 1
+        self.stats.record("stores")
+        self.stats.record("bytes_written", len(blob))
 
     # ------------------------------------------------------------------ #
 

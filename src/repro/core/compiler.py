@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.core.batching import batch_dram_traffic
 from repro.core.cache import compile_fingerprint
+from repro.obs import get_logger, get_metrics, get_tracer
 from repro.core.kernels.acoustic import AcousticFourBlockKernels, AcousticOneBlockKernels
 from repro.core.kernels.elastic import ElasticFourBlockKernels
 from repro.core.mapper import ElementMapper
@@ -38,6 +39,8 @@ from repro.pim.isa import Opcode
 from repro.pim.params import ChipConfig
 
 __all__ = ["WavePimCompiler", "CompiledBenchmark"]
+
+log = get_logger(__name__)
 
 #: Host pre-processing per element per RK stage (sqrt + inverse refresh
 #: for the flux coefficients; materials are per-element constants).
@@ -134,15 +137,23 @@ class WavePimCompiler:
         miss stores the fresh result for future processes.
         """
         order = self.order if order is None else order
-        if cache is not None:
-            key = compile_fingerprint(physics, refinement_level, chip, flux_kind, order)
-            hit = cache.get(key)
-            if hit is not None:
-                return hit
-            result = self._compile_uncached(physics, refinement_level, chip, flux_kind, order)
-            cache.put(key, result)
-            return result
-        return self._compile_uncached(physics, refinement_level, chip, flux_kind, order)
+        with get_tracer().span(
+            f"compile/{physics}_{refinement_level}",
+            chip=chip.name, flux=flux_kind, order=order,
+            interconnect=chip.interconnect,
+        ) as sp:
+            if cache is not None:
+                key = compile_fingerprint(physics, refinement_level, chip, flux_kind, order)
+                hit = cache.get(key)
+                if hit is not None:
+                    sp.set(cache="hit")
+                    return hit
+                result = self._compile_uncached(physics, refinement_level, chip, flux_kind, order)
+                cache.put(key, result)
+                sp.set(cache="miss")
+                return result
+            sp.set(cache="off")
+            return self._compile_uncached(physics, refinement_level, chip, flux_kind, order)
 
     def _compile_uncached(
         self,
@@ -152,7 +163,11 @@ class WavePimCompiler:
         flux_kind: str,
         order: int,
     ) -> CompiledBenchmark:
-        plan = plan_configuration(physics, refinement_level, chip)
+        tracer = get_tracer()
+        log.debug("compiling %s_%d on %s (%s flux, order %d)",
+                  physics, refinement_level, chip.name, flux_kind, order)
+        with tracer.span("compile/plan"):
+            plan = plan_configuration(physics, refinement_level, chip)
         mesh = HexMesh.from_refinement_level(refinement_level)
         element = self._ref_element(order)
 
@@ -162,8 +177,9 @@ class WavePimCompiler:
             else np.arange(plan.elements_per_batch)
         )
         g = 4 if plan.blocks_per_element == 12 else plan.blocks_per_element
-        mapper = ElementMapper(mesh.m, chip, g, elements=batch_elements)
-        kern = self._build_kernels(physics, flux_kind, mesh, element, mapper)
+        with tracer.span("compile/kernels", plan=plan.label):
+            mapper = ElementMapper(mesh.m, chip, g, elements=batch_elements)
+            kern = self._build_kernels(physics, flux_kind, mesh, element, mapper)
 
         interior = true_interior = self._interior_elements(mapper, mesh)
         if not interior:
@@ -177,22 +193,28 @@ class WavePimCompiler:
         rep = [interior[len(interior) // 2]]
 
         chip_model = PimChip(chip)
+        emitted = 0
 
-        def run(insts):
-            ex = ChipExecutor(chip_model)
-            return ex.run(insts, functional=False, batched=True)
+        def run(insts, label):
+            nonlocal emitted
+            emitted += len(insts)
+            with tracer.span(f"compile/{label}", instructions=len(insts)):
+                ex = ChipExecutor(chip_model)
+                return ex.run(insts, functional=False, batched=True)
 
         # -- lane times from representative streams ----------------------- #
-        vol = run(kern.volume(elements=rep))
-        integ = run(kern.integration(0, 1e-4, elements=rep))
+        vol = run(kern.volume(elements=rep), "volume_kernel")
+        integ = run(kern.integration(0, 1e-4, elements=rep), "integration_kernel")
 
         def sans_fetch(insts):
             """Compute lane: the flux stream with its fetches stripped
             (they are scheduled on their own Fig. 13 lane)."""
             return [i for i in insts if not (i.op is Opcode.TRANSFER and "fetch" in i.tag)]
 
-        flux_m_c = run(sans_fetch(kern.flux(faces=MINUS_FACES, elements=rep)))
-        flux_p_c = run(sans_fetch(kern.flux(faces=PLUS_FACES, elements=rep)))
+        flux_m_c = run(sans_fetch(kern.flux(faces=MINUS_FACES, elements=rep)),
+                       "flux_minus_kernel")
+        flux_p_c = run(sans_fetch(kern.flux(faces=PLUS_FACES, elements=rep)),
+                       "flux_plus_kernel")
 
         # -- tile-level fetch contention ---------------------------------- #
         # the fetch stream covers fully-interior elements only (thin-batch
@@ -200,8 +222,16 @@ class WavePimCompiler:
         # so filter the *true* interior set, reused instead of recomputed.
         rep_tile = mapper.tile_of(interior[0])
         tile_elems = [e for e in true_interior if mapper.tile_of(e) == rep_tile]
-        fetch_m = run(self._fetch_only(kern, MINUS_FACES, tile_elems)).total_time_s
-        fetch_p = run(self._fetch_only(kern, PLUS_FACES, tile_elems)).total_time_s
+        fetch_m = run(self._fetch_only(kern, MINUS_FACES, tile_elems),
+                      "fetch_minus_kernel").total_time_s
+        fetch_p = run(self._fetch_only(kern, PLUS_FACES, tile_elems),
+                      "fetch_plus_kernel").total_time_s
+
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("compiler.compiles")
+            metrics.inc("compiler.instructions_emitted", emitted)
+            metrics.inc(f"compiler.instructions_emitted.{type(kern).__name__}", emitted)
 
         host_t = ChipExecutor(chip_model).host.time_s(
             HOST_OPS_PER_ELEMENT_STAGE * mapper.n_elements

@@ -26,6 +26,7 @@ __all__ = [
     "pipelined_stage_time",
     "serial_stage_time",
     "pipeline_timeline",
+    "timeline_trace_events",
     "TimelineEntry",
 ]
 
@@ -108,3 +109,34 @@ def pipeline_timeline(st: StageTimes) -> list:
         TimelineEntry("flux_compute", "Flux (+1) compute", t2, t3),
         TimelineEntry("integration", "Integration", t3, t4),
     ]
+
+
+#: stable Chrome-trace lane (tid) per Fig. 13 lane name.
+_LANE_TIDS = {
+    "cpu_host": 100, "volume": 101, "flux_fetch": 102,
+    "flux_compute": 103, "integration": 104,
+}
+
+
+def timeline_trace_events(st: StageTimes, origin_s: float = 0.0) -> list:
+    """The Fig. 13 timeline as Chrome ``trace_event`` dicts.
+
+    Each lane becomes its own ``tid`` so Perfetto renders the overlap
+    structure exactly like the paper's figure; ``origin_s`` places the
+    stage on an absolute trace timeline (e.g. the enclosing span's start).
+    """
+    events = []
+    for entry in pipeline_timeline(st):
+        events.append(
+            {
+                "name": entry.label,
+                "cat": "pipeline",
+                "ph": "X",
+                "ts": (origin_s + entry.start) * 1e6,
+                "dur": entry.duration * 1e6,
+                "pid": 0,
+                "tid": _LANE_TIDS.get(entry.lane, 105),
+                "args": {"lane": entry.lane},
+            }
+        )
+    return events

@@ -23,9 +23,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs import get_logger, get_metrics
 from repro.pim.params import CHIP_CONFIGS, ChipConfig
 
 __all__ = ["Plan", "plan_configuration", "TABLE5_BENCHMARKS", "PAPER_TABLE5"]
+
+log = get_logger(__name__)
 
 #: blocks per element before/after parallelism expansion
 _BASE_BPE = {"acoustic": 1, "elastic": 4}
@@ -76,6 +79,17 @@ class Plan:
 
 def plan_configuration(physics: str, refinement_level: int, chip: ChipConfig) -> Plan:
     """Resolve the Table 5 technique choice for one benchmark/chip pair."""
+    plan = _resolve_plan(physics, refinement_level, chip)
+    get_metrics().inc("planner.plans")
+    log.debug(
+        "plan %s_%d on %s: %s (blocks/elt=%d, batches=%d, utilization=%.0f%%)",
+        physics, refinement_level, chip.name, plan.label,
+        plan.blocks_per_element, plan.n_batches, 100 * plan.utilization,
+    )
+    return plan
+
+
+def _resolve_plan(physics: str, refinement_level: int, chip: ChipConfig) -> Plan:
     if physics not in _BASE_BPE:
         raise ValueError(f"physics must be 'acoustic' or 'elastic', got {physics!r}")
     n_elements = (2**refinement_level) ** 3

@@ -13,7 +13,9 @@ from dataclasses import dataclass
 
 from repro.core.compiler import CompiledBenchmark, WavePimCompiler
 from repro.core.pipeline import pipelined_stage_time, serial_stage_time
+from repro.obs import get_metrics, get_tracer
 from repro.pim.chip import PimChip
+from repro.pim.energy import EnergyAccount
 from repro.pim.hbm import HbmModel
 from repro.pim.params import DEFAULT_SCALING, ChipConfig, ProcessScaling
 
@@ -58,6 +60,16 @@ def estimate_benchmark(
     scaling: ProcessScaling = DEFAULT_SCALING,
 ) -> PimRunEstimate:
     """Turn a compiled benchmark into wall-clock time and energy."""
+    with get_tracer().span(
+        "execute/estimate", benchmark=compiled.name, chip=compiled.chip.name,
+        n_steps=n_steps, pipelined=pipelined, scaled_12nm=scale_to_12nm,
+    ) as sp:
+        est = _estimate(compiled, n_steps, pipelined, scale_to_12nm, scaling)
+        sp.set(time_s=est.time_s, energy_j=est.energy_j)
+    return est
+
+
+def _estimate(compiled, n_steps, pipelined, scale_to_12nm, scaling) -> PimRunEstimate:
     st = compiled.stage_times
     stage = pipelined_stage_time(st) if pipelined else serial_stage_time(st)
 
@@ -83,6 +95,16 @@ def estimate_benchmark(
     if scale_to_12nm:
         time_s /= scaling.performance
         energy_j /= scaling.energy
+
+    metrics = get_metrics()
+    if metrics.enabled:
+        metrics.inc("runtime.estimates")
+        account = EnergyAccount()
+        account.add("dynamic", dynamic)
+        account.add("static", static)
+        account.add("hbm", hbm_energy)
+        account.add("host", host_energy)
+        account.publish(metrics, prefix="runtime.energy_j")
 
     return PimRunEstimate(
         compiled=compiled,

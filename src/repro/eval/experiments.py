@@ -10,6 +10,7 @@ points) rather than absolute numbers.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from functools import lru_cache
 
@@ -21,6 +22,17 @@ from repro.core.pipeline import (
     pipeline_timeline,
     pipelined_stage_time,
     serial_stage_time,
+    timeline_trace_events,
+)
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    format_duration,
+    get_logger,
+    get_metrics,
+    get_tracer,
+    set_metrics,
+    set_tracer,
 )
 from repro.core.planner import PAPER_TABLE5, full_table5
 from repro.core.runtime import estimate_benchmark
@@ -58,6 +70,8 @@ __all__ = [
 
 #: time-steps per benchmark run (paper §3.1 uses 1024).
 N_STEPS = 1024
+
+log = get_logger(__name__)
 
 _COMPILER_CACHE: dict = {}
 
@@ -129,10 +143,30 @@ def _cells_for(name: str, order: int) -> list:
 
 
 def _compile_cell(cell):
-    """Worker-side compile of one cell (module-level: must pickle)."""
+    """Worker-side compile of one cell (module-level: must pickle).
+
+    Returns ``(cell, compiled, obs_payload)``.  When the parent enabled
+    profiling (``REPRO_TRACE=1`` in the worker's environment), the compile
+    runs against a *fresh* tracer and metrics registry — not the globals,
+    which under ``fork`` contain a copy of the parent's recording — and the
+    payload carries the worker's spans + metric counts back for merging.
+    """
     physics, level, chip_name, flux, order, interconnect = cell
     chip = CHIP_CONFIGS[chip_name].with_interconnect(interconnect)
-    return cell, WavePimCompiler(order=order).compile(physics, level, chip, flux)
+    profiling = os.environ.get("REPRO_TRACE", "") in ("1", "true", "yes")
+    if not profiling:
+        return cell, WavePimCompiler(order=order).compile(physics, level, chip, flux), None
+    local_tracer = Tracer(enabled=True)
+    local_metrics = MetricsRegistry()
+    old_tracer = set_tracer(local_tracer)
+    old_metrics = set_metrics(local_metrics)
+    try:
+        cb = WavePimCompiler(order=order).compile(physics, level, chip, flux)
+    finally:
+        set_tracer(old_tracer)
+        set_metrics(old_metrics)
+    payload = {"spans": local_tracer.export(), "metrics": local_metrics.snapshot()}
+    return cell, cb, payload
 
 
 def warm_compile_grid(order: int = 7, jobs=None, cells=None) -> int:
@@ -163,16 +197,34 @@ def warm_compile_grid(order: int = 7, jobs=None, cells=None) -> int:
         missing = still
     if not missing:
         return 0
+    log.info("compile grid: %d missing cell(s), %d job(s)", len(missing), jobs)
+    tracer = get_tracer()
     if jobs == 1:
         for cell in missing:
             _compiled(*cell)
         return len(missing)
-    with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
-        for cell, cb in pool.map(_compile_cell, missing):
-            _COMPILED[cell] = cb
-            physics, level, chip_name, flux, cell_order, ic = cell
-            chip = CHIP_CONFIGS[chip_name].with_interconnect(ic)
-            cache.put(compile_fingerprint(physics, level, chip, flux, cell_order), cb)
+    # propagate profiling into the worker processes via the environment
+    # (ProcessPoolExecutor workers inherit os.environ at spawn/fork time).
+    env_trace = os.environ.get("REPRO_TRACE")
+    if tracer.enabled:
+        os.environ["REPRO_TRACE"] = "1"
+    try:
+        with tracer.span("compile/fanout", jobs=jobs, cells=len(missing)):
+            with ProcessPoolExecutor(max_workers=min(jobs, len(missing))) as pool:
+                for cell, cb, payload in pool.map(_compile_cell, missing):
+                    _COMPILED[cell] = cb
+                    physics, level, chip_name, flux, cell_order, ic = cell
+                    chip = CHIP_CONFIGS[chip_name].with_interconnect(ic)
+                    cache.put(compile_fingerprint(physics, level, chip, flux, cell_order), cb)
+                    if payload:
+                        tracer.adopt(payload.get("spans"), worker=True)
+                        get_metrics().merge(payload.get("metrics") or {})
+    finally:
+        if tracer.enabled:
+            if env_trace is None:
+                os.environ.pop("REPRO_TRACE", None)
+            else:
+                os.environ["REPRO_TRACE"] = env_trace
     return len(missing)
 
 
@@ -444,6 +496,11 @@ def fig13_pipeline(order: int = 7, chip_name: str = "2GB") -> Table:
         f"no-pipeline throughput = {ratio:.2f}x of pipelined "
         f"(paper: {PAPER_NO_PIPELINE_THROUGHPUT}x)"
     )
+    tracer = get_tracer()
+    if tracer.enabled:
+        # smuggle the Fig. 13 lanes into the Chrome export (see obs.export)
+        sp = tracer.current()
+        sp.set(chrome_events=timeline_trace_events(st, origin_s=sp.start_s))
     return t
 
 
@@ -653,8 +710,20 @@ def run_experiment(name: str, jobs=None, **kwargs) -> Table:
     except KeyError:
         raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}") from None
     jobs = _resolve_jobs(jobs)
-    if jobs > 1:
-        cells = _cells_for(name, kwargs.get("order", 7))
-        if cells:
-            warm_compile_grid(order=kwargs.get("order", 7), jobs=jobs, cells=cells)
-    return fn(**kwargs)
+    order = kwargs.get("order", 7)
+    tracer = get_tracer()
+    t0 = time.perf_counter()
+    log.info("experiment %s: starting (order=%d, jobs=%d)", name, order, jobs)
+    with tracer.span(f"experiment/{name}", order=order, jobs=jobs):
+        # the compile phase prewarms every cell the experiment needs; under
+        # profiling it runs even with jobs=1 so compile time is attributed
+        # to its own span instead of hiding inside the execute phase.
+        with tracer.span("compile", experiment=name) as sp:
+            cells = _cells_for(name, order)
+            if cells and (jobs > 1 or tracer.enabled):
+                compiled = warm_compile_grid(order=order, jobs=jobs, cells=cells)
+                sp.set(cells=len(cells), compiled=compiled)
+        with tracer.span("execute", experiment=name):
+            table = fn(**kwargs)
+    log.info("experiment %s: done in %s", name, format_duration(time.perf_counter() - t0))
+    return table

@@ -25,6 +25,15 @@ class Table:
     def column(self, name: str) -> list:
         return [r[name] for r in self.rows]
 
+    def as_dict(self) -> dict:
+        """JSON-able view (used by trace attributes and exporters)."""
+        return {
+            "title": self.title,
+            "columns": list(self.columns),
+            "rows": [dict(r) for r in self.rows],
+            "notes": list(self.notes),
+        }
+
     def render(self) -> str:
         return format_table(self)
 

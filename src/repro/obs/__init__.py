@@ -1,0 +1,70 @@
+"""``repro.obs`` — observability for the compile → execute → evaluate pipeline.
+
+Zero-dependency tracing, metrics and logging, wired through the hot paths
+(:mod:`repro.core.compiler`, :mod:`repro.core.cache`,
+:mod:`repro.pim.executor`, :mod:`repro.eval.experiments`):
+
+* :func:`get_tracer` / :class:`~repro.obs.tracer.Tracer` — nested spans
+  with attributes; off by default (``REPRO_TRACE=1`` or ``--profile``);
+* :func:`get_metrics` / :class:`~repro.obs.metrics.MetricsRegistry` —
+  counters + histograms (cache hits, instructions emitted, per-phase
+  executor cycles, interconnect hop counts, ...);
+* :func:`configure_logging` / :func:`get_logger` — the package ``logging``
+  config behind the CLI's ``--log-level``;
+* :mod:`repro.obs.export` — stderr tree, JSON (``REPRO_TRACE_FILE``) and
+  Chrome ``trace_event`` exporters.
+
+This package imports nothing from the rest of ``repro`` (and no third
+party code), so any module may instrument itself without import cycles.
+"""
+
+from repro.obs.log import ROOT_LOGGER_NAME, configure_logging, get_logger
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    set_metrics,
+)
+from repro.obs.tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer, trace_span
+from repro.obs.export import (
+    TRACE_SCHEMA_VERSION,
+    build_document,
+    chrome_trace,
+    default_trace_path,
+    format_duration,
+    load_trace,
+    render_tree,
+    summarize,
+    write_trace,
+)
+
+__all__ = [
+    # tracing
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "trace_span",
+    # metrics
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "set_metrics",
+    # logging
+    "ROOT_LOGGER_NAME",
+    "configure_logging",
+    "get_logger",
+    # export
+    "TRACE_SCHEMA_VERSION",
+    "build_document",
+    "chrome_trace",
+    "default_trace_path",
+    "format_duration",
+    "load_trace",
+    "render_tree",
+    "summarize",
+    "write_trace",
+]

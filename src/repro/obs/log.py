@@ -1,0 +1,74 @@
+"""Package-wide ``logging`` configuration for ``repro``.
+
+Every module logs through a child of the ``repro`` logger::
+
+    from repro.obs import get_logger
+    log = get_logger(__name__)
+    log.info("compile grid: %d missing cells", n)
+
+Nothing is emitted until :func:`configure_logging` attaches the stderr
+handler — importing the library never touches global logging state.  The
+CLI wires ``--log-level`` (default ``info``, env ``REPRO_LOG_LEVEL``)
+through here, so ``--log-level warning`` gives quiet batch runs.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+__all__ = ["ROOT_LOGGER_NAME", "configure_logging", "get_logger"]
+
+ROOT_LOGGER_NAME = "repro"
+
+_ENV_LOG_LEVEL = "REPRO_LOG_LEVEL"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATEFMT = "%H:%M:%S"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (module ``__name__`` is fine)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def resolve_level(level) -> int:
+    """``"info"``/``"INFO"``/``20`` -> ``logging.INFO`` (ValueError otherwise)."""
+    if isinstance(level, int):
+        return level
+    value = logging.getLevelName(str(level).upper())
+    if not isinstance(value, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return value
+
+
+def configure_logging(level=None, stream=None) -> logging.Logger:
+    """Attach (or retune) the stderr handler on the ``repro`` root logger.
+
+    Idempotent: repeated calls adjust the level of the existing handler
+    instead of stacking duplicates.  ``level`` defaults to
+    ``REPRO_LOG_LEVEL`` and then ``info``.
+    """
+    if level is None:
+        level = os.environ.get(_ENV_LOG_LEVEL, "info")
+    resolved = resolve_level(level)
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    root.setLevel(resolved)
+    root.propagate = False
+    handler = next(
+        (h for h in root.handlers if getattr(h, "_repro_handler", False)), None
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_handler = True
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt=_DATEFMT))
+        root.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)
+    handler.setLevel(resolved)
+    return root

@@ -1,0 +1,178 @@
+"""Process-wide metrics: named counters and histograms.
+
+The registry is intentionally tiny — a flat namespace of monotonically
+increasing :class:`Counter` values and fixed-bucket :class:`Histogram`
+distributions — because every consumer (the JSON trace document, the
+BENCH_perf.json guard, ``repro trace summary``) wants a plain dict
+snapshot, not a scrape endpoint.
+
+Hot paths must not pay per-instruction costs: the executor, compiler and
+cache publish *aggregates* (once per run / compile / lookup), so the
+always-on default costs a handful of dict operations per call.  Snapshots
+merge associatively, which is how ``--jobs N`` worker processes fold their
+counts back into the parent registry.
+
+Metric namespace (see DESIGN.md "Observability"):
+
+``compiler.*``      compiles, instructions_emitted (total + per kernel class)
+``cache.*``         hits / misses / stores / errors / bytes_read / bytes_written
+``executor.*``      runs, instructions, ops.<opcode>, cycles.<phase>
+``interconnect.*``  <kind>.transfers / hops / flits / bytes
+``runtime.*``       estimates, energy_j.<component>
+``planner.plans``   resolved Table-5 decisions
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "get_metrics", "set_metrics"]
+
+#: default histogram bucket upper bounds (counts land in the first bucket
+#: whose bound is >= the value; everything above the last bound is "inf").
+DEFAULT_BOUNDS = (1, 4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144)
+
+
+class Counter:
+    """A named, monotonically increasing value (int or float)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        self.value += n
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max."""
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, name: str, bounds=DEFAULT_BOUNDS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[i] += 1
+                return
+        self.buckets[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.bounds),
+            "buckets": list(self.buckets),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe flat registry of counters and histograms."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict = {}
+        self._histograms: dict = {}
+
+    # -- recording ------------------------------------------------------- #
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name))
+        return c
+
+    def histogram(self, name: str, bounds=DEFAULT_BOUNDS) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram(name, bounds))
+        return h
+
+    def inc(self, name: str, n=1) -> None:
+        """Increment ``name`` by ``n`` (no-op when the registry is disabled)."""
+        if self.enabled:
+            self.counter(name).inc(n)
+
+    def observe(self, name: str, value) -> None:
+        if self.enabled:
+            self.histogram(name).observe(value)
+
+    # -- reading --------------------------------------------------------- #
+
+    def value(self, name: str, default=0):
+        c = self._counters.get(name)
+        return default if c is None else c.value
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{"counters": {...}, "histograms": {...}}``."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "histograms": {k: h.as_dict() for k, h in sorted(self._histograms.items())},
+            }
+
+    # -- lifecycle ------------------------------------------------------- #
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's snapshot into this one (associative)."""
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.counter(name).inc(value)
+        for name, payload in (snapshot.get("histograms") or {}).items():
+            h = self.histogram(name, tuple(payload.get("bounds", DEFAULT_BOUNDS)))
+            if tuple(payload.get("bounds", h.bounds)) != h.bounds:
+                continue  # bucket layouts disagree: counts are not mergeable
+            h.count += payload.get("count", 0)
+            h.total += payload.get("sum", 0.0)
+            for key in ("min", "max"):
+                v = payload.get(key)
+                if v is None:
+                    continue
+                cur = getattr(h, key)
+                fold = min if key == "min" else max
+                setattr(h, key, v if cur is None else fold(cur, v))
+            for i, n in enumerate(payload.get("buckets", ())):
+                if i < len(h.buckets):
+                    h.buckets[i] += n
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+
+
+_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-wide registry (call-time lookup, swap with set_metrics)."""
+    return _METRICS
+
+
+def set_metrics(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry; returns the previous one."""
+    global _METRICS
+    old, _METRICS = _METRICS, registry
+    return old

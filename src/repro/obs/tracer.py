@@ -1,0 +1,265 @@
+"""Zero-dependency structured tracing: nested spans with attributes.
+
+A :class:`Span` records one named region of work — wall-clock start/end
+(``time.perf_counter`` offsets from the tracer's epoch), free-form
+attributes, and child spans.  Usage::
+
+    from repro.obs import get_tracer
+    with get_tracer().span("compile/volume_kernel", instructions=123) as sp:
+        ...
+        sp.set(total_time_s=report.total_time_s)
+
+Tracing is **off by default** (``REPRO_TRACE=1`` or ``Tracer.enable()``
+turns it on); when off, :meth:`Tracer.span` returns a shared no-op span so
+instrumented hot paths pay only one attribute lookup and a method call.
+
+Aggregation is thread-safe (each thread keeps its own span stack; finished
+top-level spans land in a lock-guarded root list) and process-safe: a
+worker process traces into its own :class:`Tracer`, exports with
+:meth:`Tracer.export`, and the parent grafts the payload into its live
+tree with :meth:`Tracer.adopt` — this is how ``--jobs N`` compile fan-out
+merges child traces.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+__all__ = ["Span", "Tracer", "get_tracer", "set_tracer", "trace_span"]
+
+_ENV_TRACE = "REPRO_TRACE"
+
+_TRUTHY = ("1", "true", "yes")
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(_ENV_TRACE, "") in _TRUTHY
+
+
+class Span:
+    """One timed region; context manager that nests under the active span."""
+
+    __slots__ = ("name", "start_s", "end_s", "attrs", "children", "_tracer")
+
+    def __init__(self, name: str, tracer: "Tracer | None" = None, attrs=None):
+        self.name = name
+        self.start_s = 0.0
+        self.end_s: float | None = None
+        self.attrs = dict(attrs) if attrs else {}
+        self.children: list = []
+        self._tracer = tracer
+
+    # -- recording ------------------------------------------------------- #
+
+    def set(self, **attrs) -> "Span":
+        """Attach/overwrite attributes."""
+        self.attrs.update(attrs)
+        return self
+
+    def inc(self, key: str, value=1) -> "Span":
+        """Accumulate a numeric attribute (a per-span counter)."""
+        self.attrs[key] = self.attrs.get(key, 0) + value
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        if self.end_s is None:
+            return 0.0
+        return self.end_s - self.start_s
+
+    # -- context protocol ------------------------------------------------ #
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        if tracer is not None:
+            tracer._stack().append(self)
+            self.start_s = time.perf_counter() - tracer._epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        if tracer is not None:
+            self.end_s = time.perf_counter() - tracer._epoch
+            if exc_type is not None:
+                self.attrs.setdefault("error", exc_type.__name__)
+            tracer._finish(self)
+        return False
+
+    # -- serialization --------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "start_s": self.start_s,
+            "end_s": self.end_s,
+            "attrs": dict(self.attrs),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Span":
+        sp = cls(payload.get("name", "?"))
+        sp.start_s = float(payload.get("start_s", 0.0))
+        end = payload.get("end_s")
+        sp.end_s = None if end is None else float(end)
+        sp.attrs = dict(payload.get("attrs", {}))
+        sp.children = [cls.from_dict(c) for c in payload.get("children", ())]
+        return sp
+
+    def shift(self, delta_s: float) -> None:
+        """Translate this subtree in time (used when adopting child traces)."""
+        self.start_s += delta_s
+        if self.end_s is not None:
+            self.end_s += delta_s
+        for c in self.children:
+            c.shift(delta_s)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, {len(self.children)} children)"
+
+
+class _NullSpan:
+    """Shared no-op span returned while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict = {}
+    children: tuple = ()
+    start_s = 0.0
+    end_s = 0.0
+    duration_s = 0.0
+
+    def set(self, **attrs):
+        return self
+
+    def inc(self, key, value=1):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Collects spans into per-thread trees; merges across threads/processes."""
+
+    def __init__(self, enabled: bool | None = None):
+        self._enabled = _env_enabled() if enabled is None else enabled
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._roots: list[Span] = []
+        self._tls = threading.local()
+
+    # -- state ----------------------------------------------------------- #
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        """Drop recorded roots and this thread's open spans."""
+        with self._lock:
+            self._roots = []
+        self._tls.stack = []
+        self._epoch = time.perf_counter()
+
+    # -- span lifecycle -------------------------------------------------- #
+
+    def _stack(self) -> list:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
+
+    def span(self, name: str, **attrs):
+        """A new span nested under the current one (no-op when disabled)."""
+        if not self._enabled:
+            return NULL_SPAN
+        return Span(name, self, attrs)
+
+    def current(self):
+        """The innermost open span of this thread (NULL_SPAN when none)."""
+        stack = self._stack()
+        return stack[-1] if stack else NULL_SPAN
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            with self._lock:
+                self._roots.append(span)
+
+    # -- aggregation ----------------------------------------------------- #
+
+    @property
+    def roots(self) -> list:
+        with self._lock:
+            return list(self._roots)
+
+    def export(self) -> list:
+        """Completed root spans as plain dicts (picklable / JSON-able)."""
+        return [s.to_dict() for s in self.roots]
+
+    def adopt(self, payload, **extra_attrs) -> int:
+        """Graft serialized spans (from :meth:`export`) into the live tree.
+
+        The adopted subtrees are re-based so their earliest start aligns
+        with the current span's start (their internal timing stays exact;
+        absolute placement inside the parent is approximate — the child
+        process ran concurrently).  Returns the number of roots adopted.
+        """
+        spans = [Span.from_dict(p) for p in payload or ()]
+        if not spans:
+            return 0
+        parent = self.current()
+        anchor = parent.start_s if parent is not NULL_SPAN else 0.0
+        delta = anchor - min(s.start_s for s in spans)
+        for sp in spans:
+            sp.shift(delta)
+            sp.attrs.update(extra_attrs)
+            if parent is not NULL_SPAN:
+                parent.children.append(sp)
+            else:
+                with self._lock:
+                    self._roots.append(sp)
+        return len(spans)
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer (call-time lookup, swap with set_tracer)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer; returns the previous one.
+
+    Worker processes use this to trace into a fresh, private tracer whose
+    export excludes anything inherited from the parent across ``fork``.
+    """
+    global _TRACER
+    old, _TRACER = _TRACER, tracer
+    return old
+
+
+def trace_span(name: str, **attrs):
+    """Shorthand for ``get_tracer().span(...)``."""
+    return _TRACER.span(name, **attrs)

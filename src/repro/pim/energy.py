@@ -47,6 +47,16 @@ class EnergyAccount:
             return {k: 0.0 for k in self.components}
         return {k: v / total for k, v in self.components.items()}
 
+    def publish(self, registry, prefix: str = "energy_j") -> None:
+        """Fold the components into a metrics registry as counters.
+
+        ``registry`` is a :class:`repro.obs.MetricsRegistry`; each
+        component becomes ``<prefix>.<name>`` (joules accumulate across
+        calls, matching counter semantics).
+        """
+        for name, joules in self.components.items():
+            registry.inc(f"{prefix}.{name}", joules)
+
 
 def chip_power_table(config: ChipConfig) -> dict:
     """Reproduce Table 3 for an arbitrary chip configuration.

@@ -25,11 +25,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import get_metrics, get_tracer
 from repro.pim.arithmetic import HostOpModel, OpCosts, default_op_costs
 from repro.pim.chip import PimChip
 from repro.pim.isa import ARITHMETIC_OPS, Instruction, Opcode
 
-__all__ = ["TimingReport", "BlockExecutor", "ChipExecutor"]
+__all__ = ["TimingReport", "BlockExecutor", "ChipExecutor", "tag_phase", "PHASES"]
 
 #: NOR cycles of a row-parallel column-to-column copy (two cascaded NOTs).
 _COPY_NORS = 2
@@ -41,6 +42,47 @@ _BATCHABLE_OPS = frozenset(ARITHMETIC_OPS) | {Opcode.COPY}
 def _float_dict() -> defaultdict:
     """Picklable ``defaultdict(float)`` factory for report accumulators."""
     return defaultdict(float)
+
+
+#: the Fig. 13-style phases a tag attributes time to (DESIGN.md
+#: "Observability": ``executor.cycles.<phase>``).
+PHASES = ("volume", "flux", "integration", "lut", "transfer", "dram", "host", "sync", "other")
+
+_PHASE_CACHE: dict = {}
+
+
+def tag_phase(tag: str) -> str:
+    """Map an instruction tag onto its pipeline phase.
+
+    The kernel generators use a small tag vocabulary (``volume``,
+    ``flux:compute``, ``flux:fetch``, ``integration``, ``setup``/``load``,
+    ``sync``, ``host``, ``dram``); fetches are interconnect time, so they
+    land in ``transfer``, and DRAM staging in ``dram``.
+    """
+    phase = _PHASE_CACHE.get(tag)
+    if phase is None:
+        if not tag:
+            phase = "other"
+        elif tag.startswith("volume"):
+            phase = "volume"
+        elif tag.startswith("flux:fetch"):
+            phase = "transfer"
+        elif tag.startswith("flux"):
+            phase = "flux"
+        elif tag.startswith("integration"):
+            phase = "integration"
+        elif "lut" in tag:
+            phase = "lut"
+        elif tag in ("setup", "load") or tag.startswith("dram"):
+            phase = "dram"
+        elif tag.startswith("host"):
+            phase = "host"
+        elif tag == "sync":
+            phase = "sync"
+        else:
+            phase = "other"
+        _PHASE_CACHE[tag] = phase
+    return phase
 
 
 def _fold_add(base: float, value: float, count: int) -> float:
@@ -75,6 +117,13 @@ class TimingReport:
     host_busy_s: float = 0.0
     dram_busy_s: float = 0.0
     n_instructions: int = 0
+    #: interconnect accounting (TRANSFER + LUT): transfer count, switch
+    #: hops traversed, flits moved, payload bytes — the raw numbers behind
+    #: the ``interconnect.<kind>.*`` metrics and the Fig. 14 H-tree/Bus gap.
+    transfers: int = 0
+    hops: int = 0
+    flits: int = 0
+    bytes_moved: int = 0
 
     def __post_init__(self) -> None:
         # accept plain dicts from callers; the accumulators below rely on
@@ -108,6 +157,23 @@ class TimingReport:
         self.dynamic_energy_j = _fold_add(self.dynamic_energy_j, energy, count)
         self.n_instructions += count
 
+    def phase_times(self) -> dict:
+        """Busy seconds per pipeline phase (see :func:`tag_phase`).
+
+        Partitions ``time_by_tag`` completely: the values sum to
+        ``sum(self.time_by_tag.values())`` exactly (each tag lands in one
+        phase, plain left-to-right addition per phase).
+        """
+        out: dict = {}
+        for tag, t in self.time_by_tag.items():
+            phase = tag_phase(tag)
+            out[phase] = out.get(phase, 0.0) + t
+        return out
+
+    def phase_cycles(self, clock_hz: float) -> dict:
+        """Per-phase busy time expressed in chip clock cycles."""
+        return {phase: t * clock_hz for phase, t in self.phase_times().items()}
+
     def merge(self, other: "TimingReport") -> None:
         """Fold another report's accounting into this one (sequential join)."""
         self.total_time_s += other.total_time_s
@@ -115,6 +181,10 @@ class TimingReport:
         self.host_busy_s += other.host_busy_s
         self.dram_busy_s += other.dram_busy_s
         self.n_instructions += other.n_instructions
+        self.transfers += other.transfers
+        self.hops += other.hops
+        self.flits += other.flits
+        self.bytes_moved += other.bytes_moved
         for k, v in other.time_by_tag.items():
             self.time_by_tag[k] += v
         for k, v in other.energy_by_tag.items():
@@ -187,17 +257,57 @@ class ChipExecutor:
         grouped accumulation replays the exact left-fold addition order.
         """
         report = TimingReport()
-        if batched:
-            self._run_batched(instructions, functional, report)
-        else:
-            for inst in instructions:
-                self._dispatch(inst, functional, report)
-        report.total_time_s = self._now()
-        report.host_busy_s = self._host_clock
-        report.dram_busy_s = self._dram_clock
-        for b, t in self._block_clock.items():
-            report.block_busy_s[b] = t
+        with get_tracer().span("pim/run", chip=self.chip.config.name,
+                               batched=batched, functional=functional) as sp:
+            if batched:
+                self._run_batched(instructions, functional, report)
+            else:
+                for inst in instructions:
+                    self._dispatch(inst, functional, report)
+            report.total_time_s = self._now()
+            report.host_busy_s = self._host_clock
+            report.dram_busy_s = self._dram_clock
+            for b, t in self._block_clock.items():
+                report.block_busy_s[b] = t
+            self._publish(report, sp)
         return report
+
+    def _publish(self, report: TimingReport, span) -> None:
+        """Once-per-run aggregation into the metrics registry and span.
+
+        Deliberately the *only* observability cost of an instruction
+        stream: nothing above touches metrics per instruction, so the
+        tracing-disabled overhead stays within the BENCH_perf.json guard's
+        noise floor.
+        """
+        metrics = get_metrics()
+        if metrics.enabled:
+            clock = self.chip.config.clock_hz
+            metrics.inc("executor.runs")
+            metrics.inc("executor.instructions", report.n_instructions)
+            metrics.observe("executor.instructions_per_run", report.n_instructions)
+            for op, n in report.op_counts.items():
+                metrics.inc(f"executor.ops.{op}", n)
+            for phase, t in report.phase_times().items():
+                metrics.inc(f"executor.cycles.{phase}", t * clock)
+            if report.transfers:
+                kind = self.chip.config.interconnect
+                metrics.inc(f"interconnect.{kind}.transfers", report.transfers)
+                metrics.inc(f"interconnect.{kind}.hops", report.hops)
+                metrics.inc(f"interconnect.{kind}.flits", report.flits)
+                metrics.inc(f"interconnect.{kind}.bytes", report.bytes_moved)
+        if span.name:  # live span (tracing enabled)
+            clock = self.chip.config.clock_hz
+            phases = report.phase_times()
+            span.set(
+                n_instructions=report.n_instructions,
+                total_time_s=report.total_time_s,
+                dynamic_energy_j=report.dynamic_energy_j,
+                transfers=report.transfers,
+                hops=report.hops,
+                phase_times_s=phases,
+                phase_cycles={p: t * clock for p, t in phases.items()},
+            )
 
     def _run_batched(self, instructions, functional: bool, report: TimingReport) -> None:
         insts = instructions if isinstance(instructions, (list, tuple)) else list(instructions)
@@ -395,6 +505,11 @@ class ChipExecutor:
         energy = self.costs.row_move_energy_j(n_rows, words=inst.words)
         energy += hops * n_rows * inst.words * dev.e_search_j  # switch traversal
 
+        report.transfers += 1
+        report.hops += hops
+        report.flits += flits
+        report.bytes_moved += n_rows * inst.words * 4
+
         if functional:
             sblk = self.chip.block(src)
             dblk = self.chip.block(dst)
@@ -435,6 +550,11 @@ class ChipExecutor:
         for k in keys:
             self._switch_free[k] = finish
         energy = n * (2 * dev.e_search_j + 32 * 0.5 * (dev.e_set_j + dev.e_reset_j))
+
+        report.transfers += 1
+        report.hops += hops
+        report.flits += 2 * n  # index out + entry back, one word each
+        report.bytes_moved += 2 * n * 4
 
         if functional:
             req = self.chip.block(inst.block)

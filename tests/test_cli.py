@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.__main__ import main
+from repro.__main__ import _cache_status, main
 
 
 class TestCli:
@@ -34,3 +34,23 @@ class TestCli:
     def test_simulate(self, capsys):
         assert main(["simulate", "--level", "1", "--order", "2", "--steps", "5"]) == 0
         assert "energy" in capsys.readouterr().out
+
+    def test_log_level_flag_accepted(self, capsys):
+        assert main(["run", "table5", "--log-level", "warning"]) == 0
+        assert "matches_paper" in capsys.readouterr().out
+
+
+class TestCacheStatus:
+    """Satellite: sub-second runs must not print ``elapsed 0.00s``."""
+
+    def test_subsecond_uses_milliseconds(self):
+        line = _cache_status(0.0042)
+        assert line.startswith("[compile cache:")
+        assert "4.2ms" in line
+        assert "0.00s" not in line
+
+    def test_seconds_keep_two_decimals(self):
+        assert "elapsed 2.50s" in _cache_status(2.5)
+
+    def test_microseconds(self):
+        assert "250.0us" in _cache_status(2.5e-4)
