@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Repo-invariant lint: small AST checks no generic linter expresses.
+
+Rules (stdlib ``ast`` only, so this runs in the bare container):
+
+``RL001``  ``Instruction(...)`` may only be constructed in
+           ``src/repro/pim/isa.py`` (the ISA itself, incl. the
+           ``barrier()`` helper) and ``src/repro/core/kernels/`` (the
+           generators).  Everything else must go through the kernel emit
+           helpers or ``isa.barrier()`` — the static checker's access
+           model (``repro.analysis.checker.accesses``) only understands
+           streams built from those vetted shapes.  Tests are exempt
+           (they hand-build known-bad programs on purpose).
+
+``RL002``  ``<tracer>.span(...)`` must be used as a context manager
+           (``with ... as sp:``) so spans always close, even on
+           exceptions.  ``src/repro/obs/`` is exempt (it implements the
+           span machinery).
+
+``RL003``  ``repro.analysis`` may not be imported at module level outside
+           the package itself: the executor and compiler lazily import it
+           inside their ``verify`` paths, keeping the dependency edge
+           analysis -> pim/core acyclic.
+
+Usage::
+
+    python scripts/lint_repo.py [--root PATH]
+
+Exit status 1 when any violation is found.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+Violation = Tuple[Path, int, str, str]  # (file, line, code, message)
+
+#: files/directories (relative to the repo root) allowed to construct
+#: Instruction directly.
+RL001_ALLOWED = (
+    "src/repro/pim/isa.py",
+    "src/repro/core/kernels/",
+)
+
+RL002_EXEMPT = ("src/repro/obs/",)
+
+RL003_ALLOWED = ("src/repro/analysis/",)
+
+
+def _rel(path: Path, root: Path) -> str:
+    return path.relative_to(root).as_posix()
+
+
+def _lint_file(path: Path, root: Path) -> List[Violation]:
+    rel = _rel(path, root)
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, "RL000", f"syntax error: {exc.msg}")]
+    out: List[Violation] = []
+
+    # RL001: Instruction(...) construction sites
+    if not rel.startswith(RL001_ALLOWED):
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "Instruction"):
+                out.append((path, node.lineno, "RL001",
+                            "Instruction() constructed outside pim/isa.py and "
+                            "core/kernels/ — use the kernel emit helpers or "
+                            "isa.barrier()"))
+
+    # RL002: .span(...) only as a `with` context manager
+    if not rel.startswith(RL002_EXEMPT):
+        with_spans = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_spans.add(id(item.context_expr))
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "span"
+                    and id(node) not in with_spans):
+                out.append((path, node.lineno, "RL002",
+                            ".span(...) outside a `with` statement — spans "
+                            "must close via the context manager"))
+
+    # RL003: module-level repro.analysis imports
+    if not rel.startswith(RL003_ALLOWED):
+        for node in tree.body:  # module level only: lazy imports are the fix
+            names: List[str] = []
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names]
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                names = [node.module]
+            if any(n == "repro.analysis" or n.startswith("repro.analysis.")
+                   for n in names):
+                out.append((path, node.lineno, "RL003",
+                            "module-level repro.analysis import outside the "
+                            "package — import lazily (inside the function) to "
+                            "keep analysis -> pim/core acyclic"))
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: this script's parent's parent)")
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve() if args.root else Path(__file__).resolve().parents[1]
+
+    files = sorted((root / "src").rglob("*.py"))
+    if not files:
+        print(f"lint_repo: no Python files under {root / 'src'}", file=sys.stderr)
+        return 2
+
+    violations: List[Violation] = []
+    for path in files:
+        violations.extend(_lint_file(path, root))
+
+    for path, line, code, msg in violations:
+        print(f"{_rel(path, root)}:{line}: {code} {msg}", file=sys.stderr)
+    if violations:
+        print(f"lint_repo: {len(violations)} violation"
+              f"{'s' if len(violations) != 1 else ''}", file=sys.stderr)
+        return 1
+    print(f"lint_repo: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

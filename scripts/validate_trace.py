@@ -1,149 +1,41 @@
 #!/usr/bin/env python
 """Validate a trace written by ``python -m repro run <id> --profile``.
 
-Checks the JSON trace document (schema, non-empty span tree, well-formed
-spans) and, from the CLI, the sibling Chrome ``trace_event`` export.
-Used by CI to fail the build on empty or malformed traces::
+Thin command-line wrapper kept for existing CI invocations; the logic
+lives in :mod:`repro.analysis.tracecheck` (also reachable via
+``python -m repro check --trace``)::
 
     python scripts/validate_trace.py repro_trace.json \
         --require compile --require execute --require report
 
-Exit status is non-zero on any failure. Importable: ``validate(doc)``
+Exit status is non-zero on any failure.  Importable: ``validate(doc)``
 returns a list of error strings (empty when the document is valid).
 """
 
 from __future__ import annotations
 
-import argparse
-import json
 import sys
 from pathlib import Path
 
-EXPECTED_SCHEMA = 1
-EXPECTED_KIND = "repro-trace"
-
-
-def _check_span(span, path: str, errors: list) -> None:
-    if not isinstance(span, dict):
-        errors.append(f"{path}: span is not an object")
-        return
-    name = span.get("name")
-    if not isinstance(name, str) or not name:
-        errors.append(f"{path}: missing span name")
-        name = "?"
-    here = f"{path}/{name}"
-    start = span.get("start_s")
-    end = span.get("end_s")
-    if not isinstance(start, (int, float)) or not isinstance(end, (int, float)):
-        errors.append(f"{here}: start_s/end_s must be numbers "
-                      f"(got {start!r}, {end!r})")
-    elif end < start:
-        errors.append(f"{here}: end_s < start_s ({end} < {start})")
-    children = span.get("children", [])
-    if not isinstance(children, list):
-        errors.append(f"{here}: children must be a list")
-        return
-    for child in children:
-        _check_span(child, here, errors)
-
-
-def _span_names(spans) -> set:
-    names = set()
-    stack = [s for s in spans if isinstance(s, dict)]
-    while stack:
-        span = stack.pop()
-        name = span.get("name")
-        if isinstance(name, str):
-            names.add(name)
-        stack.extend(c for c in span.get("children", []) if isinstance(c, dict))
-    return names
-
-
-def validate(doc, require=()) -> list:
-    """Return a list of error strings; empty means the trace is valid."""
-    errors = []
-    if not isinstance(doc, dict):
-        return ["trace document is not a JSON object"]
-    if doc.get("schema") != EXPECTED_SCHEMA:
-        errors.append(f"schema must be {EXPECTED_SCHEMA}, got {doc.get('schema')!r}")
-    if doc.get("kind") != EXPECTED_KIND:
-        errors.append(f"kind must be {EXPECTED_KIND!r}, got {doc.get('kind')!r}")
-    spans = doc.get("spans")
-    if not isinstance(spans, list) or not spans:
-        errors.append("trace has no spans (empty or missing 'spans' list)")
-        return errors
-    for i, span in enumerate(spans):
-        _check_span(span, f"spans[{i}]", errors)
-    names = _span_names(spans)
-    for token in require:
-        if not any(token in name for name in names):
-            errors.append(f"required phase {token!r} not found in span tree "
-                          f"(have: {', '.join(sorted(names))})")
-    return errors
-
-
-def validate_chrome(doc) -> list:
-    """Validate a Chrome ``trace_event`` export (the ``.chrome.json`` sibling)."""
-    errors = []
-    if not isinstance(doc, dict):
-        return ["chrome trace is not a JSON object"]
-    events = doc.get("traceEvents")
-    if not isinstance(events, list) or not events:
-        errors.append("chrome trace has no traceEvents")
-        return errors
-    for i, ev in enumerate(events):
-        if not isinstance(ev, dict):
-            errors.append(f"traceEvents[{i}]: not an object")
-            continue
-        if not ev.get("name") or ev.get("ph") not in ("X", "B", "E", "i", "C", "M"):
-            errors.append(f"traceEvents[{i}]: missing name or bad ph {ev.get('ph')!r}")
-        if not isinstance(ev.get("ts"), (int, float)):
-            errors.append(f"traceEvents[{i}]: ts must be a number")
-        if ev.get("ph") == "X" and not isinstance(ev.get("dur"), (int, float)):
-            errors.append(f"traceEvents[{i}]: complete event missing dur")
-    return errors
-
-
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="path to the JSON trace document")
-    parser.add_argument("--require", action="append", default=[],
-                        metavar="TOKEN",
-                        help="fail unless some span name contains TOKEN "
-                             "(repeatable)")
-    parser.add_argument("--no-chrome", action="store_true",
-                        help="skip validating the .chrome.json sibling")
-    args = parser.parse_args(argv)
-
-    path = Path(args.trace)
-    try:
-        doc = json.loads(path.read_text())
-    except (OSError, ValueError) as exc:
-        print(f"FAIL: cannot read {path}: {exc}", file=sys.stderr)
-        return 2
-
-    errors = validate(doc, require=args.require)
-
-    if not args.no_chrome:
-        chrome_path = path.with_name(path.stem + ".chrome.json")
-        if not chrome_path.exists():
-            errors.append(f"missing Chrome export {chrome_path}")
-        else:
-            try:
-                chrome_doc = json.loads(chrome_path.read_text())
-            except (OSError, ValueError) as exc:
-                errors.append(f"cannot read {chrome_path}: {exc}")
-            else:
-                errors.extend(validate_chrome(chrome_doc))
-
-    if errors:
-        for err in errors:
-            print(f"FAIL: {err}", file=sys.stderr)
-        return 1
-    n = len(doc.get("spans", []))
-    print(f"OK: {path} valid ({n} root span{'s' if n != 1 else ''})")
-    return 0
-
+try:
+    from repro.analysis.tracecheck import (  # noqa: F401  (re-exports)
+        EXPECTED_KIND,
+        EXPECTED_SCHEMA,
+        main,
+        validate,
+        validate_chrome,
+        validate_trace_file,
+    )
+except ImportError:  # repro not installed: run from the checkout
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.analysis.tracecheck import (  # noqa: F401
+        EXPECTED_KIND,
+        EXPECTED_SCHEMA,
+        main,
+        validate,
+        validate_chrome,
+        validate_trace_file,
+    )
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -9,6 +9,11 @@ Commands
 ``all``                    regenerate every artifact (the EXPERIMENTS.md set)
 ``cache stats|clear``      inspect or wipe the persistent compile cache
 ``trace summary <file>``   summarize a trace written by ``--profile``
+``check [benchmarks...]``  static-check compiled PIM programs (see
+                           DESIGN.md "Static analysis"; ``--strict`` fails
+                           on warnings too, ``--json`` writes a findings
+                           report, ``--trace FILE`` validates a trace
+                           document instead)
 
 Performance knobs: ``--jobs N`` (or ``REPRO_JOBS``) compiles the experiment
 matrix with N worker processes; ``--no-cache`` (or ``REPRO_NO_CACHE=1``)
@@ -184,6 +189,84 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    # imported here: the analysis package pulls in the compiler stack,
+    # which the other subcommands should not pay for.
+    from repro.analysis.programs import check_benchmark
+    from repro.analysis.tracecheck import validate_trace_file
+    from repro.core.compiler import WavePimCompiler
+    from repro.workloads.benchmarks import BENCHMARKS
+
+    if args.trace is not None:
+        errors = validate_trace_file(args.trace, require=args.require)
+        for err in errors:
+            print(f"FAIL: {err}", file=sys.stderr)
+        if not errors:
+            print(f"OK: {args.trace} valid")
+        return 1 if errors else 0
+
+    keys = args.benchmarks or list(BENCHMARKS)
+    unknown = [k for k in keys if k not in BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmark(s) {', '.join(unknown)}; "
+              f"choose from {', '.join(BENCHMARKS)}", file=sys.stderr)
+        return 2
+    interconnects = (
+        ["htree", "bus"] if args.interconnect == "both" else [args.interconnect]
+    )
+
+    compiler = WavePimCompiler(order=args.order or 7)
+    entries = []
+    n_errors = n_warnings = 0
+    for key in keys:
+        for ic in interconnects:
+            checked, findings = check_benchmark(
+                key, chip=args.chip, interconnect=ic,
+                order=args.order, compiler=compiler,
+            )
+            errs = sum(1 for f in findings if f.is_error)
+            n_errors += errs
+            n_warnings += len(findings) - errs
+            status = "FAIL" if errs else ("WARN" if findings else "ok")
+            print(f"{status:4s} {key:18s} {args.chip}/{ic:5s} "
+                  f"plan={checked.plan_label:10s} "
+                  f"{len(checked.program)} instructions, "
+                  f"{len(findings)} finding{'s' if len(findings) != 1 else ''}")
+            for f in findings:
+                print(f"     {f.format()}")
+            entries.append({
+                "benchmark": key,
+                "chip": args.chip,
+                "interconnect": ic,
+                "plan": checked.plan_label,
+                "instructions": len(checked.program),
+                "findings": [f.as_dict() for f in findings],
+            })
+
+    if args.json:
+        import json
+
+        report = {
+            "kind": "repro-check",
+            "schema": 1,
+            "strict": args.strict,
+            "errors": n_errors,
+            "warnings": n_warnings,
+            "benchmarks": entries,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"[findings report: {args.json}]", file=sys.stderr)
+
+    total = n_errors + n_warnings
+    print(f"checked {len(entries)} program{'s' if len(entries) != 1 else ''}: "
+          f"{n_errors} error{'s' if n_errors != 1 else ''}, "
+          f"{n_warnings} warning{'s' if n_warnings != 1 else ''}")
+    if n_errors or (args.strict and total):
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     try:
         doc = load_trace(args.file)
@@ -249,6 +332,29 @@ def main(argv=None) -> int:
     p.add_argument("--order", type=int, default=None)
     p.add_argument("--steps", type=int, default=100)
     p.set_defaults(fn=_cmd_simulate)
+
+    p = sub.add_parser("check", parents=[common],
+                       help="static-check compiled PIM programs / traces")
+    p.add_argument("benchmarks", nargs="*", metavar="BENCHMARK",
+                   help="benchmark keys (default: all six paper benchmarks)")
+    p.add_argument("--chip", default="2GB", choices=list(CHIP_CONFIGS),
+                   help="chip configuration (default: 2GB)")
+    p.add_argument("--interconnect", default="both",
+                   choices=["htree", "bus", "both"],
+                   help="interconnect(s) to resolve TRANSFER routes on")
+    p.add_argument("--order", type=int, default=None,
+                   help="element order (default: the paper's 7)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero on warnings, not just errors")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write a JSON findings report")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="validate a --profile trace document instead of "
+                        "checking benchmark programs")
+    p.add_argument("--require", action="append", default=[], metavar="TOKEN",
+                   help="with --trace: fail unless some span name contains "
+                        "TOKEN (repeatable)")
+    p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("trace", parents=[common],
                        help="inspect a trace recorded with --profile")

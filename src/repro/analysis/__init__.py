@@ -1,0 +1,64 @@
+"""Static analysis for compiled Wave-PIM programs and traces.
+
+A pass-based checker that audits :class:`~repro.pim.isa.Instruction`
+streams *before* execution — the executor prices whatever it is handed,
+so a mis-scheduled batch slice, an out-of-range row, or an unroutable
+TRANSFER would silently corrupt every downstream cycle/energy number.
+
+Passes (see DESIGN.md "Static analysis" for the finding-code catalogue):
+
+* ``dataflow``  — row/column def-use: DF001 read-before-write, DF002
+  dead stores, DF003 storage-region writes outside setup/load;
+* ``layout``    — LY001-LY006 addresses vs. the 1Kx1K block geometry,
+  Fig. 4 LUT offsets, mapper occupancy;
+* ``transfers`` — TR001-TR004 TRANSFER/LUT endpoint + route legality on
+  the active H-tree/Bus interconnect;
+* ``phases``    — PH001 total ``tag_phase`` coverage, PH002
+  BARRIER-delimited compute phases;
+* ``hazards``   — HZ001 lost slice updates in batched/expanded schedules.
+
+Entry points: :func:`check_program` (any stream), the per-benchmark
+:func:`check_benchmark` / :func:`verify_benchmark`, the ``repro check``
+CLI, and the ``verify=True`` modes of
+:class:`~repro.pim.executor.ChipExecutor` and
+:class:`~repro.core.compiler.WavePimCompiler`.
+"""
+
+from repro.analysis.checker import (
+    Access,
+    CheckContext,
+    CheckOptions,
+    ProgramCheckError,
+    accesses,
+    all_passes,
+    check_program,
+    raise_on_errors,
+    row_mask,
+)
+from repro.analysis.findings import ERROR, FINDING_CODES, WARNING, Finding
+from repro.analysis.programs import (
+    CheckedProgram,
+    build_check_program,
+    check_benchmark,
+    verify_benchmark,
+)
+
+__all__ = [
+    "Access",
+    "CheckContext",
+    "CheckOptions",
+    "CheckedProgram",
+    "ERROR",
+    "FINDING_CODES",
+    "Finding",
+    "ProgramCheckError",
+    "WARNING",
+    "accesses",
+    "all_passes",
+    "build_check_program",
+    "check_benchmark",
+    "check_program",
+    "raise_on_errors",
+    "row_mask",
+    "verify_benchmark",
+]

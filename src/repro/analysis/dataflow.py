@@ -1,0 +1,126 @@
+"""Dataflow pass: row/column def-use analysis over one program (DF*).
+
+The pass walks the stream in program order keeping, per ``(block,
+column)``, boolean row masks of what has ever been written and what has
+been written-but-not-yet-read *inside the current barrier segment*:
+
+``DF001``
+    read of a location never written anywhere in the program.  Blocks
+    power up zeroed in the model and the kernels rely on it (the RK
+    auxiliary column is first *read* as an implicit 0), so this is only
+    reported under ``CheckOptions(assume_zero_init=False)`` — the strict
+    def-use mode for hand-built programs.
+``DF002``
+    a store overwritten by a later non-TRANSFER store with no intervening
+    read of the clobbered rows, inside one barrier segment (dead store).
+    Cross-segment clobbers are idiomatic scratch reuse between phases and
+    are not reported.  Warning severity: a dead store wastes cycles but
+    cannot corrupt results.
+``DF003``
+    write into the Fig. 5 constant/storage region (top rows) from an
+    instruction whose phase is not the setup/load (``dram``) phase —
+    compute must never scribble over dshape rows or flux coefficients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.checker import Access, CheckContext, accesses, row_mask
+from repro.analysis.findings import ERROR, WARNING, Finding
+from repro.pim.executor import tag_phase
+from repro.pim.isa import Instruction, Opcode
+
+__all__ = ["DataflowPass"]
+
+#: key of the per-location masks: (block, column).
+_Loc = Tuple[int, int]
+
+
+def _cols(acc: Access) -> range:
+    """Column span of one access (empty for whole-block/unknown columns)."""
+    if acc.col is None:
+        return range(0)
+    return range(acc.col, acc.col + acc.words)
+
+
+class DataflowPass:
+    """Pass (a): read-before-write, dead stores, storage-region writes."""
+
+    name = "dataflow"
+
+    def run(self, program: Sequence[Instruction], ctx: CheckContext) -> List[Finding]:
+        out: List[Finding] = []
+        nrows = ctx.block_rows
+        ever: Dict[_Loc, np.ndarray] = {}      # written anywhere in the program
+        pending: Dict[_Loc, np.ndarray] = {}   # written, unread, this segment
+
+        def mask_of(store: Dict[_Loc, np.ndarray], loc: _Loc) -> np.ndarray:
+            m = store.get(loc)
+            if m is None:
+                m = store[loc] = np.zeros(nrows, dtype=bool)
+            return m
+
+        for i, inst in enumerate(program):
+            if inst.op is Opcode.BARRIER:
+                pending.clear()
+                continue
+            reads, writes = accesses(inst)
+            # reads first: an instruction may read and write the same
+            # column (aux = aux * a), which is not a self-clobber.
+            for acc in reads:
+                if acc.block is None or acc.col is None:
+                    continue
+                rows = row_mask(acc.rows, nrows)
+                for c in _cols(acc):
+                    loc = (acc.block, c)
+                    if not ctx.options.assume_zero_init:
+                        unwritten = rows & ~mask_of(ever, loc)
+                        if unwritten.any():
+                            out.append(Finding(
+                                "DF001",
+                                f"reads column {c} rows "
+                                f"{_rows_repr(unwritten)} before any write",
+                                ERROR, index=i, block=acc.block, tag=inst.tag,
+                                passname=self.name,
+                            ))
+                    if loc in pending:
+                        pending[loc][rows] = False  # consumed
+            for acc in writes:
+                if acc.block is None or acc.col is None:
+                    continue
+                rows = row_mask(acc.rows, nrows)
+                if rows[ctx.storage_row0:].any() and tag_phase(inst.tag) != "dram":
+                    out.append(Finding(
+                        "DF003",
+                        f"{inst.op.value} tagged {inst.tag!r} writes storage "
+                        f"rows >= {ctx.storage_row0}",
+                        ERROR, index=i, block=acc.block, tag=inst.tag,
+                        passname=self.name,
+                    ))
+                for c in _cols(acc):
+                    loc = (acc.block, c)
+                    if inst.op is not Opcode.TRANSFER:  # transfers -> HZ001
+                        clobbered = rows & mask_of(pending, loc)
+                        if clobbered.any():
+                            out.append(Finding(
+                                "DF002",
+                                f"overwrites column {c} rows "
+                                f"{_rows_repr(clobbered)} that were written "
+                                "but never read in this segment",
+                                WARNING, index=i, block=acc.block, tag=inst.tag,
+                                passname=self.name,
+                            ))
+                    mask_of(ever, loc)[rows] = True
+                    mask_of(pending, loc)[rows] = True
+        return out
+
+
+def _rows_repr(mask: np.ndarray, limit: int = 6) -> str:
+    """Compact row list for messages (``[3, 4, 5, ...]``)."""
+    idx = np.flatnonzero(mask)
+    head = ", ".join(str(int(r)) for r in idx[:limit])
+    more = ", ..." if idx.size > limit else ""
+    return f"[{head}{more}]"

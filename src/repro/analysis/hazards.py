@@ -1,0 +1,108 @@
+"""Batching/expansion hazard pass (HZ*): lost updates in sliced schedules.
+
+The Fig. 7 sliced-Flux schedule and the Figs. 8/9 four-block expansion
+both stage remote data with TRANSFERs into per-block buffer columns.  If
+a later slice's TRANSFER overwrites an earlier slice's *entire* payload
+before any instruction has read a single word of it, the earlier fetch
+was pure lost traffic — the executor prices both transfers but the
+functional model only ever sees the second, so the schedule is broken.
+
+Partial clobbers are deliberately tolerated: the kernels over-fetch on
+purpose (one row-buffer TRANSFER moves all four/nine variable words even
+when a face only consumes two), and faces sharing edge rows legitimately
+overwrite each other's *unused* words.  Only a transfer whose payload is
+completely overwritten while completely unread is a hazard.
+
+``HZ001``
+    a TRANSFER (within one barrier segment) finishes overwriting the
+    full payload of an earlier TRANSFER that nothing ever read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.analysis.checker import CheckContext, accesses, row_mask
+from repro.analysis.findings import ERROR, Finding
+from repro.pim.isa import Instruction, Opcode
+
+__all__ = ["HazardPass"]
+
+
+@dataclass
+class _TransferRecord:
+    """One in-flight transfer payload inside the current segment."""
+
+    index: int
+    tag: str
+    block: int
+    #: column -> rows still holding this transfer's (unclobbered) data.
+    remaining: Dict[int, np.ndarray] = field(default_factory=dict)
+    consumed: bool = False  # any word of the payload was read
+    reported: bool = False
+
+    def live_rows(self) -> int:
+        return int(sum(m.sum() for m in self.remaining.values()))
+
+
+class HazardPass:
+    """Pass (e): overlapping slice writes in batched/expanded schedules."""
+
+    name = "hazards"
+
+    def run(self, program: Sequence[Instruction], ctx: CheckContext) -> List[Finding]:
+        out: List[Finding] = []
+        nrows = ctx.block_rows
+        active: List[_TransferRecord] = []
+
+        for i, inst in enumerate(program):
+            if inst.op is Opcode.BARRIER:
+                active.clear()
+                continue
+            reads, writes = accesses(inst)
+            for acc in reads:
+                if acc.block is None or acc.col is None:
+                    continue
+                rows = row_mask(acc.rows, nrows)
+                for rec in active:
+                    if rec.consumed or rec.block != acc.block:
+                        continue
+                    for c in range(acc.col, acc.col + acc.words):
+                        m = rec.remaining.get(c)
+                        if m is not None and (m & rows).any():
+                            rec.consumed = True
+                            break
+            for acc in writes:
+                if acc.block is None or acc.col is None:
+                    continue
+                rows = row_mask(acc.rows, nrows)
+                for rec in active:
+                    if rec.reported or rec.block != acc.block:
+                        continue
+                    for c in range(acc.col, acc.col + acc.words):
+                        m = rec.remaining.get(c)
+                        if m is not None:
+                            m &= ~rows
+                    if (inst.op is Opcode.TRANSFER and not rec.consumed
+                            and rec.live_rows() == 0):
+                        rec.reported = True
+                        out.append(Finding(
+                            "HZ001",
+                            f"transfer overwrites the entire unread payload "
+                            f"of the transfer at instruction {rec.index} "
+                            f"(tag {rec.tag!r}) — lost slice update",
+                            ERROR, index=i, block=acc.block, tag=inst.tag,
+                            passname=self.name,
+                        ))
+                if inst.op is Opcode.TRANSFER:
+                    active.append(_TransferRecord(
+                        index=i, tag=inst.tag, block=acc.block,
+                        remaining={
+                            c: rows.copy()
+                            for c in range(acc.col, acc.col + acc.words)
+                        },
+                    ))
+        return out

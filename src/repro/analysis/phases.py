@@ -1,0 +1,87 @@
+"""Phase-discipline pass (PH*): tags and barriers vs. the Fig. 13 phases.
+
+The PR-2 TimingReport attributes every cycle through
+:func:`repro.pim.executor.tag_phase`; a tag that falls through to the
+``other`` bucket silently vanishes from the per-phase breakdown, and a
+barrier segment that mixes two *compute* phases (Volume / Flux /
+Integration / LUT) breaks the paper's phase-serial execution model that
+the per-block clocks rely on.
+
+``PH001``
+    instruction tag not covered by ``tag_phase`` (lands in ``other``).
+    Reported once per distinct tag.
+``PH002``
+    one barrier segment contains instructions from two different compute
+    phases.  Interleaving a compute phase with its own fetches is fine —
+    ``flux:fetch`` prices as ``transfer`` time but shares the ``flux``
+    tag prefix, so a fetch+compute flux segment is one group.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.analysis.checker import CheckContext
+from repro.analysis.findings import ERROR, Finding
+from repro.pim.executor import tag_phase
+from repro.pim.isa import Instruction, Opcode
+
+__all__ = ["PhasePass", "compute_group"]
+
+#: the BARRIER-serialized compute phases of one RK stage.
+_COMPUTE_GROUPS = ("volume", "flux", "integration", "lut")
+
+
+def compute_group(tag: str) -> Optional[str]:
+    """Compute group of a tag, or None for setup/transfer/host/sync/... .
+
+    The group is the tag *prefix* (``flux:fetch`` and ``flux:compute``
+    are both ``flux``), so a phase may interleave with its own staging
+    traffic without tripping PH002.
+    """
+    prefix = tag.split(":", 1)[0]
+    if prefix in _COMPUTE_GROUPS:
+        return prefix
+    return "lut" if tag_phase(tag) == "lut" else None
+
+
+class PhasePass:
+    """Pass (d): total ``tag_phase`` coverage + barrier-delimited phases."""
+
+    name = "phases"
+
+    def run(self, program: Sequence[Instruction], ctx: CheckContext) -> List[Finding]:
+        out: List[Finding] = []
+        seen_tags: Set[str] = set()
+        segment: Set[str] = set()
+        flagged_segment = False
+        for i, inst in enumerate(program):
+            if inst.op is Opcode.BARRIER:
+                segment.clear()
+                flagged_segment = False
+                continue
+            tag = inst.tag
+            if tag not in seen_tags:
+                seen_tags.add(tag)
+                if tag_phase(tag) == "other":
+                    out.append(Finding(
+                        "PH001",
+                        f"tag {tag!r} is not covered by tag_phase; its cycles "
+                        "land in the 'other' bucket of the Fig. 13 breakdown",
+                        ERROR, index=i, block=inst.block, tag=tag,
+                        passname=self.name,
+                    ))
+            group = compute_group(tag)
+            if group is not None:
+                segment.add(group)
+                if len(segment) > 1 and not flagged_segment:
+                    out.append(Finding(
+                        "PH002",
+                        "barrier segment mixes compute phases "
+                        f"{sorted(segment)}; each Volume/Flux/Integration/LUT "
+                        "phase must be BARRIER-delimited",
+                        ERROR, index=i, block=inst.block, tag=tag,
+                        passname=self.name,
+                    ))
+                    flagged_segment = True
+        return out

@@ -1,0 +1,154 @@
+"""Structural passes: layout/capacity (LY*) and TRANSFER legality (TR*).
+
+Layout checks pin every address to the Fig. 3/Fig. 5 geometry — rows inside
+the 1Kx1K block, columns inside the 32-word row, LUT offsets inside the
+5-bit Fig. 4 fields, block ids inside the chip and inside the mapper's
+planned occupancy.  Transfer checks prove each TRANSFER names a real
+source, moves equal row counts, and resolves a route on the active
+H-tree/Bus interconnect (including the cross-tile controller hop).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.checker import CheckContext, RowSel, accesses
+from repro.analysis.findings import ERROR, Finding
+from repro.pim.isa import Instruction, LutInstructionFormat, Opcode
+
+__all__ = ["LayoutPass", "TransferPass"]
+
+#: opcodes that must name a target block.
+_NEEDS_BLOCK = {
+    Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.GATHER, Opcode.BROADCAST,
+    Opcode.COPY, Opcode.TRANSFER, Opcode.LUT,
+}
+
+_LUT_OFFSET_MAX = 1 << LutInstructionFormat.OFFSET_BITS
+
+
+def _rows_bounds(rows: Optional[RowSel], block_rows: int) -> Optional[str]:
+    """Error text when a row selector leaves the block, else None."""
+    if rows is None:
+        return None
+    if isinstance(rows, tuple):
+        r0, r1 = rows
+        if not (0 <= r0 <= r1 <= block_rows):
+            return f"row range {rows} outside block of {block_rows} rows"
+        return None
+    idx = np.asarray(rows)
+    if idx.size and (int(idx.min()) < 0 or int(idx.max()) >= block_rows):
+        return (
+            f"row indices [{int(idx.min())}, {int(idx.max())}] outside "
+            f"block of {block_rows} rows"
+        )
+    return None
+
+
+class LayoutPass:
+    """Pass (b): addresses vs. the block geometry and the mapper's plan."""
+
+    name = "layout"
+
+    def run(self, program: Sequence[Instruction], ctx: CheckContext) -> List[Finding]:
+        out: List[Finding] = []
+
+        def add(code: str, msg: str, i: int, inst: Instruction) -> None:
+            out.append(Finding(code, msg, ERROR, index=i, block=inst.block,
+                               tag=inst.tag, passname=self.name))
+
+        for i, inst in enumerate(program):
+            op = inst.op
+            # -- block ids --------------------------------------------- #
+            blocks = [inst.block]
+            if op in (Opcode.TRANSFER, Opcode.LUT):
+                blocks.append(inst.src_block)
+            for b in blocks:
+                if b is None:
+                    if op in _NEEDS_BLOCK and b is inst.block:
+                        add("LY004", f"{op.value} requires a block id", i, inst)
+                    continue
+                if not 0 <= b < ctx.n_blocks:
+                    add("LY004", f"block {b} outside chip of {ctx.n_blocks} blocks",
+                        i, inst)
+                elif (ctx.options.check_occupancy and ctx.allowed_blocks is not None
+                        and b >= ctx.allowed_blocks):
+                    add("LY005",
+                        f"block {b} beyond the mapper's planned occupancy of "
+                        f"{ctx.allowed_blocks} blocks", i, inst)
+            # -- rows --------------------------------------------------- #
+            reads, writes = accesses(inst)
+            for acc in (*reads, *writes):
+                err = _rows_bounds(acc.rows, ctx.block_rows)
+                if err is not None:
+                    add("LY001", err, i, inst)
+            # -- columns ------------------------------------------------ #
+            for acc in (*reads, *writes):
+                if acc.col is None:
+                    continue
+                if not (0 <= acc.col and acc.col + acc.words <= ctx.row_words):
+                    add("LY002",
+                        f"columns [{acc.col}, {acc.col + acc.words}) outside "
+                        f"row of {ctx.row_words} words", i, inst)
+            # -- LUT 5-bit offsets (Fig. 4) ----------------------------- #
+            if op is Opcode.LUT:
+                for fname, off in (("offset_s", inst.src1), ("offset_d", inst.dst)):
+                    if off is None or not 0 <= off < _LUT_OFFSET_MAX:
+                        add("LY003",
+                            f"LUT {fname}={off} does not fit the "
+                            f"{LutInstructionFormat.OFFSET_BITS}-bit Fig. 4 field",
+                            i, inst)
+            # -- BROADCAST value shape ---------------------------------- #
+            if op is Opcode.BROADCAST and inst.value is not None:
+                value = np.asarray(inst.value)
+                if value.ndim == 1 and value.shape[0] != inst.n_rows:
+                    add("LY006",
+                        f"broadcast vector of {value.shape[0]} entries into "
+                        f"{inst.n_rows} rows", i, inst)
+        return out
+
+
+class TransferPass:
+    """Pass (c): every TRANSFER is well-formed and routable."""
+
+    name = "transfers"
+
+    def run(self, program: Sequence[Instruction], ctx: CheckContext) -> List[Finding]:
+        out: List[Finding] = []
+
+        def add(code: str, msg: str, i: int, inst: Instruction) -> None:
+            out.append(Finding(code, msg, ERROR, index=i, block=inst.block,
+                               tag=inst.tag, passname=self.name))
+
+        for i, inst in enumerate(program):
+            if inst.op not in (Opcode.TRANSFER, Opcode.LUT):
+                continue
+            src, dst = inst.src_block, inst.block
+            if src is None:
+                add("TR001", f"{inst.op.value} without a source block", i, inst)
+                continue
+            in_range = all(b is not None and 0 <= b < ctx.n_blocks for b in (src, dst))
+            if not in_range:
+                add("TR002",
+                    f"endpoints {src}->{dst} outside chip of {ctx.n_blocks} blocks",
+                    i, inst)
+            elif ctx.chip is not None:
+                # the topology is static: a resolvable route is a pure
+                # function of (src, dst) on this chip model.
+                try:
+                    ctx.chip.transfer_path(src, dst)
+                except Exception as exc:  # noqa: BLE001 - any failure = unroutable
+                    add("TR003",
+                        f"route {src}->{dst} does not resolve on the "
+                        f"{ctx.chip.config.interconnect} interconnect: {exc}", i, inst)
+            if inst.op is Opcode.TRANSFER:
+                src_rows = inst.src_rows if inst.src_rows is not None else inst.rows
+                n_src = (max(0, src_rows[1] - src_rows[0])
+                         if isinstance(src_rows, tuple) else len(np.asarray(src_rows)))
+                if n_src != inst.n_rows:
+                    add("TR004",
+                        f"source selects {n_src} rows but destination {inst.n_rows}",
+                        i, inst)
+        return out

@@ -1,0 +1,167 @@
+"""Trace-document validation (the observability side of ``repro check``).
+
+The span-tree and Chrome ``trace_event`` validators used by CI's profiled
+runs.  This module owns the logic; ``scripts/validate_trace.py`` is a thin
+command-line wrapper around :func:`main` kept for back-compat with
+existing CI invocations, and the ``repro check --trace`` path calls
+:func:`validate_trace_file` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Set, Union
+
+__all__ = [
+    "EXPECTED_SCHEMA",
+    "EXPECTED_KIND",
+    "validate",
+    "validate_chrome",
+    "validate_trace_file",
+    "main",
+]
+
+EXPECTED_SCHEMA = 1
+EXPECTED_KIND = "repro-trace"
+
+
+def _check_span(span: object, path: str, errors: List[str]) -> None:
+    if not isinstance(span, dict):
+        errors.append(f"{path}: span is not an object")
+        return
+    name = span.get("name")
+    if not isinstance(name, str) or not name:
+        errors.append(f"{path}: missing span name")
+        name = "?"
+    here = f"{path}/{name}"
+    start = span.get("start_s")
+    end = span.get("end_s")
+    if not isinstance(start, (int, float)) or not isinstance(end, (int, float)):
+        errors.append(f"{here}: start_s/end_s must be numbers "
+                      f"(got {start!r}, {end!r})")
+    elif end < start:
+        errors.append(f"{here}: end_s < start_s ({end} < {start})")
+    children = span.get("children", [])
+    if not isinstance(children, list):
+        errors.append(f"{here}: children must be a list")
+        return
+    for child in children:
+        _check_span(child, here, errors)
+
+
+def _span_names(spans: Iterable[object]) -> Set[str]:
+    names: Set[str] = set()
+    stack = [s for s in spans if isinstance(s, dict)]
+    while stack:
+        span = stack.pop()
+        name = span.get("name")
+        if isinstance(name, str):
+            names.add(name)
+        stack.extend(c for c in span.get("children", []) if isinstance(c, dict))
+    return names
+
+
+def validate(doc: object, require: Sequence[str] = ()) -> List[str]:
+    """Return a list of error strings; empty means the trace is valid."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not a JSON object"]
+    if doc.get("schema") != EXPECTED_SCHEMA:
+        errors.append(f"schema must be {EXPECTED_SCHEMA}, got {doc.get('schema')!r}")
+    if doc.get("kind") != EXPECTED_KIND:
+        errors.append(f"kind must be {EXPECTED_KIND!r}, got {doc.get('kind')!r}")
+    spans = doc.get("spans")
+    if not isinstance(spans, list) or not spans:
+        errors.append("trace has no spans (empty or missing 'spans' list)")
+        return errors
+    for i, span in enumerate(spans):
+        _check_span(span, f"spans[{i}]", errors)
+    names = _span_names(spans)
+    for token in require:
+        if not any(token in name for name in names):
+            errors.append(f"required phase {token!r} not found in span tree "
+                          f"(have: {', '.join(sorted(names))})")
+    return errors
+
+
+def validate_chrome(doc: object) -> List[str]:
+    """Validate a Chrome ``trace_event`` export (the ``.chrome.json`` sibling)."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["chrome trace is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        errors.append("chrome trace has no traceEvents")
+        return errors
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"traceEvents[{i}]: not an object")
+            continue
+        if not ev.get("name") or ev.get("ph") not in ("X", "B", "E", "i", "C", "M"):
+            errors.append(f"traceEvents[{i}]: missing name or bad ph {ev.get('ph')!r}")
+        if not isinstance(ev.get("ts"), (int, float)):
+            errors.append(f"traceEvents[{i}]: ts must be a number")
+        if ev.get("ph") == "X" and not isinstance(ev.get("dur"), (int, float)):
+            errors.append(f"traceEvents[{i}]: complete event missing dur")
+    return errors
+
+
+def validate_trace_file(
+    path: Union[str, Path],
+    require: Sequence[str] = (),
+    check_chrome: bool = True,
+) -> List[str]:
+    """Validate a trace file on disk (and its Chrome sibling); never raises."""
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {path}: {exc}"]
+    errors = validate(doc, require=require)
+    if check_chrome:
+        chrome_path = path.with_name(path.stem + ".chrome.json")
+        if not chrome_path.exists():
+            errors.append(f"missing Chrome export {chrome_path}")
+        else:
+            try:
+                chrome_doc = json.loads(chrome_path.read_text())
+            except (OSError, ValueError) as exc:
+                errors.append(f"cannot read {chrome_path}: {exc}")
+            else:
+                errors.extend(validate_chrome(chrome_doc))
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Validate a trace written by python -m repro run --profile"
+    )
+    parser.add_argument("trace", help="path to the JSON trace document")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="TOKEN",
+                        help="fail unless some span name contains TOKEN "
+                             "(repeatable)")
+    parser.add_argument("--no-chrome", action="store_true",
+                        help="skip validating the .chrome.json sibling")
+    args = parser.parse_args(argv)
+
+    path = Path(args.trace)
+    if not path.exists():
+        print(f"FAIL: cannot read {path}: no such file", file=sys.stderr)
+        return 2
+    errors = validate_trace_file(path, require=args.require,
+                                 check_chrome=not args.no_chrome)
+    if errors:
+        for err in errors:
+            print(f"FAIL: {err}", file=sys.stderr)
+        return 1
+    n = len(json.loads(path.read_text()).get("spans", []))
+    print(f"OK: {path} valid ({n} root span{'s' if n != 1 else ''})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the wrapper
+    sys.exit(main())

@@ -121,6 +121,54 @@ class WavePimCompiler:
         ok = np.isin(nbrs, elems).all(axis=1)
         return [int(e) for e in elems[ok]]
 
+    @classmethod
+    def representative_elements(cls, mapper, mesh):
+        """``(rep, interior, true_interior)`` of one batch.
+
+        ``true_interior`` are the fully-interior elements (all six
+        neighbors mapped); ``interior`` falls back to the best-connected
+        elements for thin batch slabs that have none; ``rep`` is the
+        single element whose stream stands in for the whole batch (every
+        element's stream has the same shape).  Shared by the costing pass
+        and the static checker's program builder.
+        """
+        interior = true_interior = cls._interior_elements(mapper, mesh)
+        if not interior:
+            # thin batch slabs (e.g. one y-slice, elastic_5 on 512MB) have
+            # no fully-interior element; use the best-connected one — its
+            # off-batch faces are priced by the Fig. 7 streamed passes.
+            def connectivity(e):
+                return sum(int(n) in mapper for n in mesh.neighbors[e])
+
+            interior = sorted(map(int, mapper.elements), key=connectivity)[-64:]
+        rep = [interior[len(interior) // 2]]
+        return rep, interior, true_interior
+
+    def _prepare(self, physics, refinement_level, chip, flux_kind, order):
+        """Resolve the plan and build mesh/element/mapper/kernels.
+
+        The front half of a compile, shared with the static checker
+        (:mod:`repro.analysis.programs`), which audits the same streams the
+        costing pass prices.  Note the returned kernels' mapper may differ
+        from the returned ``mapper`` (the g=12 elastic plan re-spreads onto
+        4 blocks); address-level consumers must use ``kern.mapper``.
+        """
+        tracer = get_tracer()
+        with tracer.span("compile/plan"):
+            plan = plan_configuration(physics, refinement_level, chip)
+        mesh = HexMesh.from_refinement_level(refinement_level)
+        element = self._ref_element(order)
+        batch_elements = (
+            None
+            if not plan.batched
+            else np.arange(plan.elements_per_batch)
+        )
+        g = 4 if plan.blocks_per_element == 12 else plan.blocks_per_element
+        with tracer.span("compile/kernels", plan=plan.label):
+            mapper = ElementMapper(mesh.m, chip, g, elements=batch_elements)
+            kern = self._build_kernels(physics, flux_kind, mesh, element, mapper)
+        return plan, mesh, element, mapper, kern
+
     def compile(
         self,
         physics: str,
@@ -129,14 +177,29 @@ class WavePimCompiler:
         flux_kind: str = "riemann",
         order: int | None = None,
         cache=None,
+        verify: bool = False,
     ) -> CompiledBenchmark:
         """Cost one benchmark on one chip configuration.
 
         ``cache`` is an optional :class:`~repro.core.cache.CompileCache`;
         when given, a fingerprint hit skips the whole costing pass and a
         miss stores the fresh result for future processes.
+
+        With ``verify=True`` the static checker audits the benchmark's
+        representative streams first — *before* the cache lookup, so a
+        stale-but-cached deployment of a since-broken kernel still fails —
+        raising :class:`~repro.analysis.checker.ProgramCheckError` on any
+        error finding.
         """
         order = self.order if order is None else order
+        if verify:
+            # imported lazily: repro.analysis depends on this module.
+            from repro.analysis.programs import verify_benchmark
+
+            verify_benchmark(
+                physics, refinement_level, chip,
+                flux_kind=flux_kind, order=order, compiler=self,
+            )
         with get_tracer().span(
             f"compile/{physics}_{refinement_level}",
             chip=chip.name, flux=flux_kind, order=order,
@@ -166,31 +229,10 @@ class WavePimCompiler:
         tracer = get_tracer()
         log.debug("compiling %s_%d on %s (%s flux, order %d)",
                   physics, refinement_level, chip.name, flux_kind, order)
-        with tracer.span("compile/plan"):
-            plan = plan_configuration(physics, refinement_level, chip)
-        mesh = HexMesh.from_refinement_level(refinement_level)
-        element = self._ref_element(order)
-
-        batch_elements = (
-            None
-            if not plan.batched
-            else np.arange(plan.elements_per_batch)
+        plan, mesh, element, mapper, kern = self._prepare(
+            physics, refinement_level, chip, flux_kind, order
         )
-        g = 4 if plan.blocks_per_element == 12 else plan.blocks_per_element
-        with tracer.span("compile/kernels", plan=plan.label):
-            mapper = ElementMapper(mesh.m, chip, g, elements=batch_elements)
-            kern = self._build_kernels(physics, flux_kind, mesh, element, mapper)
-
-        interior = true_interior = self._interior_elements(mapper, mesh)
-        if not interior:
-            # thin batch slabs (e.g. one y-slice, elastic_5 on 512MB) have
-            # no fully-interior element; use the best-connected one — its
-            # off-batch faces are priced by the Fig. 7 streamed passes.
-            def connectivity(e):
-                return sum(int(n) in mapper for n in mesh.neighbors[e])
-
-            interior = sorted(map(int, mapper.elements), key=connectivity)[-64:]
-        rep = [interior[len(interior) // 2]]
+        rep, interior, true_interior = self.representative_elements(mapper, mesh)
 
         chip_model = PimChip(chip)
         emitted = 0

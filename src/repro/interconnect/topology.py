@@ -46,7 +46,7 @@ class ScheduledTransfer:
     transfer: Transfer
     start: float
     finish: float
-    path: tuple = field(default_factory=tuple)
+    path: tuple[int, ...] = field(default_factory=tuple)
 
     @property
     def duration(self) -> float:
@@ -85,10 +85,10 @@ class Interconnect(abc.ABC):
     # -- topology ------------------------------------------------------- #
 
     @abc.abstractmethod
-    def path(self, src: int, dst: int) -> tuple:
+    def path(self, src: int, dst: int) -> tuple[int, ...]:
         """Ordered switch ids a ``src -> dst`` transfer occupies."""
 
-    def path_to_root(self, block: int) -> tuple:
+    def path_to_root(self, block: int) -> tuple[int, ...]:
         """Switch ids from ``block`` up to the tile's root switch.
 
         Used for transfers that leave the tile through the central

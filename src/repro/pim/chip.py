@@ -9,12 +9,20 @@ assumption — the paper only details the intra-tile network).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.pim.block import MemoryBlock
 from repro.pim.hbm import HbmModel
 from repro.pim.params import ChipConfig
 from repro.pim.tile import Tile
 
-__all__ = ["PimChip"]
+if TYPE_CHECKING:
+    from repro.interconnect.topology import Interconnect
+
+    #: (switch keys, wire hops, extra latency, source-tile interconnect).
+    TransferPath = tuple[list[tuple[int, int]], int, float, Interconnect]
+
+__all__ = ["PimChip", "INTER_TILE_HOP_S"]
 
 #: Extra latency for crossing the central controller between tiles (s).
 INTER_TILE_HOP_S = 10e-9
@@ -26,12 +34,12 @@ class PimChip:
     def __init__(self, config: ChipConfig):
         self.config = config
         self.hbm = HbmModel()
-        self._tiles: dict = {}
+        self._tiles: dict[int, Tile] = {}
         #: (src, dst) -> (switch keys, hops, extra latency, source-tile
         #: interconnect).  The topology never changes, so every executor on
         #: this chip shares one memoized path table instead of re-walking
         #: the H-tree/Bus per TRANSFER/LUT instruction.
-        self._path_cache: dict = {}
+        self._path_cache: dict[tuple[int, int], "TransferPath"] = {}
 
     # -- geometry --------------------------------------------------------- #
 
@@ -64,7 +72,7 @@ class PimChip:
         tid, lid = self.locate(global_block)
         return self.tile(tid).block(lid)
 
-    def transfer_path(self, src: int, dst: int) -> tuple:
+    def transfer_path(self, src: int, dst: int) -> "TransferPath":
         """Memoized ``(switch keys, hops, extra latency, interconnect)`` of
         an inter-block transfer (the interconnect is the source tile's —
         the one whose flit geometry prices the wire phase)."""
@@ -74,6 +82,7 @@ class PimChip:
         s_tile, s_loc = self.locate(src)
         d_tile, d_loc = self.locate(dst)
         ic = self.tile(s_tile).interconnect
+        result: "TransferPath"
         if s_tile == d_tile:
             path = ic.path(s_loc, d_loc)
             result = ([(s_tile, sw) for sw in path], len(path), 0.0, ic)

@@ -202,8 +202,13 @@ class ChipExecutor:
         chip: PimChip,
         op_costs: OpCosts | None = None,
         host: HostOpModel | None = None,
+        verify: bool = False,
     ):
         self.chip = chip
+        #: opt-in static checking: every :meth:`run` audits the stream with
+        #: the :mod:`repro.analysis` passes before executing it (and raises
+        #: :class:`~repro.analysis.checker.ProgramCheckError` on errors).
+        self.verify = verify
         self.costs = op_costs or default_op_costs(chip.config.device)
         self.host = host or HostOpModel(power_w=chip.config.power.cpu_host_w)
         self._block_clock: dict = defaultdict(float)
@@ -247,7 +252,7 @@ class ChipExecutor:
     # ------------------------------------------------------------------ #
 
     def run(self, instructions, functional: bool = True,
-            batched: bool = False) -> TimingReport:
+            batched: bool = False, verify: bool | None = None) -> TimingReport:
         """Execute ``instructions`` in program order; returns the report.
 
         With ``batched=True`` runs of consecutive same-shape arithmetic/COPY
@@ -255,7 +260,23 @@ class ChipExecutor:
         (vectorized accounting) instead of one dict update per instruction.
         The resulting report is float-identical to the serial path — the
         grouped accumulation replays the exact left-fold addition order.
+
+        ``verify`` overrides the executor-level flag for this run: when
+        true, the static checker passes audit the stream first and a
+        ``ProgramCheckError`` aborts execution on any error finding.
         """
+        if self.verify if verify is None else verify:
+            # imported lazily: the analysis package depends on this module.
+            from repro.analysis.checker import check_program, raise_on_errors
+
+            instructions = (
+                instructions
+                if isinstance(instructions, (list, tuple))
+                else list(instructions)
+            )
+            raise_on_errors(
+                check_program(instructions, self.chip), what="executor stream"
+            )
         report = TimingReport()
         with get_tracer().span("pim/run", chip=self.chip.config.name,
                                batched=batched, functional=functional) as sp:

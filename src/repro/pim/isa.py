@@ -32,7 +32,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-__all__ = ["Opcode", "Instruction", "LutInstructionFormat"]
+__all__ = ["Opcode", "Instruction", "LutInstructionFormat", "ARITHMETIC_OPS", "barrier"]
 
 
 class Opcode(enum.Enum):
@@ -111,6 +111,11 @@ class Instruction:
     def __post_init__(self):
         if not isinstance(self.op, Opcode):
             raise TypeError(f"op must be an Opcode, got {type(self.op)}")
+
+
+def barrier(tag: str = "sync") -> Instruction:
+    """A BARRIER phase-synchronization marker."""
+    return Instruction(Opcode.BARRIER, tag=tag)
 
 
 class LutInstructionFormat:

@@ -117,7 +117,7 @@ class ChipConfig:
     device: DeviceParams = field(default_factory=DeviceParams)
     power: ComponentPower = field(default_factory=ComponentPower)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.interconnect not in ("htree", "bus"):
             raise ValueError(f"interconnect must be 'htree' or 'bus', got {self.interconnect!r}")
         if self.capacity_bytes % self.tile_bytes:
@@ -166,7 +166,7 @@ def _cfg(name: str, capacity: int) -> ChipConfig:
 
 
 #: The four evaluated capacities (Table 2 / Table 5 columns).
-CHIP_CONFIGS: dict = {
+CHIP_CONFIGS: dict[str, ChipConfig] = {
     "512MB": _cfg("512MB", 512 * MB),
     "2GB": _cfg("2GB", 2 * GB),
     "8GB": _cfg("8GB", 8 * GB),

@@ -1,0 +1,396 @@
+"""The static program checker (``repro.analysis``).
+
+Each checker pass is proven to *fire* on a hand-built known-bad program
+(asserting the exact finding code) and to stay silent on the clean
+variant; the six paper benchmarks must check clean under ``repro check
+--strict``; and the opt-in ``verify=True`` paths of the executor and the
+compiler must reject broken streams.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ERROR,
+    FINDING_CODES,
+    WARNING,
+    CheckContext,
+    CheckOptions,
+    Finding,
+    ProgramCheckError,
+    accesses,
+    check_benchmark,
+    check_program,
+    raise_on_errors,
+)
+from repro.pim.chip import PimChip
+from repro.pim.executor import ChipExecutor
+from repro.pim.isa import Instruction, Opcode, barrier
+from repro.pim.params import CHIP_CONFIGS
+
+
+def codes(findings):
+    return {f.code for f in findings}
+
+
+def ctx(**kw):
+    defaults = dict(n_blocks=8, block_rows=1024, row_words=32)
+    defaults.update(kw)
+    return CheckContext(**defaults)
+
+
+def arith(block=0, rows=(0, 4), dst=3, src1=1, src2=2, op=Opcode.ADD, tag="volume"):
+    return Instruction(op, block=block, rows=rows, dst=dst, src1=src1,
+                       src2=src2, tag=tag)
+
+
+def bcast(block=0, rows=(0, 4), dst=1, value=1.0, tag="setup"):
+    return Instruction(Opcode.BROADCAST, block=block, rows=rows, dst=dst,
+                       value=value, tag=tag)
+
+
+def transfer(block=1, src_block=0, rows=(0, 4), src_rows=None, dst=5, src1=5,
+             words=1, tag="flux:fetch"):
+    return Instruction(Opcode.TRANSFER, block=block, src_block=src_block,
+                       rows=rows, src_rows=src_rows, dst=dst, src1=src1,
+                       words=words, tag=tag)
+
+
+# --------------------------------------------------------------------- #
+# finding model
+# --------------------------------------------------------------------- #
+
+
+class TestFindingModel:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Finding("XX999", "nope")
+
+    def test_bad_severity_rejected(self):
+        with pytest.raises(ValueError):
+            Finding("DF001", "msg", severity="fatal")
+
+    def test_format_and_dict(self):
+        f = Finding("LY001", "row 2000", index=7, block=3, tag="volume",
+                    passname="layout")
+        line = f.format()
+        assert "LY001" in line and "inst 7" in line and "block 3" in line
+        d = f.as_dict()
+        assert d["code"] == "LY001" and d["severity"] == ERROR
+        assert json.dumps(d)  # serializable
+
+    def test_catalogue_covers_all_passes(self):
+        prefixes = {c[:2] for c in FINDING_CODES}
+        assert prefixes == {"DF", "LY", "TR", "PH", "HZ"}
+
+
+# --------------------------------------------------------------------- #
+# dataflow pass (DF*)
+# --------------------------------------------------------------------- #
+
+
+class TestDataflowPass:
+    def test_df001_read_before_write_strict_mode(self):
+        strict = ctx(options=CheckOptions(assume_zero_init=False))
+        findings = check_program([arith()], strict)
+        assert "DF001" in codes(findings)
+
+    def test_df001_suppressed_by_zero_init_default(self):
+        assert "DF001" not in codes(check_program([arith()], ctx()))
+
+    def test_df001_clean_after_writes(self):
+        strict = ctx(options=CheckOptions(assume_zero_init=False))
+        prog = [bcast(dst=1), bcast(dst=2), arith(src1=1, src2=2, dst=3)]
+        assert "DF001" not in codes(check_program(prog, strict))
+
+    def test_df002_dead_store_is_warning(self):
+        prog = [bcast(dst=1, tag="volume"), bcast(dst=1, tag="volume")]
+        findings = [f for f in check_program(prog, ctx()) if f.code == "DF002"]
+        assert findings and all(f.severity == WARNING for f in findings)
+
+    def test_df002_not_raised_across_barrier_or_after_read(self):
+        across = [bcast(dst=1, tag="volume"), barrier(), bcast(dst=1, tag="volume")]
+        assert "DF002" not in codes(check_program(across, ctx()))
+        consumed = [bcast(dst=1, tag="volume"), bcast(dst=2, tag="volume"),
+                    arith(src1=1, src2=2, dst=3), bcast(dst=1, tag="volume")]
+        assert "DF002" not in codes(check_program(consumed, ctx()))
+
+    def test_df003_storage_write_outside_setup(self):
+        prog = [bcast(rows=(600, 601), dst=0, tag="volume")]
+        assert "DF003" in codes(check_program(prog, ctx()))
+
+    def test_df003_allows_setup_and_load(self):
+        prog = [bcast(rows=(600, 601), dst=0, tag="setup"),
+                bcast(rows=(700, 701), dst=1, tag="load")]
+        assert "DF003" not in codes(check_program(prog, ctx()))
+
+    def test_df003_respects_layout_storage_boundary(self):
+        custom = ctx(storage0=800)
+        prog = [bcast(rows=(600, 601), dst=0, tag="volume")]
+        assert "DF003" not in codes(check_program(prog, custom))
+
+
+# --------------------------------------------------------------------- #
+# layout pass (LY*)
+# --------------------------------------------------------------------- #
+
+
+class TestLayoutPass:
+    def test_ly001_row_overflow(self):
+        assert "LY001" in codes(check_program([arith(rows=(1000, 1100))], ctx()))
+        gather = Instruction(Opcode.GATHER, block=0, rows=(0, 4), dst=3, src1=1,
+                             row_map=np.array([0, 1, 2, 5000]), tag="volume")
+        assert "LY001" in codes(check_program([gather], ctx()))
+
+    def test_ly002_column_overflow(self):
+        assert "LY002" in codes(check_program([arith(dst=40)], ctx()))
+        wide = transfer(dst=30, src1=0, words=4)  # cols [30, 34) > 32
+        assert "LY002" in codes(check_program([wide], ctx()))
+
+    def test_ly003_lut_offset_beyond_5_bits(self):
+        lut = Instruction(Opcode.LUT, block=0, src_block=1, rows=(0, 4),
+                          src1=40, dst=2, tag="lut")
+        assert "LY003" in codes(check_program([lut], ctx()))
+
+    def test_ly004_block_out_of_chip(self):
+        assert "LY004" in codes(check_program([arith(block=99)], ctx()))
+        assert "LY004" in codes(check_program([arith(block=None)], ctx()))
+
+    def test_ly005_occupancy_beyond_plan(self):
+        bounded = ctx(allowed_blocks=4)
+        assert "LY005" in codes(check_program([arith(block=5)], bounded))
+        assert "LY005" not in codes(check_program([arith(block=3)], bounded))
+
+    def test_ly006_broadcast_shape_mismatch(self):
+        bad = bcast(rows=(0, 4), value=np.arange(3, dtype=np.float32))
+        assert "LY006" in codes(check_program([bad], ctx()))
+        good = bcast(rows=(0, 4), value=np.arange(4, dtype=np.float32))
+        assert "LY006" not in codes(check_program([good], ctx()))
+
+
+# --------------------------------------------------------------------- #
+# transfer pass (TR*)
+# --------------------------------------------------------------------- #
+
+
+class TestTransferPass:
+    def test_tr001_missing_source(self):
+        assert "TR001" in codes(check_program([transfer(src_block=None)], ctx()))
+
+    def test_tr002_endpoint_outside_chip(self):
+        assert "TR002" in codes(check_program([transfer(src_block=99)], ctx()))
+
+    def test_tr003_unroutable_on_chip_model(self):
+        cfg = CHIP_CONFIGS["512MB"]
+        # the declared topology is larger than the chip model: the route
+        # for the extra block cannot resolve.
+        phantom = ctx(n_blocks=cfg.n_blocks + 8, chip=PimChip(cfg))
+        bad = transfer(block=0, src_block=cfg.n_blocks + 1)
+        assert "TR003" in codes(check_program([bad], phantom))
+
+    def test_tr004_row_count_mismatch(self):
+        bad = transfer(rows=(0, 4), src_rows=(0, 2))
+        assert "TR004" in codes(check_program([bad], ctx()))
+
+    def test_routable_transfer_is_clean(self):
+        cfg = CHIP_CONFIGS["512MB"]
+        good = transfer(block=1, src_block=0)
+        findings = check_program([good], CheckContext.for_chip(PimChip(cfg)))
+        assert not codes(findings) & {"TR001", "TR002", "TR003", "TR004"}
+
+
+# --------------------------------------------------------------------- #
+# phase pass (PH*)
+# --------------------------------------------------------------------- #
+
+
+class TestPhasePass:
+    def test_ph001_uncovered_tag(self):
+        findings = check_program([arith(tag="bogus_tag")], ctx())
+        assert "PH001" in codes(findings)
+
+    def test_ph001_covers_kernel_vocabulary(self):
+        prog = [arith(tag=t) for t in
+                ("volume", "flux:fetch", "flux:compute", "integration",
+                 "setup", "load", "sync", "host")]
+        assert "PH001" not in codes(check_program(prog, ctx()))
+
+    def test_ph002_missing_barrier_between_phases(self):
+        prog = [arith(tag="volume"), arith(tag="integration")]
+        assert "PH002" in codes(check_program(prog, ctx()))
+
+    def test_ph002_clean_with_barrier(self):
+        prog = [arith(tag="volume"), barrier(), arith(tag="integration")]
+        assert "PH002" not in codes(check_program(prog, ctx()))
+
+    def test_ph002_allows_fetch_compute_interleave(self):
+        prog = [transfer(tag="flux:fetch"), arith(block=1, tag="flux:compute")]
+        assert "PH002" not in codes(check_program(prog, ctx()))
+
+
+# --------------------------------------------------------------------- #
+# hazard pass (HZ001)
+# --------------------------------------------------------------------- #
+
+
+class TestHazardPass:
+    def test_hz001_lost_slice_update(self):
+        prog = [transfer(), transfer()]  # same destination, nothing read
+        assert "HZ001" in codes(check_program(prog, ctx()))
+
+    def test_hz001_clean_when_consumed(self):
+        prog = [transfer(dst=5),
+                arith(block=1, src1=5, src2=5, dst=6, tag="flux:compute"),
+                transfer(dst=5)]
+        assert "HZ001" not in codes(check_program(prog, ctx()))
+
+    def test_hz001_clean_across_barrier(self):
+        prog = [transfer(), barrier(), transfer()]
+        assert "HZ001" not in codes(check_program(prog, ctx()))
+
+    def test_hz001_tolerates_partial_overfetch_clobber(self):
+        # face A fetches 2 words, consumes only the first; face B's fetch
+        # overwrites the unread second word at shared edge rows — the
+        # kernels over-fetch on purpose, so this must stay clean.
+        prog = [
+            transfer(rows=(0, 4), dst=5, words=2),
+            arith(block=1, src1=5, src2=5, dst=8, tag="flux:compute"),
+            transfer(rows=(2, 6), dst=5, words=2),
+        ]
+        assert "HZ001" not in codes(check_program(prog, ctx()))
+
+
+# --------------------------------------------------------------------- #
+# access model
+# --------------------------------------------------------------------- #
+
+
+class TestAccessModel:
+    def test_arith_reads_and_writes(self):
+        reads, writes = accesses(arith(src1=1, src2=2, dst=3))
+        assert {a.col for a in reads} == {1, 2}
+        assert [a.col for a in writes] == [3]
+
+    def test_transfer_spans_words(self):
+        reads, writes = accesses(transfer(dst=4, src1=8, words=3))
+        assert reads[0].words == 3 and writes[0].words == 3
+        assert reads[0].block == 0 and writes[0].block == 1
+
+    def test_barrier_touches_nothing(self):
+        assert accesses(barrier()) == ([], [])
+
+
+# --------------------------------------------------------------------- #
+# benchmarks + the verify paths
+# --------------------------------------------------------------------- #
+
+
+class TestBenchmarksClean:
+    def test_all_six_benchmarks_check_clean_strict(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["check", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors, 0 warnings" in out
+        # six benchmarks x both interconnects
+        assert "checked 12 programs" in out
+
+    def test_check_benchmark_reports_plan(self):
+        checked, findings = check_benchmark("acoustic_4", chip="2GB", order=3,
+                                            interconnect="htree")
+        assert findings == []
+        assert checked.plan_label
+        assert len(checked.program) > 100
+
+    def test_json_report(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "findings.json"
+        assert main(["check", "acoustic_4", "--order", "2",
+                     "--interconnect", "htree", "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["kind"] == "repro-check" and doc["errors"] == 0
+        assert doc["benchmarks"][0]["benchmark"] == "acoustic_4"
+        assert doc["benchmarks"][0]["findings"] == []
+
+    def test_unknown_benchmark_exits_2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["check", "nope"]) == 2
+
+    def test_trace_validation_mode(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        bad = tmp_path / "t.json"
+        bad.write_text("{}")
+        assert main(["check", "--trace", str(bad)]) == 1
+
+
+class TestVerifyPaths:
+    def test_raise_on_errors(self):
+        with pytest.raises(ProgramCheckError) as exc:
+            raise_on_errors([Finding("LY001", "row 2000")])
+        assert "LY001" in str(exc.value)
+
+    def test_warnings_pass_through(self):
+        fs = [Finding("DF002", "dead store", severity=WARNING)]
+        assert raise_on_errors(fs) == fs
+
+    def test_executor_verify_rejects_bad_stream(self):
+        chip = PimChip(CHIP_CONFIGS["512MB"])
+        ex = ChipExecutor(chip, verify=True)
+        with pytest.raises(ProgramCheckError):
+            ex.run([arith(rows=(1000, 1100))], functional=False)
+
+    def test_executor_verify_accepts_clean_stream(self):
+        chip = PimChip(CHIP_CONFIGS["512MB"])
+        ex = ChipExecutor(chip, verify=True)
+        report = ex.run([bcast(dst=1), bcast(dst=2),
+                         arith(src1=1, src2=2, dst=3)], functional=False)
+        assert report.n_instructions == 3
+
+    def test_executor_verify_off_by_default(self):
+        chip = PimChip(CHIP_CONFIGS["512MB"])
+        report = ChipExecutor(chip).run([arith(rows=(1000, 1024))],
+                                        functional=False)
+        assert report.n_instructions == 1
+
+    def test_run_verify_override_per_call(self):
+        chip = PimChip(CHIP_CONFIGS["512MB"])
+        ex = ChipExecutor(chip)  # verify off at construction
+        with pytest.raises(ProgramCheckError):
+            ex.run([arith(block=9999)], functional=False, verify=True)
+
+    def test_compiler_verify_runs_on_cache_hits(self, tmp_path, monkeypatch):
+        from repro.core.cache import CompileCache
+        from repro.core.compiler import WavePimCompiler
+        import repro.analysis.programs as programs
+
+        calls = []
+        real = programs.verify_benchmark
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(programs, "verify_benchmark", counting)
+        cache = CompileCache(tmp_path)
+        compiler = WavePimCompiler(order=2)
+        chip = CHIP_CONFIGS["2GB"]
+        first = compiler.compile("acoustic", 4, chip, cache=cache, verify=True)
+        second = compiler.compile("acoustic", 4, chip, cache=cache, verify=True)
+        assert len(calls) == 2  # the hit is verified too
+        assert second.stage_times.volume == first.stage_times.volume
+
+    def test_compiler_verify_default_off(self, monkeypatch):
+        import repro.analysis.programs as programs
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("verify hook ran without verify=True")
+
+        monkeypatch.setattr(programs, "verify_benchmark", boom)
+        from repro.core.compiler import WavePimCompiler
+
+        WavePimCompiler(order=2).compile("acoustic", 4, CHIP_CONFIGS["2GB"])
