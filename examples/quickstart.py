@@ -8,8 +8,14 @@ Runs in a few seconds:
    (Table 5's logic) and estimate its runtime/energy against three GPUs.
 
 Usage: python examples/quickstart.py
+
+For CI smoke runs the geometry can be shrunk via environment variables
+(defaults reproduce the full demo): ``REPRO_QS_STEPS``, ``REPRO_QS_LEVEL``,
+``REPRO_QS_ORDER`` (the dG solver) and ``REPRO_QS_PIM_ORDER`` (the PIM
+compile).
 """
 
+import os
 import time
 
 import numpy as np
@@ -29,19 +35,26 @@ from repro.dg.solver import Receiver
 from repro.gpu import gpu_benchmark_time
 from repro.workloads import BENCHMARKS
 
+#: smoke-test knobs (see module docstring); defaults are the full demo.
+QS_STEPS = int(os.environ.get("REPRO_QS_STEPS", "200"))
+QS_LEVEL = int(os.environ.get("REPRO_QS_LEVEL", "2"))
+QS_ORDER = int(os.environ.get("REPRO_QS_ORDER", "3"))
+QS_PIM_ORDER = int(os.environ.get("REPRO_QS_PIM_ORDER", "7"))
+
 
 def simulate():
     print("=" * 64)
     print("1. Wave simulation (numpy dG solver)")
     print("=" * 64)
     solver = WaveSolver(
-        SolverConfig(physics="acoustic", refinement_level=2, order=3, flux="riemann")
+        SolverConfig(physics="acoustic", refinement_level=QS_LEVEL,
+                     order=QS_ORDER, flux="riemann")
     )
     solver.add_source(RickerSource(position=(0.5, 0.5, 0.75), peak_frequency=6.0))
     receiver = Receiver(position=(0.5, 0.5, 0.25), variable=0)
     solver.add_receiver(receiver)
 
-    n_steps = 200
+    n_steps = QS_STEPS
     print(f"mesh: {solver.mesh.n_elements} elements, "
           f"{solver.element.n_nodes} nodes each, dt = {solver.dt:.2e}s")
     solver.run(n_steps)
@@ -58,7 +71,7 @@ def deploy():
     print("=" * 64)
     print("2. Wave-PIM deployment of the paper-scale Acoustic_4 benchmark")
     print("=" * 64)
-    compiler = WavePimCompiler(order=7)
+    compiler = WavePimCompiler(order=QS_PIM_ORDER)
     chip = CHIP_CONFIGS["2GB"]
     cache = default_cache()
     t0 = time.perf_counter()

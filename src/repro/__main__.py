@@ -223,6 +223,7 @@ def _cmd_check(args) -> int:
             checked, findings = check_benchmark(
                 key, chip=args.chip, interconnect=ic,
                 order=args.order, compiler=compiler,
+                parity_rows=args.parity_rows,
             )
             errs = sum(1 for f in findings if f.is_error)
             n_errors += errs
@@ -263,6 +264,73 @@ def _cmd_check(args) -> int:
           f"{n_errors} error{'s' if n_errors != 1 else ''}, "
           f"{n_warnings} warning{'s' if n_warnings != 1 else ''}")
     if n_errors or (args.strict and total):
+        return 1
+    return 0
+
+
+def _cmd_faults(args) -> int:
+    # imported here: the campaign pulls in the kernel/executor stack.
+    from repro.faults.campaign import DEFAULT_RATES, run_campaign, strict_violations
+    from repro.workloads.benchmarks import BENCHMARKS
+
+    keys = args.benchmarks or list(BENCHMARKS)
+    unknown = [k for k in keys if k not in BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmark(s) {', '.join(unknown)}; "
+              f"choose from {', '.join(BENCHMARKS)}", file=sys.stderr)
+        return 2
+    interconnects = (
+        ["htree", "bus"] if args.interconnect == "both" else [args.interconnect]
+    )
+    rates = args.rates or list(DEFAULT_RATES)
+
+    profiling = _profile_begin(args)
+    t0 = time.perf_counter()
+    try:
+        with get_tracer().span("faults/campaign"):
+            report = run_campaign(
+                keys,
+                rates=rates,
+                interconnects=interconnects,
+                seed=args.seed,
+                steps=args.steps,
+                level=args.level,
+                order=args.order or 2,
+                chip=args.chip,
+                protect=not args.no_protect,
+                switch_fail_rate=args.switch_rate,
+            )
+    finally:
+        if profiling:
+            _profile_end(args, "faults")
+
+    for run in report["runs"]:
+        who = f"{run['benchmark']:18s} {run['interconnect']:5s} rate={run['rate']:<8g}"
+        if run["status"] != "ok":
+            print(f"DEGR {who} {run['error']}")
+            continue
+        c = run["counts"]
+        print(f"{'FAIL' if c['uncorrected'] else 'ok':4s} {who} "
+              f"injected={c['injected']:<5d} corrected={c['corrected']:<5d} "
+              f"uncorrected={c['uncorrected']:<3d} remaps={c['remaps']:<4d} "
+              f"err={run['solution_rel_err']:.2e} "
+              f"overhead={run['time_overhead']:.3f}x")
+
+    violations = strict_violations(report)
+    if args.json:
+        import json
+
+        report["strict"] = args.strict
+        report["violations"] = violations
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"[campaign report: {args.json}]", file=sys.stderr)
+
+    print(f"{len(report['runs'])} runs in {format_duration(time.perf_counter() - t0)}",
+          file=sys.stderr)
+    if args.strict and violations:
+        for v in violations:
+            print(f"STRICT: {v}", file=sys.stderr)
         return 1
     return 0
 
@@ -346,6 +414,10 @@ def main(argv=None) -> int:
                    help="element order (default: the paper's 7)")
     p.add_argument("--strict", action="store_true",
                    help="exit nonzero on warnings, not just errors")
+    p.add_argument("--parity-rows", type=int, default=0, metavar="N",
+                   help="FT001: warn when a block's layout leaves fewer "
+                        "than N spare rows for fault-model parity (default: "
+                        "0, pass disabled)")
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write a JSON findings report")
     p.add_argument("--trace", default=None, metavar="FILE",
@@ -355,6 +427,38 @@ def main(argv=None) -> int:
                    help="with --trace: fail unless some span name contains "
                         "TOKEN (repeatable)")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("faults", parents=[common, profiled],
+                       help="run a fault-injection campaign "
+                            "(see DESIGN.md 'Fault model & recovery')")
+    p.add_argument("benchmarks", nargs="*", metavar="BENCHMARK",
+                   help="benchmark keys (default: all six paper benchmarks)")
+    p.add_argument("--rates", type=float, nargs="+", default=None,
+                   metavar="RATE",
+                   help="fault rates to sweep (default: 1e-6 1e-3)")
+    p.add_argument("--interconnect", default="htree",
+                   choices=["htree", "bus", "both"],
+                   help="interconnect(s) to sweep (default: htree)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-model seed (same seed -> identical campaign)")
+    p.add_argument("--steps", type=int, default=2,
+                   help="functional time-steps per run (default: 2)")
+    p.add_argument("--level", type=int, default=1,
+                   help="proxy mesh refinement level (default: 1)")
+    p.add_argument("--order", type=int, default=None,
+                   help="proxy element order (default: 2)")
+    p.add_argument("--chip", default="512MB", choices=list(CHIP_CONFIGS),
+                   help="chip configuration (default: 512MB)")
+    p.add_argument("--no-protect", action="store_true",
+                   help="disable parity/checksum protection (faults land)")
+    p.add_argument("--switch-rate", type=float, default=0.0, metavar="RATE",
+                   help="permanent switch-failure probability (default: 0)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit nonzero unless the lowest rate ends with zero "
+                        "uncorrected faults and a baseline-exact solution")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="write the campaign report as JSON")
+    p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("trace", parents=[common],
                        help="inspect a trace recorded with --profile")

@@ -86,6 +86,9 @@ class CheckContext:
     #: first storage-region row; defaults to the Fig. 5 top half.  The
     #: element layout may push it up (``max(n_nodes, block_rows // 2)``).
     storage0: Optional[int] = None
+    #: spare rows the fault model's parity protection needs per block;
+    #: 0 (the default) disables the FT001 fault-readiness pass.
+    parity_rows: int = 0
     options: CheckOptions = field(default_factory=CheckOptions)
 
     @classmethod
@@ -94,6 +97,7 @@ class CheckContext:
         chip: PimChip,
         allowed_blocks: Optional[int] = None,
         storage0: Optional[int] = None,
+        parity_rows: int = 0,
         options: Optional[CheckOptions] = None,
     ) -> "CheckContext":
         cfg = chip.config
@@ -104,6 +108,7 @@ class CheckContext:
             chip=chip,
             allowed_blocks=allowed_blocks,
             storage0=storage0,
+            parity_rows=parity_rows,
             options=options or CheckOptions(),
         )
 
@@ -200,11 +205,15 @@ def all_passes() -> tuple:
     stream is at least shape-legal.
     """
     from repro.analysis.dataflow import DataflowPass
+    from repro.analysis.faultready import FaultReadinessPass
     from repro.analysis.hazards import HazardPass
     from repro.analysis.phases import PhasePass
     from repro.analysis.structural import LayoutPass, TransferPass
 
-    return (LayoutPass(), TransferPass(), DataflowPass(), PhasePass(), HazardPass())
+    return (
+        LayoutPass(), TransferPass(), DataflowPass(), PhasePass(),
+        HazardPass(), FaultReadinessPass(),
+    )
 
 
 def check_program(

@@ -1,0 +1,88 @@
+"""Fault-readiness pass (FT*): can the layout host the parity rows?
+
+The fault-tolerant execution path (:mod:`repro.faults`) protects compute
+results with per-block parity rows appended *below* the data layout: the
+executor prices one parity-copy per compute op and the recompute path
+relies on those rows existing.  A layout that packs data into every row
+of the block leaves nowhere to put them — protection silently becomes
+detection-only.
+
+``FT001``
+    a block's highest touched row leaves fewer than ``parity_rows`` spare
+    rows.  Reported once per offending block, as a *warning*: the program
+    still runs correctly, it just cannot be parity-protected.
+
+The pass is inert unless :class:`~repro.analysis.checker.CheckContext`
+sets ``parity_rows > 0`` (``repro check --parity-rows N`` from the CLI),
+so existing check runs are unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.checker import CheckContext, accesses
+from repro.analysis.findings import WARNING, Finding
+from repro.pim.isa import Instruction
+
+__all__ = ["FaultReadinessPass", "max_touched_row"]
+
+
+def max_touched_row(rows, block_rows: int) -> Optional[int]:
+    """Highest in-range row of a selector, or None for empty/whole-block.
+
+    ``rows=None`` means data-dependent whole-block access (the LUT block);
+    those blocks are storage, not compute layout, so the pass skips them.
+    Out-of-range rows are the layout pass's business (LY001) — they are
+    clipped here.
+    """
+    if rows is None:
+        return None
+    if isinstance(rows, tuple):
+        r0, r1 = int(rows[0]), int(rows[1])
+        hi = min(r1, block_rows) - 1
+        return hi if hi >= max(r0, 0) else None
+    idx = np.asarray(rows, dtype=np.int64).ravel()
+    idx = idx[(idx >= 0) & (idx < block_rows)]
+    return int(idx.max()) if idx.size else None
+
+
+class FaultReadinessPass:
+    """Pass (f): spare-row budget for the fault model's parity rows."""
+
+    name = "faultready"
+
+    def run(self, program: Sequence[Instruction], ctx: CheckContext) -> List[Finding]:
+        parity = int(getattr(ctx, "parity_rows", 0) or 0)
+        if parity <= 0:
+            return []
+        # highest row each block touches, and the instruction that did it
+        high: Dict[int, Tuple[int, int]] = {}
+        for i, inst in enumerate(program):
+            reads, writes = accesses(inst)
+            for acc in (*reads, *writes):
+                if acc.block is None:
+                    continue
+                top = max_touched_row(acc.rows, ctx.block_rows)
+                if top is None:
+                    continue
+                prev = high.get(acc.block)
+                if prev is None or top > prev[0]:
+                    high[acc.block] = (top, i)
+        out: List[Finding] = []
+        for block in sorted(high):
+            top, i = high[block]
+            spare = ctx.block_rows - (top + 1)
+            if spare < parity:
+                out.append(Finding(
+                    "FT001",
+                    f"block {block} uses rows up to {top} of {ctx.block_rows}; "
+                    f"{spare} spare row{'s' if spare != 1 else ''} cannot hold "
+                    f"{parity} parity row{'s' if parity != 1 else ''} — fault "
+                    "protection degrades to detection-only on this block",
+                    WARNING, index=i, block=block,
+                    tag=program[i].tag, passname=self.name,
+                ))
+        return out

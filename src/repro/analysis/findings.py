@@ -43,6 +43,9 @@ FINDING_CODES: Dict[str, str] = {
     "PH002": "barrier segment mixes two compute phases (Volume/Flux/Integration/LUT)",
     # batching / expansion hazards (pass e)
     "HZ001": "transfer write overlaps an unconsumed earlier write (lost update)",
+    # fault readiness (pass f)
+    "FT001": "layout leaves no spare rows for parity; fault protection cannot "
+             "place its check rows",
 }
 
 

@@ -85,6 +85,7 @@ def build_check_program(
     order: int = 7,
     interconnect: Optional[str] = None,
     compiler: Any = None,
+    parity_rows: int = 0,
 ) -> CheckedProgram:
     """One BARRIER-delimited RK stage for a representative element set."""
     from repro.core.compiler import WavePimCompiler
@@ -127,6 +128,7 @@ def build_check_program(
             PimChip(chip),
             allowed_blocks=kern.mapper.n_blocks_needed,
             storage0=_storage_row0(kern),
+            parity_rows=parity_rows,
         )
     return CheckedProgram(
         physics=physics,
@@ -146,6 +148,7 @@ def check_benchmark(
     options: Optional[CheckOptions] = None,
     order: Optional[int] = None,
     compiler: Any = None,
+    parity_rows: int = 0,
 ) -> Tuple[CheckedProgram, List[Finding]]:
     """Run every checker pass over one benchmark's representative stream."""
     spec = BENCHMARKS[benchmark] if isinstance(benchmark, str) else benchmark
@@ -157,6 +160,7 @@ def check_benchmark(
         order=spec.order if order is None else order,
         interconnect=interconnect,
         compiler=compiler,
+        parity_rows=parity_rows,
     )
     if options is not None:
         checked.context.options = options

@@ -54,9 +54,14 @@ class KernelBase:
 
     @staticmethod
     def _gather(block, rows, dst, src, row_map, tag) -> Instruction:
+        # row maps are small non-negative row indices: a boolean occupancy
+        # mask counts the distinct rows without np.unique's sort.
+        rm = np.asarray(row_map)
+        seen = np.zeros(int(rm.max()) + 1 if rm.size else 0, dtype=bool)
+        seen[rm] = True
         return Instruction(
             Opcode.GATHER, block=block, rows=rows, dst=dst, src1=src, row_map=row_map,
-            n_unique_rows=len(np.unique(np.asarray(row_map))), tag=tag,
+            n_unique_rows=int(np.count_nonzero(seen)), tag=tag,
         )
 
     @staticmethod

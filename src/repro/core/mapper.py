@@ -68,13 +68,28 @@ class ElementMapper:
         chip: ChipConfig,
         blocks_per_element: int = 1,
         elements: np.ndarray | None = None,
+        fault_model=None,
     ):
-        """``elements`` restricts the mapping to one batch (defaults to all)."""
+        """``elements`` restricts the mapping to one batch (defaults to all).
+
+        With a :class:`~repro.faults.model.FaultModel`, blocks whose
+        stuck-cell count reaches the remap threshold (or that have worn
+        out) are excluded and the mapping shifts onto the healthy spares —
+        graceful degradation: effective capacity shrinks, answers stay
+        right.  Without faults the identity mapping is kept and
+        :meth:`block_of` takes the exact fault-free fast path.
+        """
         self.mesh_m = mesh_m
         self.chip = chip
         self.g = int(blocks_per_element)
         if self.g < 1:
             raise ValueError("blocks_per_element must be >= 1")
+        self._phys: np.ndarray | None = None
+        bad: set = set()
+        if fault_model is not None:
+            bad = fault_model.bad_blocks(
+                chip.n_blocks, chip.block_rows, chip.row_words
+            )
         all_elements = np.arange(mesh_m**3) if elements is None else np.asarray(elements)
         # Morton-rank the batch (vectorized bit-interleave over the whole
         # element array — this runs once per compile and used to dominate
@@ -86,12 +101,36 @@ class ElementMapper:
         )
         order = np.argsort(ranks, kind="stable")
         self.elements = all_elements[order]
-        if self.n_blocks_needed > chip.n_blocks:
+        n_good = chip.n_blocks - len(bad)
+        if self.n_blocks_needed > n_good:
+            if bad:
+                raise ValueError(
+                    f"batch of {len(self.elements)} elements x {self.g} blocks "
+                    f"exceeds the {n_good} healthy blocks left after excluding "
+                    f"{len(bad)} faulty of {chip.n_blocks} — use smaller batches"
+                )
             raise ValueError(
                 f"batch of {len(self.elements)} elements x {self.g} blocks "
                 f"exceeds chip capacity of {chip.n_blocks} blocks — use batching"
             )
         self._rank_of = {int(e): i for i, e in enumerate(self.elements)}
+        if bad:
+            # spare-block remap: logical slot i lands on the i-th healthy
+            # physical block.  Morton locality degrades only past the first
+            # excluded block; everything before keeps its identity slot.
+            good = np.setdiff1d(
+                np.arange(chip.n_blocks, dtype=np.int64),
+                np.fromiter(bad, dtype=np.int64),
+            )
+            phys = good[: self.n_blocks_needed]
+            if not np.array_equal(phys, np.arange(self.n_blocks_needed)):
+                self._phys = phys
+                n_moved = int((phys != np.arange(self.n_blocks_needed)).sum())
+                fault_model.record_remaps(
+                    n_moved,
+                    detail=f"{n_moved}/{self.n_blocks_needed} blocks remapped "
+                    f"around {len(bad)} faulty",
+                )
 
     # ------------------------------------------------------------------ #
 
@@ -120,12 +159,17 @@ class ElementMapper:
     def block_ids(self, element: int) -> tuple:
         """Global block ids owned by ``element`` (length ``g``)."""
         base = self.rank(element) * self.g
-        return tuple(range(base, base + self.g))
+        if self._phys is None:
+            return tuple(range(base, base + self.g))
+        return tuple(int(b) for b in self._phys[base:base + self.g])
 
     def block_of(self, element: int, part: int = 0) -> int:
         if not 0 <= part < self.g:
             raise IndexError(f"part {part} outside group of {self.g}")
-        return self.rank(element) * self.g + part
+        logical = self.rank(element) * self.g + part
+        if self._phys is None:
+            return logical
+        return int(self._phys[logical])
 
     def tile_of(self, element: int, part: int = 0) -> int:
         return self.block_of(element, part) // self.chip.blocks_per_tile
@@ -134,8 +178,10 @@ class ElementMapper:
         """Elements whose part-0 block lives in ``tile``."""
         per_tile = self.chip.blocks_per_tile
         lo, hi = tile * per_tile, (tile + 1) * per_tile
-        ranks = np.arange(self.n_elements)
-        mask = (ranks * self.g >= lo) & (ranks * self.g < hi)
+        blocks0 = np.arange(self.n_elements) * self.g
+        if self._phys is not None:
+            blocks0 = self._phys[blocks0]
+        mask = (blocks0 >= lo) & (blocks0 < hi)
         return self.elements[mask]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -41,6 +41,11 @@ class PimRunEstimate:
     static_energy_j: float
     hbm_energy_j: float
     host_energy_j: float
+    #: expected fault-mitigation time (retries + parity + recomputes);
+    #: zero unless a fault model was supplied to the estimate.
+    fault_overhead_s: float = 0.0
+    #: time spent writing periodic restart checkpoints to HBM.
+    checkpoint_overhead_s: float = 0.0
 
     @property
     def name(self) -> str:
@@ -58,18 +63,63 @@ def estimate_benchmark(
     pipelined: bool = True,
     scale_to_12nm: bool = False,
     scaling: ProcessScaling = DEFAULT_SCALING,
+    faults=None,
+    checkpoint_every: int | None = None,
 ) -> PimRunEstimate:
-    """Turn a compiled benchmark into wall-clock time and energy."""
+    """Turn a compiled benchmark into wall-clock time and energy.
+
+    With a :class:`~repro.faults.model.FaultModel` the estimate includes
+    the *expected* mitigation overhead (transfer retries on the fetch
+    lanes, parity upkeep and flip recomputes on the compute lanes); with
+    ``checkpoint_every`` it adds the HBM time of periodic restart
+    snapshots.  Both default off and leave the numbers bit-identical.
+    """
     with get_tracer().span(
         "execute/estimate", benchmark=compiled.name, chip=compiled.chip.name,
         n_steps=n_steps, pipelined=pipelined, scaled_12nm=scale_to_12nm,
     ) as sp:
-        est = _estimate(compiled, n_steps, pipelined, scale_to_12nm, scaling)
+        est = _estimate(
+            compiled, n_steps, pipelined, scale_to_12nm, scaling,
+            faults, checkpoint_every,
+        )
         sp.set(time_s=est.time_s, energy_j=est.energy_j)
     return est
 
 
-def _estimate(compiled, n_steps, pipelined, scale_to_12nm, scaling) -> PimRunEstimate:
+#: state variables per physics (checkpoint sizing).
+_N_VARS = {"acoustic": 4, "elastic": 9}
+
+
+def _fault_overhead_per_stage(compiled, faults) -> float:
+    """Expected mitigation seconds added to one RK stage of one batch."""
+    from repro.pim.arithmetic import default_op_costs
+    from repro.pim.executor import _COPY_NORS
+
+    cfg = faults.config
+    st = compiled.stage_times
+    costs = default_op_costs(compiled.chip.device)
+    overhead = 0.0
+    # transfer retries stretch the fetch lanes by p/(1-p) on expectation.
+    p_retry = cfg.transfer_drop_rate + (cfg.transfer_corrupt_rate if cfg.protect else 0.0)
+    if p_retry > 0.0:
+        p_retry = min(p_retry, 0.99)
+        overhead += (st.flux_fetch_minus + st.flux_fetch_plus) * p_retry / (1.0 - p_retry)
+    compute = st.volume + st.flux_compute_minus + st.flux_compute_plus + st.integration
+    if cfg.protect:
+        # parity upkeep: one 2-NOR copy per compute op, vs ~add-sized ops.
+        overhead += compute * _COPY_NORS / costs.nor_count("add")
+    if cfg.flip_rate > 0.0:
+        # each detected flip recomputes one op: expected redo fraction is
+        # flip_rate x NORs x active rows per op (first order, small rates).
+        n_rows = (compiled.order + 1) ** 3
+        redo = min(cfg.flip_rate * costs.nor_count("add") * n_rows, 1.0)
+        if cfg.protect:
+            overhead += compute * redo
+    return overhead
+
+
+def _estimate(compiled, n_steps, pipelined, scale_to_12nm, scaling,
+              faults=None, checkpoint_every=None) -> PimRunEstimate:
     st = compiled.stage_times
     stage = pipelined_stage_time(st) if pipelined else serial_stage_time(st)
 
@@ -79,6 +129,21 @@ def _estimate(compiled, n_steps, pipelined, scale_to_12nm, scaling) -> PimRunEst
     # per time-step: all batches run serially (batching), stages pipelined
     step_time = stage * RK_STAGES_PER_STEP * plan.n_batches + dram_per_step
     total_time = step_time * n_steps
+
+    fault_overhead = 0.0
+    if faults is not None and faults.config.enabled:
+        fault_overhead = (
+            _fault_overhead_per_stage(compiled, faults)
+            * RK_STAGES_PER_STEP * plan.n_batches * n_steps
+        )
+        total_time += fault_overhead
+    checkpoint_overhead = 0.0
+    if checkpoint_every:
+        n_vars = _N_VARS.get(compiled.physics, 4)
+        state_bytes = compiled.n_elements * (compiled.order + 1) ** 3 * n_vars * 4
+        n_ckpts = n_steps // int(checkpoint_every)
+        checkpoint_overhead = n_ckpts * hbm.transfer_time_s(state_bytes)
+        total_time += checkpoint_overhead
 
     # -- energy --------------------------------------------------------- #
     chip_model = PimChip(compiled.chip)
@@ -119,4 +184,6 @@ def _estimate(compiled, n_steps, pipelined, scale_to_12nm, scaling) -> PimRunEst
         static_energy_j=static,
         hbm_energy_j=hbm_energy,
         host_energy_j=host_energy,
+        fault_overhead_s=fault_overhead,
+        checkpoint_overhead_s=checkpoint_overhead,
     )

@@ -130,12 +130,25 @@ class WaveSolver:
             src.add_to_rhs(out, t, self.mesh, self.element)
         return out
 
-    def run(self, n_steps: int, dt: float | None = None, record_every: int = 1) -> np.ndarray:
+    def run(
+        self,
+        n_steps: int,
+        dt: float | None = None,
+        record_every: int = 1,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
+    ) -> np.ndarray:
         """Advance ``n_steps`` time-steps; returns the final state.
 
-        Receivers record every ``record_every`` steps.
+        Receivers record every ``record_every`` steps.  With
+        ``checkpoint_every``/``checkpoint_path`` set, a restartable
+        snapshot is written every that many steps — LSRK45 zeroes its aux
+        register at stage 0 of every step, so resuming from a step
+        boundary reproduces the uninterrupted run bit-identically (see
+        :meth:`restore_checkpoint`).
         """
         dt = self.dt if dt is None else dt
+        ckpt_on = checkpoint_every is not None and checkpoint_path is not None
         stepper = LSRK45(self._rhs)
         aux = np.zeros_like(self.state)
         for step in range(n_steps):
@@ -145,7 +158,62 @@ class WaveSolver:
             if self.receivers and (self.steps_taken % record_every == 0):
                 for r in self.receivers:
                     r.record(self.state)
+            if ckpt_on and (self.steps_taken % checkpoint_every == 0):
+                self.save_checkpoint(checkpoint_path)
         return self.state
+
+    # -- checkpoint/restart --------------------------------------------- #
+
+    def _checkpoint_meta(self) -> dict:
+        c = self.config
+        return {
+            "physics": c.physics,
+            "refinement_level": c.refinement_level,
+            "order": c.order,
+            "extent": c.extent,
+            "flux": c.flux,
+            "boundary": c.boundary,
+            "cfl": c.cfl,
+            "dtype": c.dtype,
+        }
+
+    def save_checkpoint(self, path):
+        """Write an atomic restartable snapshot of ``(state, time, steps)``."""
+        from repro.faults.checkpoint import Checkpoint, write_checkpoint
+        from repro.obs import get_metrics, get_tracer
+
+        with get_tracer().span("faults/checkpoint", step=self.steps_taken):
+            out = write_checkpoint(
+                path,
+                Checkpoint(
+                    state=self.state,
+                    time=self.time,
+                    steps=self.steps_taken,
+                    meta=self._checkpoint_meta(),
+                ),
+            )
+        get_metrics().inc("faults.checkpoints")
+        return out
+
+    def restore_checkpoint(self, path) -> int:
+        """Rewind this solver to a snapshot written by :meth:`save_checkpoint`.
+
+        Validates that the checkpoint came from an identically-configured
+        solver, then restores ``(state, time, steps_taken)`` bit-exactly.
+        Returns the step count resumed from.
+        """
+        from repro.faults.checkpoint import read_checkpoint
+
+        ckpt = read_checkpoint(path)
+        ckpt.validate_against(self._checkpoint_meta())
+        if ckpt.state.shape != self.state.shape:
+            raise ValueError(
+                f"checkpoint state shape {ckpt.state.shape} != {self.state.shape}"
+            )
+        self.state = ckpt.state.astype(self.state.dtype, copy=True)
+        self.time = ckpt.time
+        self.steps_taken = ckpt.steps
+        return ckpt.steps
 
     def energy(self) -> float:
         return self.operator.energy(self.state)

@@ -681,6 +681,59 @@ def energy_breakdown(order: int = 7, n_steps: int = N_STEPS) -> Table:
 
 
 # --------------------------------------------------------------------- #
+# Extension: fault-injection sweep (robustness, beyond the paper)
+# --------------------------------------------------------------------- #
+
+
+def fault_sweep(order: int = 2, n_steps: int = 2) -> Table:
+    """Seeded fault-injection campaign on functional benchmark proxies.
+
+    Sweeps the default fault rates over one acoustic and one elastic
+    benchmark on the H-tree, reporting injected/corrected/uncorrected
+    counts, solution error vs. the fault-free baseline, and the
+    time/energy overhead of the mitigation machinery.  At the low rate
+    every fault must be absorbed (``uncorrected == 0``, exact solution);
+    the high rate demonstrates graceful degradation.
+    """
+    from repro.faults.campaign import run_campaign
+
+    report = run_campaign(
+        ["acoustic_4", "elastic_central_4"],
+        interconnects=("htree",),
+        order=order,
+        steps=n_steps,
+    )
+    t = Table(
+        "Extension: fault-injection sweep (functional proxies, H-tree)",
+        ["benchmark", "rate", "status", "injected", "corrected",
+         "uncorrected", "remaps", "rel_err", "time_overhead"],
+    )
+    for run in report["runs"]:
+        counts = run.get("counts", {})
+        t.add(
+            benchmark=run["benchmark"],
+            rate=run["rate"],
+            status=run["status"],
+            injected=counts.get("injected", 0),
+            corrected=counts.get("corrected", 0),
+            uncorrected=counts.get("uncorrected", 0),
+            remaps=counts.get("remaps", 0),
+            rel_err=(
+                f"{run['solution_rel_err']:.2e}"
+                if "solution_rel_err" in run else "-"
+            ),
+            time_overhead=(
+                round(run["time_overhead"], 4) if "time_overhead" in run else "-"
+            ),
+        )
+    t.notes.append(
+        "seeded and reproducible: same seed -> identical event log; "
+        "'degraded' rows ran out of healthy spare blocks (reported, not crashed)"
+    )
+    return t
+
+
+# --------------------------------------------------------------------- #
 
 EXPERIMENTS = {
     "table2": table2_hardware,
@@ -695,6 +748,7 @@ EXPERIMENTS = {
     "sec31": sec31_gpu_vs_cpu,
     "sec7_summary": sec7_summary,
     "energy_breakdown": energy_breakdown,
+    "fault_sweep": fault_sweep,
 }
 
 

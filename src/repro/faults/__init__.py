@@ -1,0 +1,30 @@
+"""Deterministic fault injection and fault-tolerant execution.
+
+The package models the failure modes real ReRAM-based PIM hardware
+exhibits — stuck-at memristor cells, endurance wear-out, transient bit
+flips in the bit-serial MAGIC pipeline, and interconnect switch/transfer
+failures — together with the mitigation machinery the executor, mapper
+and solver use to survive them (parity detect-and-recompute, transfer
+retry with exponential backoff, spare-block remapping, periodic dG-state
+checkpointing).
+
+Everything is seeded and deterministic: the same :class:`FaultConfig`
+seed reproduces the same injected-fault log and recovery counts, which is
+what makes fault campaigns (``python -m repro faults``) regression-testable.
+
+The campaign runner lives in :mod:`repro.faults.campaign` and is imported
+lazily (it pulls in the whole compiler/executor stack).
+"""
+
+from repro.faults.checkpoint import Checkpoint, read_checkpoint, write_checkpoint
+from repro.faults.model import FaultConfig, FaultEvent, FaultModel, TransferPlan
+
+__all__ = [
+    "FaultConfig",
+    "FaultEvent",
+    "FaultModel",
+    "TransferPlan",
+    "Checkpoint",
+    "read_checkpoint",
+    "write_checkpoint",
+]

@@ -43,5 +43,11 @@ class Bus(Interconnect):
             return ()
         return (0,)
 
+    def switch_level(self, switch_id: int) -> int:
+        """The bus switch is the tile root: losing it cuts off every block."""
+        if switch_id != 0:
+            raise IndexError(f"switch {switch_id} outside tile of 1")
+        return 0
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Bus(n_blocks={self.n_blocks})"

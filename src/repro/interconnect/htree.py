@@ -96,6 +96,16 @@ class HTree(Interconnect):
             raise IndexError(f"switch {local} outside level {level}")
         return self._level_offsets[level] + local
 
+    def switch_level(self, switch_id: int) -> int:
+        """Invert :meth:`switch_id`: the tree level a global id sits at."""
+        if not 0 <= switch_id < self.n_switches:
+            raise IndexError(f"switch {switch_id} outside tile of {self.n_switches}")
+        level = 0
+        for lvl, off in enumerate(self._level_offsets):
+            if switch_id >= off:
+                level = lvl
+        return level
+
     def _ancestor(self, block: int, level: int) -> int:
         """Local id of ``block``'s ancestor switch at ``level``."""
         return block // (self.fanout ** (level + 1))

@@ -36,6 +36,10 @@ class ScheduleResult:
     scheduled: list
     #: total switch-seconds of occupancy (used for dynamic-energy model)
     switch_busy_time: float
+    #: retransmissions performed by the fault model (0 without one)
+    retries: int = 0
+    #: transfers that exhausted their retry budget and never delivered
+    undelivered: int = 0
 
     @property
     def n_transfers(self) -> int:
@@ -67,22 +71,42 @@ def schedule_transfers(
     t_read_row: float = 1.5e-9,
     t_write_row: float = 1.5e-9,
     start_time: float = 0.0,
+    fault_model=None,
 ) -> ScheduleResult:
     """Greedy conflict-aware schedule for a batch of transfers.
 
     Returns the makespan (relative to ``start_time``) plus the individual
     placements.  Intra-block transfers (``src == dst``) occupy only the
     block itself.
+
+    With a :class:`~repro.faults.model.FaultModel`, each transfer may be
+    dropped/corrupted and retried: its occupancy stretches by the extra
+    attempts plus exponential backoff, and ``retries``/``undelivered``
+    summarize the damage.  Without one the schedule is bit-identical to
+    the fault-free model.
     """
     switch_free: dict = {}
     port_free: dict = {}
     scheduled = []
     makespan = start_time
     switch_busy = 0.0
+    retries = 0
+    undelivered = 0
 
     for tr in transfers:
         path = interconnect.path(tr.src, tr.dst)
         dur = transfer_duration(interconnect, tr, t_read_row, t_write_row)
+        if fault_model is not None and fault_model.config.any_transfer_faults:
+            plan = fault_model.transfer_plan(
+                [(0, sw) for sw in path],
+                lambda _tile: interconnect.n_switches,
+                where=f"transfer:{tr.src}->{tr.dst}",
+            )
+            if plan is not None:
+                dur = plan.attempts * dur + plan.backoff_s
+                retries += plan.attempts - 1 if plan.delivered else plan.failed - 1
+                if not plan.delivered:
+                    undelivered += 1
         ready = start_time
         for sw in path:
             ready = max(ready, switch_free.get(sw, start_time))
@@ -101,4 +125,6 @@ def schedule_transfers(
         makespan=makespan - start_time,
         scheduled=scheduled,
         switch_busy_time=switch_busy,
+        retries=retries,
+        undelivered=undelivered,
     )

@@ -103,6 +103,21 @@ class Interconnect(abc.ABC):
     def n_switches(self) -> int:
         """Total number of switches in the tile."""
 
+    def switch_ids(self) -> range:
+        """All switch ids of the tile (fault-injection enumeration)."""
+        return range(self.n_switches)
+
+    def switch_level(self, switch_id: int) -> int:
+        """Tree level of a switch (0 = leaf level).
+
+        Flat topologies have a single level; the H-tree overrides this
+        with the exact level so fault reports can tell a leaf switch
+        (4 blocks unreachable) from the root (the whole tile cut off).
+        """
+        if not 0 <= switch_id < self.n_switches:
+            raise IndexError(f"switch {switch_id} outside tile of {self.n_switches}")
+        return 0
+
     @property
     @abc.abstractmethod
     def switch_power_w(self) -> float:

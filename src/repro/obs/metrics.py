@@ -20,6 +20,8 @@ Metric namespace (see DESIGN.md "Observability"):
 ``interconnect.*``  <kind>.transfers / hops / flits / bytes
 ``runtime.*``       estimates, energy_j.<component>
 ``planner.plans``   resolved Table-5 decisions
+``faults.*``        injected / detected / corrected / uncorrected / retries /
+                    remaps / wearouts / checkpoints (fault injection + recovery)
 """
 
 from __future__ import annotations

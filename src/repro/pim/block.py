@@ -105,6 +105,34 @@ class MemoryBlock:
             raise ValueError(f"broadcast vector must have {n} entries")
         self.data[sel, dst] = value
 
+    # -- fault injection ---------------------------------------------------- #
+
+    def flip_bit(self, row: int, col: int, bit: int) -> None:
+        """Flip one bit of the float32 word at ``(row, col)`` in place.
+
+        Models a transient upset in the bit-serial datapath; operates on
+        the raw IEEE-754 pattern so a sign/exponent/mantissa bit flips
+        exactly as the hardware would see it.
+        """
+        self._check((row, row + 1), col)
+        if not 0 <= bit < 32:
+            raise IndexError(f"bit {bit} outside the 32-bit word")
+        u = self.data.view(np.uint32)
+        u[row, col] ^= np.uint32(1) << np.uint32(bit)
+
+    def force_bits(self, rows, col: int, bits, values) -> None:
+        """Force stuck-at cells: bit ``bits[i]`` of ``(rows[i], col)`` reads
+        ``values[i]`` regardless of what was written."""
+        rows = np.asarray(rows, dtype=np.int64)
+        self._check(rows, col)
+        bits = np.asarray(bits, dtype=np.uint32)
+        if bits.size and int(bits.max()) >= 32:
+            raise IndexError("bit index outside the 32-bit word")
+        mask = np.uint32(1) << bits
+        u = self.data.view(np.uint32)
+        word = u[rows, col]
+        u[rows, col] = np.where(np.asarray(values).astype(bool), word | mask, word & ~mask)
+
     def read(self, rows, col: int) -> np.ndarray:
         sel = self._check(rows, col)
         return self.data[sel, col].copy()

@@ -124,6 +124,15 @@ class TimingReport:
     hops: int = 0
     flits: int = 0
     bytes_moved: int = 0
+    #: fault-tolerance accounting (all zero unless a
+    #: :class:`~repro.faults.model.FaultModel` was attached): injected /
+    #: detected / corrected fault occurrences, unrecovered outcomes, and
+    #: TRANSFER retransmissions priced into the tag times above.
+    retries: int = 0
+    faults_injected: int = 0
+    faults_detected: int = 0
+    faults_corrected: int = 0
+    faults_uncorrected: int = 0
 
     def __post_init__(self) -> None:
         # accept plain dicts from callers; the accumulators below rely on
@@ -157,6 +166,13 @@ class TimingReport:
         self.dynamic_energy_j = _fold_add(self.dynamic_energy_j, energy, count)
         self.n_instructions += count
 
+    def add_overhead(self, tag: str, duration: float, energy: float) -> None:
+        """Account recovery work (recomputes, retransmissions, parity upkeep)
+        under ``tag`` without counting an extra instruction."""
+        self.time_by_tag[tag] += duration
+        self.energy_by_tag[tag] += energy
+        self.dynamic_energy_j += energy
+
     def phase_times(self) -> dict:
         """Busy seconds per pipeline phase (see :func:`tag_phase`).
 
@@ -185,6 +201,11 @@ class TimingReport:
         self.hops += other.hops
         self.flits += other.flits
         self.bytes_moved += other.bytes_moved
+        self.retries += other.retries
+        self.faults_injected += other.faults_injected
+        self.faults_detected += other.faults_detected
+        self.faults_corrected += other.faults_corrected
+        self.faults_uncorrected += other.faults_uncorrected
         for k, v in other.time_by_tag.items():
             self.time_by_tag[k] += v
         for k, v in other.energy_by_tag.items():
@@ -203,12 +224,18 @@ class ChipExecutor:
         op_costs: OpCosts | None = None,
         host: HostOpModel | None = None,
         verify: bool = False,
+        faults=None,
     ):
         self.chip = chip
         #: opt-in static checking: every :meth:`run` audits the stream with
         #: the :mod:`repro.analysis` passes before executing it (and raises
         #: :class:`~repro.analysis.checker.ProgramCheckError` on errors).
         self.verify = verify
+        #: optional :class:`~repro.faults.model.FaultModel`.  With no model
+        #: (or a model whose rates are all zero) every fault hook
+        #: short-circuits before touching a float, so the default
+        #: accounting stays bit-identical to the fault-free executor.
+        self.faults = faults
         self.costs = op_costs or default_op_costs(chip.config.device)
         self.host = host or HostOpModel(power_w=chip.config.power.cpu_host_w)
         self._block_clock: dict = defaultdict(float)
@@ -278,6 +305,13 @@ class ChipExecutor:
                 check_program(instructions, self.chip), what="executor stream"
             )
         report = TimingReport()
+        faults = self.faults
+        faults_on = faults is not None and faults.config.enabled
+        if faults_on and batched:
+            # per-instruction fault draws need serial dispatch order; the
+            # serial accounting is float-identical to the batched path.
+            batched = False
+        counts_before = dict(faults.counts) if faults_on else None
         with get_tracer().span("pim/run", chip=self.chip.config.name,
                                batched=batched, functional=functional) as sp:
             if batched:
@@ -290,6 +324,15 @@ class ChipExecutor:
             report.dram_busy_s = self._dram_clock
             for b, t in self._block_clock.items():
                 report.block_busy_s[b] = t
+            if counts_before is not None:
+                c = faults.counts
+                report.faults_injected = c["injected"] - counts_before["injected"]
+                report.faults_detected = c["detected"] - counts_before["detected"]
+                report.faults_corrected = c["corrected"] - counts_before["corrected"]
+                report.faults_uncorrected = (
+                    c["uncorrected"] - counts_before["uncorrected"]
+                )
+                report.retries = c["retries"] - counts_before["retries"]
             self._publish(report, sp)
         return report
 
@@ -408,6 +451,93 @@ class ChipExecutor:
         else:  # pragma: no cover - exhaustive
             raise ValueError(f"unhandled opcode {op}")
 
+    # -- fault hooks ------------------------------------------------------- #
+
+    @staticmethod
+    def _abs_row(rows, offset: int) -> int:
+        """Absolute row index of the ``offset``-th row of a selection."""
+        if isinstance(rows, tuple):
+            return rows[0] + offset
+        return int(np.asarray(rows)[offset])
+
+    def _compute_faults(self, inst: Instruction, functional: bool,
+                        report: TimingReport, dur: float, energy: float,
+                        nors: int) -> None:
+        """Inject device faults into one NOR-based compute op (arith/COPY).
+
+        Called only when a fault model with non-zero rates is attached.
+        Recovery work (parity upkeep, detect-and-recompute) is charged as
+        overhead under the instruction's tag and advances the block clock,
+        so mitigation shows up in the timing report, not just the counters.
+        """
+        f = self.faults
+        cfg = f.config
+        f.record_nor(inst.block, nors)
+        overhead = 0.0
+        o_energy = 0.0
+        if cfg.protect:
+            # parity-row upkeep: one row-parallel copy updates the
+            # checksum column after every protected compute op.
+            overhead += _COPY_NORS * self.costs.device.t_nor_s
+            o_energy += _COPY_NORS * 32 * self.costs.device.e_nor_j * inst.n_rows
+
+        flip = f.draw_flip(nors, inst.n_rows)
+        if flip is not None:
+            off, bit = flip
+            f.count("injected")
+            if cfg.protect:
+                # parity mismatch on the written column: recompute once.
+                f.count("detected")
+                f.count("corrected")
+                f.record("flip", f"block:{inst.block}", corrected=True,
+                         detail=f"{inst.op.value} bit {bit}")
+                with get_tracer().span("faults/recompute", block=inst.block,
+                                       op=inst.op.value):
+                    overhead += dur
+                    o_energy += energy
+                # the recompute restores the correct result, so the
+                # functional state needs no mutation.
+            else:
+                f.count("uncorrected")
+                f.record("flip", f"block:{inst.block}", corrected=False,
+                         detail=f"{inst.op.value} bit {bit}")
+                if functional and inst.dst is not None:
+                    row = self._abs_row(inst.rows, off)
+                    self.chip.block(inst.block).flip_bit(row, inst.dst, bit)
+
+        if cfg.stuck_cell_rate > 0.0 and inst.dst is not None:
+            cc = self.chip.config
+            stuck = f.stuck_cells(inst.block, cc.block_rows, cc.row_words).get(inst.dst)
+            if stuck is not None:
+                s_rows, s_bits, s_vals = stuck
+                if isinstance(inst.rows, tuple):
+                    hit = (s_rows >= inst.rows[0]) & (s_rows < inst.rows[1])
+                else:
+                    hit = np.isin(s_rows, np.asarray(inst.rows))
+                n_hit = int(hit.sum())
+                if n_hit:
+                    f.count("injected", n_hit)
+                    if cfg.protect:
+                        # the parity check flags the column, but a stuck
+                        # cell survives the recompute: detected, charged,
+                        # still wrong — the mapper's remap is the real fix.
+                        f.count("detected", n_hit)
+                        with get_tracer().span("faults/recompute",
+                                               block=inst.block,
+                                               op=inst.op.value):
+                            overhead += dur
+                            o_energy += energy
+                    f.count("uncorrected", n_hit)
+                    f.record("stuck", f"block:{inst.block}", corrected=False,
+                             detail=f"col {inst.dst}, {n_hit} cells")
+                    if functional:
+                        self.chip.block(inst.block).force_bits(
+                            s_rows[hit], inst.dst, s_bits[hit], s_vals[hit]
+                        )
+        if overhead:
+            self._block_clock[inst.block] += overhead
+            report.add_overhead(inst.tag, overhead, o_energy)
+
     # -- individual opcodes ------------------------------------------------ #
 
     def _arith(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
@@ -418,6 +548,9 @@ class ChipExecutor:
             blk = self.chip.block(inst.block)
             getattr(blk, inst.op.value)(inst.rows, inst.dst, inst.src1, inst.src2)
         report.add(inst.tag, inst.op, dur, energy)
+        if self.faults is not None and self.faults.config.enabled:
+            self._compute_faults(inst, functional, report, dur, energy,
+                                 self.costs.nor_count(inst.op.value))
 
     def _copy(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
         dur = _COPY_NORS * self.costs.device.t_nor_s
@@ -426,6 +559,8 @@ class ChipExecutor:
         if functional:
             self.chip.block(inst.block).copy_column(inst.rows, inst.dst, inst.src1)
         report.add(inst.tag, inst.op, dur, energy)
+        if self.faults is not None and self.faults.config.enabled:
+            self._compute_faults(inst, functional, report, dur, energy, _COPY_NORS)
 
     def _gather(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
         n_unique = inst.n_unique_rows
@@ -477,6 +612,22 @@ class ChipExecutor:
         write_t = n_rows * dev.t_row_write_s
         dur = read_t + wire + write_t
 
+        # interconnect faults: switch failures, dropped/corrupted payloads.
+        plan = None
+        f = self.faults
+        if f is not None and f.config.any_transfer_faults:
+            plan = f.transfer_plan(
+                keys, lambda _tile: ic.n_switches, where=f"transfer:{src}->{dst}"
+            )
+        attempts = 1
+        backoff = 0.0
+        delivered = True
+        if plan is not None:
+            attempts, backoff, delivered = plan.attempts, plan.backoff_s, plan.delivered
+            # every attempt re-reads the row buffer and re-traverses the
+            # wire; only a successful final attempt pays the write-back.
+            dur = attempts * (read_t + wire) + backoff + (write_t if delivered else 0.0)
+
         # The source/destination ports are busy for the whole transfer.  On
         # the H-tree, switches are only held during the wire phase
         # (store-and-forward pipelining: disjoint sub-trees overlap, §4.2.1);
@@ -502,7 +653,10 @@ class ChipExecutor:
                 ready = max(ready, self._switch_free[k])
             finish = ready + dur
             for k in keys:
-                self._switch_free[k] = ready + read_t + wire
+                if plan is None:
+                    self._switch_free[k] = ready + read_t + wire
+                else:
+                    self._switch_free[k] = ready + attempts * (read_t + wire) + backoff
         else:
             # H-tree switches behave as pipelined FIFO servers: each one
             # serves a transfer for one flit-train (wormhole cut-through),
@@ -515,22 +669,34 @@ class ChipExecutor:
                 ready = max(ready, self._switch_free[k])
             finish = ready + dur
             for k in keys:
-                self._switch_free[k] += flit_train
+                self._switch_free[k] += flit_train if plan is None else attempts * flit_train
         # the source is free again once the row buffer has drained into the
         # network; the destination holds its write port to the end.  The
         # compute clocks are untouched: ordering against arithmetic is
         # enforced by _compute_start and the ready condition above.
-        self._port_free[("r", src)] = ready + read_t + flit_train
+        if plan is None:
+            self._port_free[("r", src)] = ready + read_t + flit_train
+        else:
+            self._port_free[("r", src)] = (
+                ready + attempts * (read_t + flit_train) + backoff
+            )
         self._port_free[("w", dst)] = finish
 
         energy = self.costs.row_move_energy_j(n_rows, words=inst.words)
         energy += hops * n_rows * inst.words * dev.e_search_j  # switch traversal
+        if plan is not None and attempts > 1:
+            # retransmissions repeat the row reads and switch traversals.
+            energy = attempts * energy
 
         report.transfers += 1
-        report.hops += hops
-        report.flits += flits
+        report.hops += hops if plan is None else hops * attempts
+        report.flits += flits if plan is None else flits * attempts
         report.bytes_moved += n_rows * inst.words * 4
 
+        if plan is not None and not delivered:
+            # undeliverable payload: the destination keeps its stale rows.
+            report.add(inst.tag, inst.op, dur, energy)
+            return
         if functional:
             sblk = self.chip.block(src)
             dblk = self.chip.block(dst)
@@ -545,6 +711,12 @@ class ChipExecutor:
             if src_vals.shape[0] != n_rows:
                 raise ValueError("TRANSFER src/dst row selections must match in size")
             dblk.data[d_sel, inst.dst:inst.dst + inst.words] = src_vals
+            if plan is not None and plan.corrupt_payload:
+                # undetected corruption (protection off): one flipped bit
+                # lands in the delivered payload.
+                off, word, bit = f.draw_corrupt_bit(n_rows, inst.words)
+                row = self._abs_row(inst.rows, off)
+                dblk.flip_bit(row, inst.dst + word, bit)
         report.add(inst.tag, inst.op, dur, energy)
 
     def _lut(self, inst: Instruction, functional: bool, report: TimingReport) -> None:

@@ -35,17 +35,31 @@ __all__ = [
 
 
 class NorMachine:
-    """Counts NOR cycles while evaluating NOR-only logic on Python ints (0/1)."""
+    """Counts NOR cycles while evaluating NOR-only logic on Python ints (0/1).
 
-    def __init__(self):
+    With ``flip_prob > 0`` (and a seeded ``rng``) each NOR output may flip —
+    the gate-level view of the transient faults :mod:`repro.faults` injects
+    at instruction granularity.  Flips are counted in ``self.flips`` so
+    tests can correlate corrupted sums with the injected upsets.
+    """
+
+    def __init__(self, flip_prob: float = 0.0, rng=None):
         self.steps = 0
+        self.flips = 0
+        self.flip_prob = flip_prob
+        self._rng = rng
 
     def nor(self, *inputs: int) -> int:
         """An n-input MAGIC NOR: one crossbar cycle."""
         if not inputs:
             raise ValueError("NOR needs at least one input")
         self.steps += 1
-        return 0 if any(inputs) else 1
+        out = 0 if any(inputs) else 1
+        if self.flip_prob > 0.0 and self._rng is not None:
+            if self._rng.random() < self.flip_prob:
+                self.flips += 1
+                out ^= 1
+        return out
 
     # -- derived gates (each expands to NOR cycles) ---------------------- #
 

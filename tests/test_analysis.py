@@ -83,7 +83,7 @@ class TestFindingModel:
 
     def test_catalogue_covers_all_passes(self):
         prefixes = {c[:2] for c in FINDING_CODES}
-        assert prefixes == {"DF", "LY", "TR", "PH", "HZ"}
+        assert prefixes == {"DF", "LY", "TR", "PH", "HZ", "FT"}
 
 
 # --------------------------------------------------------------------- #
@@ -260,6 +260,65 @@ class TestHazardPass:
             transfer(rows=(2, 6), dst=5, words=2),
         ]
         assert "HZ001" not in codes(check_program(prog, ctx()))
+
+
+class TestFaultReadinessPass:
+    def test_ft001_no_spare_rows_for_parity(self):
+        # the block's layout runs all the way to the last row: nowhere
+        # left to put even one parity row.
+        prog = [arith(rows=(0, 1024), dst=3)]
+        findings = check_program(prog, ctx(parity_rows=1))
+        ft = [f for f in findings if f.code == "FT001"]
+        assert len(ft) == 1
+        assert ft[0].severity == WARNING
+        assert ft[0].block == 0
+
+    def test_ft001_silent_by_default(self):
+        # parity_rows defaults to 0: the pass is inert.
+        prog = [arith(rows=(0, 1024), dst=3)]
+        assert "FT001" not in codes(check_program(prog, ctx()))
+
+    def test_ft001_silent_with_spare_rows(self):
+        prog = [arith(rows=(0, 1020), dst=3)]
+        assert "FT001" not in codes(check_program(prog, ctx(parity_rows=4)))
+
+    def test_ft001_fires_when_budget_exceeds_spare(self):
+        # 4 spare rows cannot hold 5 parity rows.
+        prog = [arith(rows=(0, 1020), dst=3)]
+        assert "FT001" in codes(check_program(prog, ctx(parity_rows=5)))
+
+    def test_ft001_once_per_offending_block(self):
+        prog = [
+            arith(block=0, rows=(0, 1024), dst=3),
+            arith(block=0, rows=(0, 1024), dst=4),
+            arith(block=1, rows=(0, 1024), dst=3),
+            arith(block=2, rows=(0, 512), dst=3),
+        ]
+        ft = [f for f in check_program(prog, ctx(parity_rows=2))
+              if f.code == "FT001"]
+        assert sorted(f.block for f in ft) == [0, 1]
+
+    def test_ft001_skips_data_dependent_lut_block(self):
+        # the LUT block is read at data-dependent rows (rows=None =
+        # whole block); it is storage, not protectable compute layout.
+        lut = Instruction(Opcode.LUT, block=0, src_block=7, rows=(0, 4),
+                          dst=3, src1=1, tag="lut")
+        ft = [f for f in check_program([lut], ctx(parity_rows=1))
+              if f.code == "FT001"]
+        assert ft == []
+
+    def test_ft001_index_array_rows(self):
+        prog = [arith(rows=np.array([0, 5, 1023]), dst=3)]
+        assert "FT001" in codes(check_program(prog, ctx(parity_rows=1)))
+
+    def test_benchmark_layout_has_parity_headroom(self):
+        # the paper layouts keep the top half for constants/storage, so a
+        # small parity budget must check clean on a real benchmark.
+        _, findings = check_benchmark(
+            "acoustic_4", chip="2GB", interconnect="htree", order=2,
+            parity_rows=1,
+        )
+        assert "FT001" not in codes(findings)
 
 
 # --------------------------------------------------------------------- #

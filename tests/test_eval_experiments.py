@@ -50,6 +50,7 @@ class TestRegistry:
             "sec31",
             "sec7_summary",
             "energy_breakdown",
+            "fault_sweep",
         }
 
     def test_unknown_raises(self):

@@ -1,0 +1,49 @@
+"""Smoke-run the runnable examples under a tiny configuration.
+
+The examples are the repo's front door; a refactor that breaks their
+imports or output paths would otherwise go unnoticed until a human runs
+them.  ``quickstart.py`` honours the ``REPRO_QS_*`` environment knobs so
+the smoke run shrinks its geometry to seconds; ``pim_program_inspection``
+is already tiny.  Each example runs in a subprocess (its own interpreter,
+like a user would) with an isolated compile-cache directory.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+EXAMPLES = REPO / "examples"
+
+
+def _run(script: str, tmp_path, extra_env=None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    # keep the user's persistent compile cache out of the test
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    env.update(extra_env or {})
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=600, env=env, cwd=str(REPO),
+    )
+
+
+class TestExamplesSmoke:
+    def test_quickstart_tiny(self, tmp_path):
+        proc = _run("quickstart.py", tmp_path, extra_env={
+            "REPRO_QS_STEPS": "5",
+            "REPRO_QS_LEVEL": "1",
+            "REPRO_QS_ORDER": "2",
+            "REPRO_QS_PIM_ORDER": "2",
+        })
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "Wave simulation" in proc.stdout
+        assert "plan on 2GB" in proc.stdout
+        assert "PIM speedup" in proc.stdout
+
+    def test_pim_program_inspection(self, tmp_path):
+        proc = _run("pim_program_inspection.py", tmp_path)
+        assert proc.returncode == 0, proc.stderr[-2000:]
+        assert "sqrt(49)" in proc.stdout
+        assert "7.0" in proc.stdout
