@@ -100,116 +100,40 @@ def test_folded_step_throughput(benchmark):
 
 
 # --------------------------------------------------------------------- #
-# perf-regression guard
+# perf-regression guard (methodology lives in repro.eval.bench, shared
+# with the `repro bench` subcommand and the CI perf job)
 # --------------------------------------------------------------------- #
 
-#: Wall-clock baselines of the pre-optimization (seed) tree, measured on
-#: the reference machine with this file's best-of-3 methodology; kept for
-#: the trajectory record in BENCH_perf.json.
-SEED_BASELINE = {
-    "compile_s": 0.0425,  # WavePimCompiler(order=3) acoustic level-2 on 512MB
-    "executor_step_s": 0.133,  # level-1/order-2 acoustic time_step, ~7.4k insts
-}
-
-#: Only flag order-of-magnitude breakage, not machine-to-machine noise.
-REGRESSION_FACTOR = 3.0
-
-
-def _best_of(fn, rounds=3):
-    import time as _time
-
-    best = float("inf")
-    for _ in range(rounds):
-        t0 = _time.perf_counter()
-        fn()
-        best = min(best, _time.perf_counter() - t0)
-    return best
+from repro.eval.bench import (  # noqa: E402  (re-exported for back-compat)
+    REGRESSION_FACTOR,
+    SEED_BASELINE,
+    append_entry,
+    history_summary,
+    measure_hot_paths,
+    regression_failures,
+)
 
 
 def test_perf_regression_guard():
-    """Time the two hot paths, record the trajectory, fail only on >3x.
+    """Time the hot paths, record the trajectory, fail only on >3x.
 
-    Writes ``BENCH_perf.json`` at the repo root: the seed baselines, this
-    run's numbers, and an appended history so regressions are visible as a
-    time series rather than a single boolean.
+    Appends to ``BENCH_perf.json`` at the repo root: the seed baselines,
+    this run's numbers (``executor_step_s`` is the warm plan-replay path),
+    and the history so regressions are visible as a time series rather
+    than a single boolean.  Older history entries may carry ``null`` for
+    ``cache_hit_rate``/``plan_reuse_rate`` — those mean "not measured"
+    and must never fail the guard.
     """
-    import json
-    import platform
-    import time as _time
-    from pathlib import Path
+    entry = measure_hot_paths()
+    assert entry["plan_reuse_rate"] is not None and entry["plan_reuse_rate"] > 0
+    doc = append_entry(entry)
 
-    from repro.core.compiler import WavePimCompiler
-    from repro.obs import get_metrics
+    # the null-safe summary must digest the whole history, including
+    # pre-plan entries that never recorded the rates.
+    summary = history_summary(doc)
+    assert summary["entries"] == len(doc["history"])
+    for key in ("cache_hit_rate", "plan_reuse_rate"):
+        assert summary[key]["measured"] <= summary["entries"]
 
-    metrics = get_metrics()
-
-    def compile_once():
-        WavePimCompiler(order=3).compile("acoustic", 2, CHIP_CONFIGS["512MB"])
-
-    emitted0 = metrics.value("compiler.instructions_emitted")
-    compiles0 = metrics.value("compiler.compiles")
-    compile_s = _best_of(compile_once)
-    # Instructions are only emitted by *uncached* compiles, so normalize by
-    # the number of compiles that actually ran rather than by rounds.
-    emitted = metrics.value("compiler.instructions_emitted") - emitted0
-    compiles = metrics.value("compiler.compiles") - compiles0
-    instructions_emitted = emitted // compiles if compiles else None
-
-    # The timed compiles above deliberately bypass the cache (they measure
-    # the compiler); the hit rate comes from a dedicated fresh-dir cache
-    # exercised with one cold and one warm compile, read off its own
-    # CacheStats instead of the process-global counters (which would be
-    # polluted by whatever earlier tests compiled).
-    import tempfile
-
-    from repro.core.cache import CompileCache
-
-    with tempfile.TemporaryDirectory() as tmp:
-        cc = CompileCache(root=tmp, enabled=True)
-        compiler = WavePimCompiler(order=3)
-        for _ in range(2):
-            compiler.compile("acoustic", 2, CHIP_CONFIGS["512MB"], cache=cc)
-        accesses = cc.stats.hits + cc.stats.misses
-        cache_hit_rate = cc.stats.hits / accesses if accesses else None
-
-    mesh = HexMesh.from_refinement_level(1)
-    elem = ReferenceElement(2)
-    mat = AcousticMaterial.homogeneous(mesh.n_elements)
-    mapper = ElementMapper(mesh.m, CHIP_CONFIGS["512MB"], 1)
-    kern = AcousticOneBlockKernels(mesh, elem, mat, mapper, "riemann")
-    ex = ChipExecutor(PimChip(CHIP_CONFIGS["512MB"]))
-    state = np.zeros((4, mesh.n_elements, elem.n_nodes), dtype=np.float32)
-    ex.run(kern.setup() + kern.load_state(state), functional=True)
-    step = kern.time_step(1e-4)
-    executor_step_s = _best_of(lambda: ex.run(step, functional=True))
-
-    current = {"compile_s": compile_s, "executor_step_s": executor_step_s}
-    entry = {
-        "timestamp": _time.strftime("%Y-%m-%dT%H:%M:%S"),
-        "machine": platform.machine(),
-        **current,
-        "speedup_vs_seed": {
-            k: SEED_BASELINE[k] / max(v, 1e-12) for k, v in current.items()
-        },
-        "instructions_emitted": instructions_emitted,
-        "cache_hit_rate": cache_hit_rate,
-    }
-
-    path = Path(__file__).resolve().parents[1] / "BENCH_perf.json"
-    doc = {"seed_baseline": SEED_BASELINE, "history": []}
-    if path.exists():
-        try:
-            doc = json.loads(path.read_text())
-        except (ValueError, OSError):
-            pass
-    doc["seed_baseline"] = SEED_BASELINE
-    doc.setdefault("history", []).append(entry)
-    doc["latest"] = entry
-    path.write_text(json.dumps(doc, indent=2) + "\n")
-
-    for key, now in current.items():
-        limit = REGRESSION_FACTOR * SEED_BASELINE[key]
-        assert now < limit, (
-            f"{key} regressed: {now:.4f}s vs seed {SEED_BASELINE[key]:.4f}s "
-            f"(>{REGRESSION_FACTOR}x; see BENCH_perf.json)"
-        )
+    failures = regression_failures(entry)
+    assert not failures, "\n".join(failures)

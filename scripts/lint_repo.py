@@ -22,6 +22,15 @@ Rules (stdlib ``ast`` only, so this runs in the bare container):
            inside their ``verify`` paths, keeping the dependency edge
            analysis -> pim/core acyclic.
 
+``RL004``  no per-instruction Python ``for`` loops over instruction
+           streams (a loop variable whose ``.op`` is inspected in the
+           body) outside ``pim/executor.py``, ``pim/plan.py`` (the
+           lowering pass itself) and ``analysis/`` (the checker walks
+           streams by design).  Everything else must hand streams to
+           ``ChipExecutor.run``/``lower`` — per-instruction dispatch in
+           library code is exactly the hot path execution plans removed.
+           Comprehensions are exempt (they filter, not dispatch).
+
 Usage::
 
     python scripts/lint_repo.py [--root PATH]
@@ -49,6 +58,12 @@ RL001_ALLOWED = (
 RL002_EXEMPT = ("src/repro/obs/",)
 
 RL003_ALLOWED = ("src/repro/analysis/",)
+
+RL004_ALLOWED = (
+    "src/repro/pim/executor.py",
+    "src/repro/pim/plan.py",
+    "src/repro/analysis/",
+)
 
 
 def _rel(path: Path, root: Path) -> str:
@@ -104,6 +119,30 @@ def _lint_file(path: Path, root: Path) -> List[Violation]:
                             "module-level repro.analysis import outside the "
                             "package — import lazily (inside the function) to "
                             "keep analysis -> pim/core acyclic"))
+
+    # RL004: per-instruction dispatch loops (for <v> in ...: ... <v>.op ...)
+    if not rel.startswith(RL004_ALLOWED):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.For):
+                continue
+            targets = {t.id for t in ast.walk(node.target)
+                       if isinstance(t, ast.Name)}
+            for sub in node.body:
+                hit = next(
+                    (n for n in ast.walk(sub)
+                     if isinstance(n, ast.Attribute) and n.attr == "op"
+                     and isinstance(n.value, ast.Name)
+                     and n.value.id in targets),
+                    None,
+                )
+                if hit is not None:
+                    out.append((path, hit.lineno, "RL004",
+                                "per-instruction Python loop over an "
+                                "instruction stream — lower the stream "
+                                "(ChipExecutor.lower) or run it whole; only "
+                                "the executor/lowering/analysis layers may "
+                                "dispatch per instruction"))
+                    break
     return out
 
 

@@ -14,6 +14,10 @@ Commands
                            on warnings too, ``--json`` writes a findings
                            report, ``--trace FILE`` validates a trace
                            document instead)
+``bench``                  run the perf-regression guard (warm plan-replay
+                           executor path); appends to ``BENCH_perf.json``
+                           and, with ``--min-speedup X``, fails when the
+                           executor speedup vs the seed tree drops below X
 
 Performance knobs: ``--jobs N`` (or ``REPRO_JOBS``) compiles the experiment
 matrix with N worker processes; ``--no-cache`` (or ``REPRO_NO_CACHE=1``)
@@ -268,6 +272,49 @@ def _cmd_check(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    # imported here: the measurement pulls in the kernel/executor stack.
+    from repro.eval.bench import (
+        SEED_BASELINE,
+        append_entry,
+        history_summary,
+        measure_hot_paths,
+        regression_failures,
+    )
+
+    t0 = time.perf_counter()
+    entry = measure_hot_paths(rounds=args.rounds)
+    doc = append_entry(entry, path=args.json)
+
+    def fmt_rate(v):
+        return f"{v:.2f}" if isinstance(v, (int, float)) else "not measured"
+
+    speedups = entry["speedup_vs_seed"]
+    for key, seed in SEED_BASELINE.items():
+        print(f"{key:16s} {entry[key]*1e3:9.2f} ms   seed {seed*1e3:8.2f} ms   "
+              f"speedup {speedups[key]:6.2f}x")
+    print(f"{'serial replay':16s} {entry['executor_serial_step_s']*1e3:9.2f} ms   "
+          f"(plan path is {entry['executor_serial_step_s'] / max(entry['executor_step_s'], 1e-12):.1f}x faster)")
+    print(f"{'cache_hit_rate':16s} {fmt_rate(entry['cache_hit_rate'])}")
+    print(f"{'plan_reuse_rate':16s} {fmt_rate(entry['plan_reuse_rate'])}")
+
+    summary = history_summary(doc)
+    measured = summary["executor_step_s"]["measured"]
+    print(f"history: {summary['entries']} entr{'y' if summary['entries'] == 1 else 'ies'} "
+          f"({measured} with executor_step_s measured), "
+          f"best executor_step_s {summary['executor_step_s']['best']*1e3:.2f} ms"
+          if measured else
+          f"history: {summary['entries']} entries (executor_step_s never measured)")
+    path = args.json or "BENCH_perf.json"
+    print(f"[bench report: {path}] elapsed {format_duration(time.perf_counter() - t0)}",
+          file=sys.stderr)
+
+    failures = regression_failures(entry, min_speedup=args.min_speedup)
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _cmd_faults(args) -> int:
     # imported here: the campaign pulls in the kernel/executor stack.
     from repro.faults.campaign import DEFAULT_RATES, run_campaign, strict_violations
@@ -427,6 +474,19 @@ def main(argv=None) -> int:
                    help="with --trace: fail unless some span name contains "
                         "TOKEN (repeatable)")
     p.set_defaults(fn=_cmd_check)
+
+    p = sub.add_parser("bench", parents=[common],
+                       help="run the perf-regression guard and append to "
+                            "BENCH_perf.json")
+    p.add_argument("--rounds", type=int, default=3, metavar="N",
+                   help="best-of-N timing rounds per hot path (default: 3)")
+    p.add_argument("--min-speedup", type=float, default=None, metavar="X",
+                   help="fail unless executor_step_s is at least X times "
+                        "faster than the seed tree (CI uses 1.0)")
+    p.add_argument("--json", default=None, metavar="PATH",
+                   help="BENCH_perf.json path to append to (default: the "
+                        "repo-root BENCH_perf.json)")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("faults", parents=[common, profiled],
                        help="run a fault-injection campaign "

@@ -207,12 +207,13 @@ def all_passes() -> tuple:
     from repro.analysis.dataflow import DataflowPass
     from repro.analysis.faultready import FaultReadinessPass
     from repro.analysis.hazards import HazardPass
+    from repro.analysis.lowering import LoweringPass
     from repro.analysis.phases import PhasePass
     from repro.analysis.structural import LayoutPass, TransferPass
 
     return (
         LayoutPass(), TransferPass(), DataflowPass(), PhasePass(),
-        HazardPass(), FaultReadinessPass(),
+        HazardPass(), FaultReadinessPass(), LoweringPass(),
     )
 
 

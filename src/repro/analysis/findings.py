@@ -46,6 +46,13 @@ FINDING_CODES: Dict[str, str] = {
     # fault readiness (pass f)
     "FT001": "layout leaves no spare rows for parity; fault protection cannot "
              "place its check rows",
+    # lowering audit (pass g)
+    "PL001": "lowered execution plan diverges from the instruction stream "
+             "(instruction count, opcode, or vectorization coverage mismatch)",
+    "PL002": "lowered TRANSFER route disagrees with the chip's current "
+             "topology (stale or mis-resolved path)",
+    "PL003": "lowered plan was built under a different routing epoch than "
+             "the chip's current one (stale-route hazard)",
 }
 
 

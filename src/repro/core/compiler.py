@@ -36,6 +36,7 @@ from repro.dg.reference_element import ReferenceElement
 from repro.pim.chip import PimChip
 from repro.pim.executor import ChipExecutor
 from repro.pim.isa import Opcode
+from repro.pim.plan import plan_enabled
 from repro.pim.params import ChipConfig
 
 __all__ = ["WavePimCompiler", "CompiledBenchmark"]
@@ -237,11 +238,17 @@ class WavePimCompiler:
         chip_model = PimChip(chip)
         emitted = 0
 
+        use_plan = plan_enabled()
+
         def run(insts, label):
             nonlocal emitted
             emitted += len(insts)
             with tracer.span(f"compile/{label}", instructions=len(insts)):
                 ex = ChipExecutor(chip_model)
+                if use_plan:
+                    # lower + vectorized replay; bit-identical to batched
+                    # (REPRO_PLAN=off restores the batched path).
+                    return ex.run(ex.lower(insts), functional=False)
                 return ex.run(insts, functional=False, batched=True)
 
         # -- lane times from representative streams ----------------------- #

@@ -69,6 +69,7 @@ class ElementMapper:
         blocks_per_element: int = 1,
         elements: np.ndarray | None = None,
         fault_model=None,
+        chip_model=None,
     ):
         """``elements`` restricts the mapping to one batch (defaults to all).
 
@@ -78,6 +79,12 @@ class ElementMapper:
         graceful degradation: effective capacity shrinks, answers stay
         right.  Without faults the identity mapping is kept and
         :meth:`block_of` takes the exact fault-free fast path.
+
+        ``chip_model`` is the live :class:`~repro.pim.chip.PimChip` the
+        mapped programs will execute on (``chip`` is only its static
+        config).  When a spare-block remap moves any block, the model's
+        memoized transfer paths are invalidated (``routing_epoch`` bump)
+        so no executor or lowered plan replays a stale route.
         """
         self.mesh_m = mesh_m
         self.chip = chip
@@ -131,6 +138,10 @@ class ElementMapper:
                     detail=f"{n_moved}/{self.n_blocks_needed} blocks remapped "
                     f"around {len(bad)} faulty",
                 )
+                if chip_model is not None:
+                    # block ids just changed physical location: memoized
+                    # (src, dst) paths on the chip are stale.
+                    chip_model.invalidate_routes()
 
     # ------------------------------------------------------------------ #
 

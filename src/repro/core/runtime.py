@@ -37,6 +37,11 @@ class PimRunEstimate:
     energy_j: float
     stage_time_s: float
     dram_time_per_step_s: float
+    #: modeled seconds of one full time-step (all RK stages of every batch
+    #: plus the DRAM traffic) — ``time_s / n_steps`` before the fault and
+    #: checkpoint overheads; the unit the plan-replay benchmarks compare
+    #: wall-clock against.
+    step_time_s: float
     dynamic_energy_j: float
     static_energy_j: float
     hbm_energy_j: float
@@ -180,6 +185,7 @@ def _estimate(compiled, n_steps, pipelined, scale_to_12nm, scaling,
         energy_j=energy_j,
         stage_time_s=stage,
         dram_time_per_step_s=dram_per_step,
+        step_time_s=step_time,
         dynamic_energy_j=dynamic,
         static_energy_j=static,
         hbm_energy_j=hbm_energy,

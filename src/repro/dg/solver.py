@@ -96,6 +96,8 @@ class WaveSolver:
         self.time = 0.0
         self.steps_taken = 0
         self._rhs_buf: np.ndarray | None = None
+        self._stepper: LSRK45 | None = None
+        self._aux_buf: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -147,19 +149,34 @@ class WaveSolver:
         boundary reproduces the uninterrupted run bit-identically (see
         :meth:`restore_checkpoint`).
         """
+        from repro.obs import get_metrics, get_tracer
+
         dt = self.dt if dt is None else dt
         ckpt_on = checkpoint_every is not None and checkpoint_path is not None
-        stepper = LSRK45(self._rhs)
-        aux = np.zeros_like(self.state)
-        for step in range(n_steps):
-            stepper.step(self.state, self.time, dt, aux)
-            self.time += dt
-            self.steps_taken += 1
-            if self.receivers and (self.steps_taken % record_every == 0):
-                for r in self.receivers:
-                    r.record(self.state)
-            if ckpt_on and (self.steps_taken % checkpoint_every == 0):
-                self.save_checkpoint(checkpoint_path)
+        # the stepper and its aux register persist across run() calls (the
+        # receiver/animation idiom calls run(1) in a loop): LSRK45 zeroes
+        # aux at stage 0 of every step, so reuse is state-free as long as
+        # the buffer still matches the state array.
+        stepper = self._stepper
+        if stepper is None:
+            stepper = self._stepper = LSRK45(self._rhs)
+        aux = self._aux_buf
+        if aux is None or aux.shape != self.state.shape or aux.dtype != self.state.dtype:
+            aux = self._aux_buf = np.zeros_like(self.state)
+        with get_tracer().span(
+            "solver/run", physics=self.config.physics, n_steps=n_steps,
+            elements=self.mesh.n_elements, order=self.config.order,
+        ):
+            for step in range(n_steps):
+                stepper.step(self.state, self.time, dt, aux)
+                self.time += dt
+                self.steps_taken += 1
+                if self.receivers and (self.steps_taken % record_every == 0):
+                    for r in self.receivers:
+                        r.record(self.state)
+                if ckpt_on and (self.steps_taken % checkpoint_every == 0):
+                    self.save_checkpoint(checkpoint_path)
+        get_metrics().inc("solver.steps", n_steps)
         return self.state
 
     # -- checkpoint/restart --------------------------------------------- #

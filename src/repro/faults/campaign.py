@@ -80,7 +80,9 @@ class _Proxy:
                 kappa=rng.uniform(1.0, 2.0, mesh.n_elements),
                 rho=rng.uniform(0.5, 1.5, mesh.n_elements),
             )
-            mapper = ElementMapper(mesh.m, cfg, 1, fault_model=fault_model)
+            mapper = ElementMapper(
+                mesh.m, cfg, 1, fault_model=fault_model, chip_model=self.chip
+            )
             self.kern = AcousticOneBlockKernels(
                 mesh, elem, mat, mapper, flux_kind=spec.flux_kind
             )
@@ -91,7 +93,9 @@ class _Proxy:
                 mu=rng.uniform(0.5, 1.5, mesh.n_elements),
                 rho=rng.uniform(0.8, 1.2, mesh.n_elements),
             )
-            mapper = ElementMapper(mesh.m, cfg, 4, fault_model=fault_model)
+            mapper = ElementMapper(
+                mesh.m, cfg, 4, fault_model=fault_model, chip_model=self.chip
+            )
             self.kern = ElasticFourBlockKernels(
                 mesh, elem, mat, mapper, flux_kind=spec.flux_kind
             )

@@ -22,10 +22,52 @@ from dataclasses import dataclass
 
 from repro.interconnect.topology import Interconnect, ScheduledTransfer, Transfer
 
-__all__ = ["schedule_transfers", "ScheduleResult"]
+__all__ = ["schedule_transfers", "ScheduleResult", "RouteTable"]
 
 #: 32-bit words per 1024-bit row buffer.
 WORDS_PER_ROW = 32
+
+
+class RouteTable:
+    """Memoized per-``(src, dst)`` routes and flit latencies of one topology.
+
+    The switch path of a static interconnect never changes between
+    transfers, yet :func:`schedule_transfers` used to re-walk it twice per
+    transfer (once for the switch keys, once inside ``transfer_latency``).
+    The table resolves each unique pair once and serves every repeat from a
+    dict — and offers explicit :meth:`invalidate` for when the block id ->
+    location association *does* change (spare-block remapping; see
+    ``PimChip.invalidate_routes`` for the executor-side equivalent).
+    """
+
+    def __init__(self, interconnect: Interconnect):
+        self.interconnect = interconnect
+        self._paths: dict = {}
+        #: bumped by :meth:`invalidate`; schedulers and plans holding a
+        #: table can compare epochs instead of re-resolving defensively.
+        self.epoch = 0
+
+    def path(self, src: int, dst: int) -> list:
+        """Memoized ``interconnect.path(src, dst)``."""
+        cached = self._paths.get((src, dst))
+        if cached is None:
+            cached = self._paths[(src, dst)] = self.interconnect.path(src, dst)
+        return cached
+
+    def wire_latency(self, src: int, dst: int, words: int) -> float:
+        """Flit-train wire latency along the memoized path.
+
+        Same expression as ``Interconnect.transfer_latency`` — hops ×
+        per-flit hop latency × flit count — without re-walking the path.
+        """
+        ic = self.interconnect
+        flits = -(-words // ic.flit_words)
+        return len(self.path(src, dst)) * ic.hop_latency_per_flit * flits
+
+    def invalidate(self) -> None:
+        """Drop every memoized route (the topology's block mapping moved)."""
+        self._paths.clear()
+        self.epoch += 1
 
 
 @dataclass
@@ -72,6 +114,7 @@ def schedule_transfers(
     t_write_row: float = 1.5e-9,
     start_time: float = 0.0,
     fault_model=None,
+    routes: RouteTable | None = None,
 ) -> ScheduleResult:
     """Greedy conflict-aware schedule for a batch of transfers.
 
@@ -84,6 +127,10 @@ def schedule_transfers(
     attempts plus exponential backoff, and ``retries``/``undelivered``
     summarize the damage.  Without one the schedule is bit-identical to
     the fault-free model.
+
+    ``routes`` lets callers share a :class:`RouteTable` across batches;
+    without one, a table local to this call still collapses the repeated
+    path walks of recurring ``(src, dst)`` pairs.
     """
     switch_free: dict = {}
     port_free: dict = {}
@@ -92,10 +139,19 @@ def schedule_transfers(
     switch_busy = 0.0
     retries = 0
     undelivered = 0
+    if routes is None:
+        routes = RouteTable(interconnect)
+    elif routes.interconnect is not interconnect:
+        raise ValueError("RouteTable was built for a different interconnect")
 
     for tr in transfers:
-        path = interconnect.path(tr.src, tr.dst)
-        dur = transfer_duration(interconnect, tr, t_read_row, t_write_row)
+        path = routes.path(tr.src, tr.dst)
+        rows = -(-tr.words // WORDS_PER_ROW)
+        dur = (
+            rows * t_read_row
+            + routes.wire_latency(tr.src, tr.dst, tr.words)
+            + rows * t_write_row
+        )
         if fault_model is not None and fault_model.config.any_transfer_faults:
             plan = fault_model.transfer_plan(
                 [(0, sw) for sw in path],

@@ -40,6 +40,21 @@ class PimChip:
         #: this chip shares one memoized path table instead of re-walking
         #: the H-tree/Bus per TRANSFER/LUT instruction.
         self._path_cache: dict[tuple[int, int], "TransferPath"] = {}
+        #: bumped by :meth:`invalidate_routes` whenever cached paths may be
+        #: stale (spare-block remapping moved a block).  Execution plans
+        #: record the epoch they were lowered under; a mismatch forces a
+        #: re-lower instead of replaying stale routes.
+        self.routing_epoch: int = 0
+
+    def invalidate_routes(self) -> None:
+        """Drop all memoized transfer paths and bump ``routing_epoch``.
+
+        Called when the block id -> physical location association changes
+        (e.g. :class:`~repro.core.mapper.ElementMapper` remapping around
+        faulty blocks), so no executor or plan replays a stale route.
+        """
+        self._path_cache.clear()
+        self.routing_epoch += 1
 
     # -- geometry --------------------------------------------------------- #
 

@@ -29,11 +29,24 @@ from repro.obs import get_metrics, get_tracer
 from repro.pim.arithmetic import HostOpModel, OpCosts, default_op_costs
 from repro.pim.chip import PimChip
 from repro.pim.isa import ARITHMETIC_OPS, Instruction, Opcode
+from repro.pim.plan import (
+    COPY_NORS,
+    STEP_SEGMENT,
+    STEP_TRANSFER,
+    ExecutionPlan,
+    fold_array,
+    lower_program,
+)
 
-__all__ = ["TimingReport", "BlockExecutor", "ChipExecutor", "tag_phase", "PHASES"]
+__all__ = [
+    "TimingReport", "BlockExecutor", "ChipExecutor", "ExecutionPlan",
+    "tag_phase", "PHASES",
+]
 
 #: NOR cycles of a row-parallel column-to-column copy (two cascaded NOTs).
-_COPY_NORS = 2
+#: Canonical value lives in :mod:`repro.pim.plan`; re-exported here because
+#: the runtime estimator and the fault hooks import it from this module.
+_COPY_NORS = COPY_NORS
 
 #: Opcodes the batched analytic mode may group (same block / rows / tag).
 _BATCHABLE_OPS = frozenset(ARITHMETIC_OPS) | {Opcode.COPY}
@@ -278,9 +291,56 @@ class ChipExecutor:
 
     # ------------------------------------------------------------------ #
 
+    def lower(self, instructions, verify: bool = False) -> ExecutionPlan:
+        """Compile ``instructions`` once into a reusable :class:`ExecutionPlan`.
+
+        The plan precomputes every analytic cost and resolves every TRANSFER
+        route (once per unique ``(src, dst)`` pair), so replaying it through
+        :meth:`run` costs a few vectorized segment reductions plus a
+        per-block prefix-max clock advance instead of one Python dispatch
+        per instruction — with a bit-identical :class:`TimingReport`
+        (see :mod:`repro.pim.plan` for the invariants).
+        """
+        if verify:
+            # imported lazily: the analysis package depends on this module.
+            from repro.analysis.checker import check_program, raise_on_errors
+
+            instructions = (
+                instructions
+                if isinstance(instructions, (list, tuple))
+                else list(instructions)
+            )
+            raise_on_errors(
+                check_program(instructions, self.chip), what="lowered stream"
+            )
+        with get_tracer().span("pim/lower", chip=self.chip.config.name) as sp:
+            plan = lower_program(self.chip, self.costs, instructions)
+            if sp.name:
+                sp.set(
+                    n_instructions=plan.n_instructions,
+                    n_segments=plan.n_segments,
+                    n_transfers=plan.n_transfers,
+                    vectorized_fraction=plan.vectorized_fraction,
+                )
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.inc("executor.plan.lowered")
+            metrics.inc("executor.plan.instructions_lowered", plan.n_instructions)
+        return plan
+
     def run(self, instructions, functional: bool = True,
             batched: bool = False, verify: bool | None = None) -> TimingReport:
         """Execute ``instructions`` in program order; returns the report.
+
+        ``instructions`` may be a plain stream or an :class:`ExecutionPlan`
+        from :meth:`lower`.  A plan replays through the vectorized engine
+        whenever the run is analytic (``functional=False``) and fault-free;
+        ``functional=True`` needs real data movement and an enabled
+        :class:`~repro.faults.model.FaultModel` needs per-instruction
+        draws, so both fall back to serial dispatch over the plan's
+        original instructions.  A plan lowered before the chip's routes
+        changed (``routing_epoch`` mismatch after spare-block remapping)
+        is transparently re-lowered, never replayed stale.
 
         With ``batched=True`` runs of consecutive same-shape arithmetic/COPY
         instructions on one block are priced analytically in one shot
@@ -292,6 +352,9 @@ class ChipExecutor:
         true, the static checker passes audit the stream first and a
         ``ProgramCheckError`` aborts execution on any error finding.
         """
+        plan = instructions if isinstance(instructions, ExecutionPlan) else None
+        if plan is not None:
+            instructions = plan.instructions
         if self.verify if verify is None else verify:
             # imported lazily: the analysis package depends on this module.
             from repro.analysis.checker import check_program, raise_on_errors
@@ -311,10 +374,23 @@ class ChipExecutor:
             # per-instruction fault draws need serial dispatch order; the
             # serial accounting is float-identical to the batched path.
             batched = False
+        use_plan = plan is not None and not functional and not faults_on
+        if use_plan and plan.routing_epoch != self.chip.routing_epoch:
+            # spare-block remapping moved a block since this plan was
+            # lowered: its resolved routes may be stale.  Re-lower against
+            # the current topology rather than replaying them.
+            plan = self.lower(plan.instructions)
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.inc("executor.plan.relowered")
+        mode = "plan" if use_plan else ("batched" if batched else "serial")
         counts_before = dict(faults.counts) if faults_on else None
         with get_tracer().span("pim/run", chip=self.chip.config.name,
-                               batched=batched, functional=functional) as sp:
-            if batched:
+                               batched=batched, functional=functional,
+                               mode=mode) as sp:
+            if use_plan:
+                self._run_plan(plan, report)
+            elif batched:
                 self._run_batched(instructions, functional, report)
             else:
                 for inst in instructions:
@@ -333,10 +409,10 @@ class ChipExecutor:
                     c["uncorrected"] - counts_before["uncorrected"]
                 )
                 report.retries = c["retries"] - counts_before["retries"]
-            self._publish(report, sp)
+            self._publish(report, sp, mode)
         return report
 
-    def _publish(self, report: TimingReport, span) -> None:
+    def _publish(self, report: TimingReport, span, mode: str = "serial") -> None:
         """Once-per-run aggregation into the metrics registry and span.
 
         Deliberately the *only* observability cost of an instruction
@@ -348,6 +424,8 @@ class ChipExecutor:
         if metrics.enabled:
             clock = self.chip.config.clock_hz
             metrics.inc("executor.runs")
+            if mode == "plan":
+                metrics.inc("executor.plan.runs")
             metrics.inc("executor.instructions", report.n_instructions)
             metrics.observe("executor.instructions_per_run", report.n_instructions)
             for op, n in report.op_counts.items():
@@ -425,6 +503,86 @@ class ChipExecutor:
                 for g in group:
                     fn(g.rows, g.dst, g.src1, g.src2)
         report.add_batch(inst.tag, inst.op, dur, energy, count)
+
+    # -- plan replay ------------------------------------------------------- #
+
+    def _run_plan(self, plan: ExecutionPlan, report: TimingReport) -> None:
+        """Replay a lowered plan: vectorized accounting, serial semantics.
+
+        Walks the plan's step list instead of the instruction stream.
+        Compute segments advance each block's clock by an exact left-fold
+        of precomputed durations from the serial starting point
+        (``_compute_start`` dominates after the first op, see
+        :mod:`repro.pim.plan`), and fold the report accumulators in stream
+        order; TRANSFERs run a precomputed fast path; everything that
+        couples multiple clocks (LUT/HOSTOP/DRAM/BARRIER) dispatches
+        through the unchanged serial handlers.  Bit-identical to
+        ``run(plan.instructions, functional=False)``.
+        """
+        plan.replays += 1
+        insts = plan.instructions
+        bc = self._block_clock
+        pf = self._port_free
+        time_by_tag = report.time_by_tag
+        energy_by_tag = report.energy_by_tag
+        for kind, payload in plan.steps:
+            if kind == STEP_SEGMENT:
+                for tag, durs, ens in payload.tag_groups:
+                    time_by_tag[tag] = fold_array(time_by_tag[tag], durs)
+                    energy_by_tag[tag] = fold_array(energy_by_tag[tag], ens)
+                report.dynamic_energy_j = fold_array(
+                    report.dynamic_energy_j, payload.energies
+                )
+                report.op_counts.update(payload.op_counts)
+                report.n_instructions += payload.n
+                barrier = self._barrier_time
+                for block, durs in payload.block_groups:
+                    # defaultdict lookups deliberately mirror _compute_start
+                    # (they insert missing keys, which _now() later reads).
+                    start = max(
+                        bc[block], pf[("r", block)], pf[("w", block)], barrier
+                    )
+                    bc[block] = fold_array(start, durs)
+            elif kind == STEP_TRANSFER:
+                self._transfer_step(payload, report)
+            else:  # STEP_DISPATCH
+                self._dispatch(insts[payload], False, report)
+
+    def _transfer_step(self, t, report: TimingReport) -> None:
+        """Fault-free TRANSFER with route and latencies precomputed.
+
+        Replays exactly the ``plan is None`` branch of :meth:`_transfer`;
+        only the data-dependent readiness ``max`` and the switch/port
+        updates happen at run time.
+        """
+        sw = self._switch_free
+        pf = self._port_free
+        ready = max(
+            pf[("r", t.src)],
+            pf[("w", t.dst)],
+            self._block_clock[t.src],
+            self._block_clock[t.dst],
+            self._barrier_time,
+        )
+        keys = t.keys
+        for k in keys:
+            ready = max(ready, sw[k])
+        finish = ready + t.dur
+        if t.exclusive:
+            held = ready + t.read_t + t.wire
+            for k in keys:
+                sw[k] = held
+        else:
+            flit_train = t.flit_train
+            for k in keys:
+                sw[k] += flit_train
+        pf[("r", t.src)] = ready + t.read_t + t.flit_train
+        pf[("w", t.dst)] = finish
+        report.transfers += 1
+        report.hops += t.hops
+        report.flits += t.flits
+        report.bytes_moved += t.n_bytes
+        report.add(t.tag, t.op, t.dur, t.energy)
 
     # ------------------------------------------------------------------ #
 

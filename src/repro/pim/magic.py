@@ -26,12 +26,24 @@ from __future__ import annotations
 
 __all__ = [
     "NorMachine",
+    "VectorNorMachine",
     "nor_add",
     "nor_multiply",
+    "nor_add_vec",
+    "nor_multiply_vec",
+    "pack_lanes",
+    "unpack_lanes",
     "FULL_ADDER_STEPS",
+    "LANES",
     "int_add_steps",
     "int_multiply_steps",
 ]
+
+#: Lanes of the word-packed NOR path: one Python ``int`` carries one bit
+#: position of 64 independent operands (uint64 semantics).
+LANES = 64
+
+_MASK64 = (1 << LANES) - 1
 
 
 class NorMachine:
@@ -59,6 +71,33 @@ class NorMachine:
             if self._rng.random() < self.flip_prob:
                 self.flips += 1
                 out ^= 1
+        return out
+
+    def nor_vec(self, *inputs: int) -> int:
+        """A word-packed NOR: 64 independent lanes in one crossbar cycle.
+
+        Inputs and output are uint64 words holding one bit of each lane —
+        the MAGIC array computes all rows of a crossbar column in parallel
+        anyway (§2.3), so a row-parallel gate costs the *same* single cycle
+        as the scalar :meth:`nor`; only the Python simulation gets 64×
+        cheaper.  Fault flips are drawn per lane, matching 64 scalar
+        machines gate-for-gate in distribution.
+        """
+        if not inputs:
+            raise ValueError("NOR needs at least one input")
+        self.steps += 1
+        acc = 0
+        for x in inputs:
+            acc |= x
+        out = ~acc & _MASK64
+        if self.flip_prob > 0.0 and self._rng is not None:
+            mask = 0
+            for lane in range(LANES):
+                if self._rng.random() < self.flip_prob:
+                    mask |= 1 << lane
+            if mask:
+                self.flips += bin(mask).count("1")
+                out ^= mask
         return out
 
     # -- derived gates (each expands to NOR cycles) ---------------------- #
@@ -92,6 +131,20 @@ class NorMachine:
         t = self.nor(ab, xc)
         cout = self.nor(t)  # OR(ab, xc)
         return s, cout
+
+
+class VectorNorMachine(NorMachine):
+    """A :class:`NorMachine` whose gates run 64 word-packed lanes at once.
+
+    :meth:`nor` delegates to :meth:`NorMachine.nor_vec`, so every inherited
+    netlist (the derived gates and :meth:`full_adder`) evaluates 64
+    independent operand sets per Python gate call with cycle counts
+    *identical by construction* to the scalar machine — the netlists are
+    shared, only the gate primitive changed.
+    """
+
+    def nor(self, *inputs: int) -> int:
+        return self.nor_vec(*inputs)
 
 
 #: Measured NOR cycles of one full-adder invocation (asserted by tests).
@@ -151,6 +204,95 @@ def nor_multiply(a: int, b: int, width: int = 16, machine: NorMachine | None = N
         if i + width < 2 * width:
             acc[i + width] = carry
     return _from_bits(acc), m.steps - start
+
+
+def pack_lanes(values, width: int) -> list:
+    """Bit-plane pack: up to 64 ``width``-bit ints -> ``width`` uint64 words.
+
+    Word ``i`` of the result holds bit ``i`` of every lane (lane ``k`` in
+    bit position ``k``) — the layout :meth:`NorMachine.nor_vec` operates on.
+    """
+    vals = list(values)
+    if len(vals) > LANES:
+        raise ValueError(f"at most {LANES} lanes, got {len(vals)}")
+    for v in vals:
+        if v < 0 or v >= (1 << width):
+            raise ValueError(f"value {v} does not fit in {width} bits")
+    return [
+        sum(((v >> i) & 1) << lane for lane, v in enumerate(vals))
+        for i in range(width)
+    ]
+
+
+def unpack_lanes(planes, n_lanes: int) -> list:
+    """Inverse of :func:`pack_lanes`: bit-plane words -> per-lane ints."""
+    return [
+        sum(((planes[i] >> lane) & 1) << i for i in range(len(planes)))
+        for lane in range(n_lanes)
+    ]
+
+
+def _require_vec(machine) -> "NorMachine":
+    m = machine or VectorNorMachine()
+    if not isinstance(m, VectorNorMachine):
+        raise TypeError(
+            "word-packed netlists need a VectorNorMachine (a scalar nor() "
+            "would misread packed operands as single bits)"
+        )
+    return m
+
+
+def nor_add_vec(avals, bvals, width: int = 32, machine=None):
+    """64-lane word-packed ripple-carry addition.
+
+    Adds up to 64 pairs of ``width``-bit unsigned ints through the *same*
+    full-adder netlist as :func:`nor_add`, one packed word per bit plane.
+    Returns ``(sums, carry_outs, nor_cycles)`` where the cycle count equals
+    a single scalar :func:`nor_add` — one crossbar cycle per gate serves
+    every lane (row-parallelism, §2.3).
+    """
+    avals, bvals = list(avals), list(bvals)
+    if len(avals) != len(bvals):
+        raise ValueError("lane counts differ")
+    m = _require_vec(machine)
+    start = m.steps
+    ap = pack_lanes(avals, width)
+    bp = pack_lanes(bvals, width)
+    out = []
+    carry = 0
+    for i in range(width):
+        s, carry = m.full_adder(ap[i], bp[i], carry)
+        out.append(s)
+    n = len(avals)
+    return unpack_lanes(out, n), unpack_lanes([carry], n), m.steps - start
+
+
+def nor_multiply_vec(avals, bvals, width: int = 16, machine=None):
+    """64-lane word-packed shift-add multiplication.
+
+    The exact gate sequence of :func:`nor_multiply` evaluated on packed
+    bit planes; returns ``(products, nor_cycles)`` with a cycle count
+    identical to one scalar multiply (``int_multiply_steps``).
+    """
+    avals, bvals = list(avals), list(bvals)
+    if len(avals) != len(bvals):
+        raise ValueError("lane counts differ")
+    m = _require_vec(machine)
+    start = m.steps
+    ap = pack_lanes(avals, width)
+    bp = pack_lanes(bvals, width)
+    na = [m.not_(x) for x in ap]
+    nb = [m.not_(x) for x in bp]
+    acc = [0] * (2 * width)
+    for i in range(width):
+        pp = [m.nor(na[j], nb[i]) for j in range(width)]
+        carry = 0
+        for j in range(width):
+            s, carry = m.full_adder(acc[i + j], pp[j], carry)
+            acc[i + j] = s
+        if i + width < 2 * width:
+            acc[i + width] = carry
+    return unpack_lanes(acc, len(avals)), m.steps - start
 
 
 def int_add_steps(width: int) -> int:

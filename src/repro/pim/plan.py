@@ -1,0 +1,352 @@
+"""Execution plans: lower an instruction stream once, replay it cheaply.
+
+Wave simulation replays the same per-element instruction streams every
+RK stage of every time-step (§4–§5), yet per-instruction dispatch pays the
+full Python interpretation cost on every replay.  :func:`lower_program`
+compiles a stream *once* into an :class:`ExecutionPlan` — numpy structured
+arrays of ``(opcode, block, tag id, duration, energy, flits, hops)`` with
+every TRANSFER's route resolved per unique ``(src, dst)`` pair up front —
+so :meth:`repro.pim.executor.ChipExecutor.run` on a plan becomes a few
+vectorized segment reductions plus a per-block prefix-max clock advance
+instead of thousands of Python dispatches.
+
+Bit-identity contract
+---------------------
+The plan path must produce a :class:`~repro.pim.executor.TimingReport`
+*bit-identical* to serial dispatch.  Three invariants make that possible:
+
+1. Compute opcodes (ADD/SUB/MUL/COPY/GATHER/BROADCAST) only read the
+   block clock, the block's two transfer ports and the barrier floor —
+   and only write the block clock.  Ports/barrier change exclusively at
+   *coupling* opcodes (TRANSFER/LUT/HOSTOP/DRAM/BARRIER), so inside a
+   maximal run of compute ops (a *segment*) each block's clock advances
+   by a pure left-fold of durations from ``max(clock, port_r, port_w,
+   barrier)`` — exactly what serial dispatch computes (after the first
+   op the clock already dominates the unchanged port values).
+2. Report accumulators (per-tag time/energy, total dynamic energy) are
+   independent left-folds over the same addend sequence in stream order;
+   :func:`fold_array` replays the exact serial addition order (mirroring
+   ``executor._fold_add``: a Python loop for short runs, a strict
+   ``np.add.accumulate`` — never pairwise ``np.sum`` — beyond that).
+3. Every per-instruction float (durations, energies, wire latencies) is
+   precomputed at lower time with the *same expression and association
+   order* as the serial opcode handlers, so replay only re-executes the
+   data-dependent ``max``/update logic.
+
+Coupling opcodes keep their serial handlers: TRANSFER gets a precomputed
+fast-path row (route, flit count and phase latencies resolved at lower
+time); LUT/HOSTOP/DRAM/BARRIER dispatch through the executor unchanged.
+
+The plan path is analytic-only.  ``functional=True`` (real data movement)
+or an attached :class:`~repro.faults.model.FaultModel` (per-instruction
+draws) fall back to serial dispatch over ``plan.instructions``.  A plan
+records the chip's ``routing_epoch`` at lower time; if spare-block
+remapping has invalidated the routes since, the executor re-lowers
+instead of replaying stale paths.
+
+The ``REPRO_PLAN`` environment knob (default on; ``off``/``0``/``false``
+disables) gates the compiler's use of the plan path.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+from typing import TYPE_CHECKING, List, Sequence
+
+import numpy as np
+
+from repro.pim.isa import ARITHMETIC_OPS, Instruction, Opcode
+
+if TYPE_CHECKING:
+    from repro.pim.arithmetic import OpCosts
+    from repro.pim.chip import PimChip
+
+__all__ = [
+    "COPY_NORS",
+    "ExecutionPlan",
+    "PLAN_DTYPE",
+    "OP_IDS",
+    "fold_array",
+    "lower_program",
+    "plan_enabled",
+    "VECTORIZABLE_OPS",
+]
+
+#: NOR cycles of a row-parallel column-to-column copy (two cascaded NOTs).
+#: Canonical home of the constant the executor re-exports as ``_COPY_NORS``.
+COPY_NORS = 2
+
+#: Opcodes whose timing touches only the owning block's clock — the ones a
+#: segment may vectorize.  Everything else couples clocks (ports, switches,
+#: host, DRAM, barrier) and ends the segment.
+VECTORIZABLE_OPS = frozenset(ARITHMETIC_OPS) | {
+    Opcode.COPY, Opcode.GATHER, Opcode.BROADCAST,
+}
+
+#: One row per instruction: opcode id, owning block (-1 when None), interned
+#: tag id, analytic duration/energy (zero for dispatch-handled rows) and the
+#: TRANSFER interconnect footprint.
+PLAN_DTYPE = np.dtype([
+    ("op", np.uint8),
+    ("block", np.int32),
+    ("tag", np.int16),
+    ("dur", np.float64),
+    ("energy", np.float64),
+    ("flits", np.int32),
+    ("hops", np.int32),
+])
+
+#: stable opcode -> small-int encoding for the structured array.
+OP_IDS = {op: i for i, op in enumerate(Opcode)}
+OP_LIST = tuple(Opcode)
+
+#: plan step kinds (first element of each ``ExecutionPlan.steps`` entry).
+STEP_SEGMENT = 0
+STEP_TRANSFER = 1
+STEP_DISPATCH = 2
+
+
+def plan_enabled() -> bool:
+    """The ``REPRO_PLAN`` knob: default on, ``off``/``0``/``false`` disables."""
+    return os.environ.get("REPRO_PLAN", "on").strip().lower() not in (
+        "off", "0", "false", "no",
+    )
+
+
+def fold_array(base: float, values: np.ndarray) -> float:
+    """Left-fold the additions of ``values`` (in order) onto ``base``.
+
+    Bit-identical to ``for v in values: base += v`` — the generalization of
+    ``executor._fold_add`` to heterogeneous addends.  ``np.add.accumulate``
+    is a strict sequential fold (it must produce every prefix), unlike
+    ``np.sum``/``np.add.reduce`` whose pairwise re-association would break
+    the bit-identity contract.
+    """
+    n = values.shape[0]
+    if n <= 64:
+        for v in values:
+            base += v
+        return float(base)
+    acc = np.empty(n + 1)
+    acc[0] = base
+    acc[1:] = values
+    return float(np.add.accumulate(acc)[-1])
+
+
+class _VecSegment:
+    """A maximal run of compute ops, pre-grouped for vectorized replay."""
+
+    __slots__ = ("n", "op_counts", "energies", "tag_groups", "block_groups")
+
+    def __init__(self, array: np.ndarray, indices: range, insts: Sequence[Instruction]):
+        self.n = len(indices)
+        durs = array["dur"][indices.start:indices.stop]
+        ens = array["energy"][indices.start:indices.stop]
+        #: whole-segment energies in stream order (global dynamic-energy fold)
+        self.energies = ens
+        self.op_counts = Counter(
+            insts[i].op.value for i in indices
+        )
+        # group positions by tag / block, preserving first-seen order so the
+        # report dicts are populated in the same key order as serial dispatch
+        by_tag: dict = {}
+        by_block: dict = {}
+        for pos, i in enumerate(indices):
+            by_tag.setdefault(insts[i].tag, []).append(pos)
+            by_block.setdefault(insts[i].block, []).append(pos)
+        self.tag_groups = [
+            (tag, durs[np.asarray(p, dtype=np.intp)], ens[np.asarray(p, dtype=np.intp)])
+            for tag, p in by_tag.items()
+        ]
+        self.block_groups = [
+            (block, durs[np.asarray(p, dtype=np.intp)])
+            for block, p in by_block.items()
+        ]
+
+
+class _TransferStep:
+    """A TRANSFER with its route and phase latencies resolved at lower time.
+
+    Every float here is computed with the exact expression order of
+    ``ChipExecutor._transfer`` (fault-free branch); replay re-runs only the
+    readiness ``max`` and the switch/port updates.
+    """
+
+    __slots__ = (
+        "src", "dst", "keys", "hops", "flits", "read_t", "write_t", "wire",
+        "flit_train", "dur", "energy", "n_bytes", "exclusive", "tag", "op",
+    )
+
+    def __init__(self, inst: Instruction, chip: "PimChip", costs: "OpCosts"):
+        src, dst = inst.src_block, inst.block
+        if src is None:
+            raise ValueError("TRANSFER needs src_block")
+        dev = costs.device
+        n_rows = inst.n_rows
+        keys, hops, extra, ic = chip.transfer_path(src, dst)
+        flits = -(-(n_rows * inst.words) // ic.flit_words)
+        self.src = src
+        self.dst = dst
+        self.keys = tuple(keys)
+        self.hops = hops
+        self.flits = flits
+        self.read_t = n_rows * dev.t_row_read_s
+        self.write_t = n_rows * dev.t_row_write_s
+        self.wire = hops * ic.hop_latency_per_flit * flits + extra
+        self.flit_train = ic.hop_latency_per_flit * flits
+        self.dur = self.read_t + self.wire + self.write_t
+        energy = costs.row_move_energy_j(n_rows, words=inst.words)
+        energy += hops * n_rows * inst.words * dev.e_search_j
+        self.energy = energy
+        self.n_bytes = n_rows * inst.words * 4
+        self.exclusive = ic.exclusive
+        self.tag = inst.tag
+        self.op = inst.op
+
+
+class ExecutionPlan:
+    """A lowered instruction stream, replayable by ``ChipExecutor.run``.
+
+    Keeps the original ``instructions`` (the fallback/verify path and the
+    re-lowering after a routing-epoch bump both need them) next to the
+    structured accounting ``array`` and the ordered ``steps`` the replay
+    engine walks.
+    """
+
+    __slots__ = (
+        "instructions", "array", "tags", "steps", "routing_epoch",
+        "chip_name", "replays",
+    )
+
+    def __init__(self, instructions, array, tags, steps, routing_epoch, chip_name):
+        self.instructions: List[Instruction] = instructions
+        self.array: np.ndarray = array
+        self.tags: List[str] = tags
+        self.steps: list = steps
+        #: ``PimChip.routing_epoch`` at lower time; a mismatch at run time
+        #: means spare-block remapping moved a block and the resolved routes
+        #: may be stale — the executor re-lowers instead of replaying them.
+        self.routing_epoch: int = routing_epoch
+        self.chip_name: str = chip_name
+        #: number of times this plan has been replayed (plan-reuse metric).
+        self.replays: int = 0
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def n_segments(self) -> int:
+        return sum(1 for kind, _ in self.steps if kind == STEP_SEGMENT)
+
+    @property
+    def n_transfers(self) -> int:
+        return sum(1 for kind, _ in self.steps if kind == STEP_TRANSFER)
+
+    @property
+    def n_dispatch(self) -> int:
+        """Instructions the replay still hands to the serial dispatcher."""
+        return sum(1 for kind, _ in self.steps if kind == STEP_DISPATCH)
+
+    @property
+    def vectorized_fraction(self) -> float:
+        n = self.n_instructions
+        if not n:
+            return 0.0
+        return 1.0 - (self.n_dispatch + self.n_transfers) / n
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ExecutionPlan({self.n_instructions} insts, "
+            f"{self.n_segments} segments, {self.n_transfers} transfers, "
+            f"{self.n_dispatch} dispatched, epoch={self.routing_epoch})"
+        )
+
+
+def lower_program(
+    chip: "PimChip", costs: "OpCosts", instructions
+) -> ExecutionPlan:
+    """Lower ``instructions`` into an :class:`ExecutionPlan` for ``chip``.
+
+    One O(n) Python pass: per-instruction analytic costs are computed with
+    the serial handlers' exact expressions, TRANSFER routes are resolved
+    through the chip's memoized path table (once per unique ``(src, dst)``
+    pair), and maximal compute runs become :class:`_VecSegment` groups.
+    """
+    insts = list(instructions)
+    n = len(insts)
+    array = np.zeros(n, dtype=PLAN_DTYPE)
+    tag_ids: dict = {}
+    steps: list = []
+    seg_start = -1  # start index of the open vec segment, -1 when closed
+    dev = costs.device
+    op_col = array["op"]
+    block_col = array["block"]
+    tag_col = array["tag"]
+    dur_col = array["dur"]
+    energy_col = array["energy"]
+
+    def flush(end: int) -> None:
+        nonlocal seg_start
+        if seg_start >= 0:
+            steps.append((STEP_SEGMENT, _VecSegment(array, range(seg_start, end), insts)))
+            seg_start = -1
+
+    for i, inst in enumerate(insts):
+        op = inst.op
+        op_col[i] = OP_IDS[op]
+        block_col[i] = -1 if inst.block is None else inst.block
+        tid = tag_ids.get(inst.tag)
+        if tid is None:
+            tid = tag_ids[inst.tag] = len(tag_ids)
+        tag_col[i] = tid
+        if op in VECTORIZABLE_OPS:
+            # exact serial-handler cost expressions (see executor._arith &c.)
+            if op in ARITHMETIC_OPS:
+                dur = costs.time_s(op.value)
+                energy = costs.energy_j(op.value, active_rows=inst.n_rows)
+            elif op is Opcode.COPY:
+                dur = COPY_NORS * dev.t_nor_s
+                energy = COPY_NORS * 32 * dev.e_nor_j * inst.n_rows
+            elif op is Opcode.GATHER:
+                n_unique = inst.n_unique_rows
+                if n_unique is None:
+                    n_unique = len(np.unique(np.asarray(inst.row_map)))
+                dur = costs.gather_time_s(n_unique)
+                energy = costs.row_move_energy_j(inst.n_rows, words=inst.words)
+            else:  # BROADCAST
+                if np.asarray(inst.value).ndim == 0:
+                    dur = 2 * dev.t_row_write_s
+                else:
+                    dur = costs.broadcast_time_s(inst.n_rows)
+                energy = costs.row_move_energy_j(inst.n_rows, words=inst.words)
+            dur_col[i] = dur
+            energy_col[i] = energy
+            if seg_start < 0:
+                seg_start = i
+            continue
+        flush(i)
+        if op is Opcode.TRANSFER:
+            t = _TransferStep(inst, chip, costs)
+            dur_col[i] = t.dur
+            energy_col[i] = t.energy
+            array["flits"][i] = t.flits
+            array["hops"][i] = t.hops
+            steps.append((STEP_TRANSFER, t))
+        else:
+            # LUT/HOSTOP/DRAM_*/BARRIER couple multiple clocks: replay
+            # through the serial handlers, which stay the single source of
+            # truth for their semantics.
+            steps.append((STEP_DISPATCH, i))
+    flush(n)
+
+    tags = list(tag_ids)
+    return ExecutionPlan(
+        instructions=insts,
+        array=array,
+        tags=tags,
+        steps=steps,
+        routing_epoch=chip.routing_epoch,
+        chip_name=chip.config.name,
+    )

@@ -61,17 +61,14 @@ class OpCount:
         return self.fp_ops / (4.0 * self.words_moved) if self.words_moved else float("inf")
 
 
+_FLOP_OPS = (Opcode.ADD, Opcode.SUB, Opcode.MUL)
+_MOVE_OPS = (Opcode.GATHER, Opcode.BROADCAST, Opcode.COPY, Opcode.TRANSFER)
+
+
 def _stream_counts(insts) -> tuple[int, int]:
     """(scalar flops, words moved) of an instruction stream."""
-    flops = 0
-    words = 0
-    for i in insts:
-        if i.op in (Opcode.ADD, Opcode.SUB, Opcode.MUL):
-            flops += i.n_rows
-        elif i.op in (Opcode.GATHER, Opcode.BROADCAST, Opcode.COPY):
-            words += i.n_rows * i.words
-        elif i.op is Opcode.TRANSFER:
-            words += i.n_rows * i.words
+    flops = sum(i.n_rows for i in insts if i.op in _FLOP_OPS)
+    words = sum(i.n_rows * i.words for i in insts if i.op in _MOVE_OPS)
     return flops, words
 
 

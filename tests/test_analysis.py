@@ -83,7 +83,7 @@ class TestFindingModel:
 
     def test_catalogue_covers_all_passes(self):
         prefixes = {c[:2] for c in FINDING_CODES}
-        assert prefixes == {"DF", "LY", "TR", "PH", "HZ", "FT"}
+        assert prefixes == {"DF", "LY", "TR", "PH", "HZ", "FT", "PL"}
 
 
 # --------------------------------------------------------------------- #

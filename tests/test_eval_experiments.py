@@ -50,6 +50,7 @@ class TestRegistry:
             "sec31",
             "sec7_summary",
             "energy_breakdown",
+            "plan_throughput",
             "fault_sweep",
         }
 

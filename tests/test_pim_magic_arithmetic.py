@@ -14,11 +14,17 @@ from repro.pim.arithmetic import (
 )
 from repro.pim.magic import (
     FULL_ADDER_STEPS,
+    LANES,
     NorMachine,
+    VectorNorMachine,
     int_add_steps,
     int_multiply_steps,
     nor_add,
+    nor_add_vec,
     nor_multiply,
+    nor_multiply_vec,
+    pack_lanes,
+    unpack_lanes,
 )
 
 u32 = st.integers(min_value=0, max_value=(1 << 32) - 1)
@@ -101,6 +107,61 @@ class TestNorMultiply:
         p, steps = nor_multiply(0xABCDEF, 0x123456, 24)
         assert p == 0xABCDEF * 0x123456
         assert steps == int_multiply_steps(24)
+
+
+class TestVectorNor:
+    """Word-packed NOR: 64 lanes per Python op, cycle counts unchanged."""
+
+    def test_pack_unpack_roundtrip(self):
+        vals = [0, 1, 0xDEADBEEF, (1 << 32) - 1, 12345]
+        assert unpack_lanes(pack_lanes(vals, 32), len(vals)) == vals
+
+    def test_pack_rejects_overwide(self):
+        with pytest.raises(ValueError):
+            pack_lanes([256], 8)
+        with pytest.raises(ValueError):
+            pack_lanes(list(range(LANES + 1)), 32)
+
+    def test_vector_full_adder_cycles_match_scalar(self):
+        m = VectorNorMachine()
+        m.full_adder(0, 0, 0)
+        assert m.steps == FULL_ADDER_STEPS
+
+    def test_add_vec_matches_scalar_lanes(self):
+        import random
+
+        rng = random.Random(11)
+        avals = [rng.getrandbits(32) for _ in range(LANES)]
+        bvals = [rng.getrandbits(32) for _ in range(LANES)]
+        sums, carries, cycles = nor_add_vec(avals, bvals, 32)
+        assert cycles == int_add_steps(32)  # 64 lanes, one machine's cycles
+        for a, b, s, c in zip(avals, bvals, sums, carries):
+            rs, rc, rcyc = nor_add(a, b, 32)
+            assert (s, c) == (rs, rc)
+            assert rcyc == cycles
+
+    def test_multiply_vec_matches_scalar_lanes(self):
+        import random
+
+        rng = random.Random(13)
+        avals = [rng.getrandbits(16) for _ in range(7)]
+        bvals = [rng.getrandbits(16) for _ in range(7)]
+        prods, cycles = nor_multiply_vec(avals, bvals, 16)
+        assert cycles == int_multiply_steps(16)
+        for a, b, p in zip(avals, bvals, prods):
+            rp, rcyc = nor_multiply(a, b, 16)
+            assert p == rp
+            assert rcyc == cycles
+
+    def test_scalar_machine_rejected(self):
+        with pytest.raises(TypeError):
+            nor_add_vec([1], [2], 8, machine=NorMachine())
+
+    @given(u16, u16)
+    @settings(max_examples=10, deadline=None)
+    def test_multiply_vec_property(self, a, b):
+        prods, _ = nor_multiply_vec([a], [b], 16)
+        assert prods[0] == (a * b) & 0xFFFFFFFF
 
 
 class TestOpCosts:

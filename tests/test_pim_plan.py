@@ -1,0 +1,347 @@
+"""Execution-plan lowering: bit-identity, reuse, and stale-route safety.
+
+The contract under test (DESIGN.md "Execution plans"): replaying a lowered
+:class:`~repro.pim.plan.ExecutionPlan` through ``ChipExecutor.run`` yields
+a :class:`TimingReport` *bit-identical* to per-instruction serial dispatch
+— same totals, same phase split, same interconnect accounting — on every
+paper benchmark; the plan transparently re-lowers when the chip's routing
+epoch moved; and the plan path steps aside for fault models and functional
+execution.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.analysis.programs import build_check_program
+from repro.pim.chip import PimChip
+from repro.pim.executor import ChipExecutor, ExecutionPlan
+from repro.pim.isa import Opcode
+from repro.pim.params import CHIP_CONFIGS
+from repro.pim.plan import fold_array, lower_program, plan_enabled
+from repro.workloads.benchmarks import BENCHMARKS
+
+
+def _run_mode(program, mode, chip_name="2GB"):
+    """One fresh executor per mode: clocks all start at t=0."""
+    ex = ChipExecutor(PimChip(CHIP_CONFIGS[chip_name]))
+    if mode == "plan":
+        return ex.run(ex.lower(program), functional=False)
+    return ex.run(program, functional=False, batched=(mode == "batched"))
+
+
+def _assert_reports_identical(a, b, what):
+    """Field-by-field bit-identity, incl. dict key order (fold order)."""
+    for f in dataclasses.fields(a):
+        va, vb = getattr(a, f.name), getattr(b, f.name)
+        assert va == vb, f"{what}: TimingReport.{f.name} diverged"
+        if isinstance(va, dict):
+            assert list(va) == list(vb), f"{what}: {f.name} key order diverged"
+    assert a.phase_times() == b.phase_times(), f"{what}: phase_times diverged"
+    assert list(a.phase_times()) == list(b.phase_times())
+
+
+class TestBenchmarkBitIdentity:
+    """All six paper benchmarks: serial == batched == plan, bit for bit."""
+
+    @pytest.mark.parametrize("key", sorted(BENCHMARKS))
+    def test_plan_matches_serial_and_batched(self, key):
+        spec = BENCHMARKS[key]
+        checked = build_check_program(
+            spec.physics, spec.refinement_level, chip="2GB",
+            flux_kind=spec.flux_kind, order=2,
+        )
+        serial = _run_mode(checked.program, "serial")
+        batched = _run_mode(checked.program, "batched")
+        plan = _run_mode(checked.program, "plan")
+        _assert_reports_identical(serial, batched, f"{key} batched")
+        _assert_reports_identical(serial, plan, f"{key} plan")
+        # the headline fields the acceptance criteria name, explicitly:
+        assert plan.total_time_s == serial.total_time_s
+        assert plan.dynamic_energy_j == serial.dynamic_energy_j
+        assert plan.transfers == serial.transfers
+        assert plan.flits == serial.flits
+        assert plan.hops == serial.hops
+
+
+@pytest.fixture
+def acoustic_program():
+    checked = build_check_program("acoustic", 4, chip="2GB", order=2)
+    return checked.program
+
+
+class TestLowering:
+    def test_plan_shape(self, acoustic_program):
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
+        plan = ex.lower(acoustic_program)
+        assert isinstance(plan, ExecutionPlan)
+        assert plan.n_instructions == len(acoustic_program)
+        n_xfer = sum(1 for i in acoustic_program if i.op is Opcode.TRANSFER)
+        assert plan.n_transfers == n_xfer
+        # every instruction lands in exactly one step
+        covered = plan.n_dispatch + plan.n_transfers + sum(
+            p.n for kind, p in plan.steps if kind == 0
+        )
+        assert covered == len(acoustic_program)
+        assert 0.0 < plan.vectorized_fraction <= 1.0
+        assert plan.chip_name == "2GB"
+
+    def test_opcode_rows_match_stream(self, acoustic_program):
+        from repro.pim.plan import OP_IDS
+
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
+        plan = ex.lower(acoustic_program)
+        for row, inst in zip(plan.array, acoustic_program):
+            assert int(row["op"]) == OP_IDS[inst.op]
+
+    def test_plan_reuse_counts(self, acoustic_program):
+        from repro.obs import get_metrics
+
+        m = get_metrics()
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
+        runs0 = m.value("executor.plan.runs")
+        lowered0 = m.value("executor.plan.lowered")
+        plan = ex.lower(acoustic_program)
+        ex.run(plan, functional=False)
+        ex.run(plan, functional=False)
+        ex.run(plan, functional=False)
+        assert plan.replays == 3
+        assert m.value("executor.plan.runs") - runs0 == 3
+        assert m.value("executor.plan.lowered") - lowered0 == 1
+
+    def test_replays_are_self_identical(self, acoustic_program):
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
+        plan = ex.lower(acoustic_program)
+        first = ex.run(plan, functional=False)
+        ex.reset_clocks()
+        second = ex.run(plan, functional=False)
+        _assert_reports_identical(first, second, "replay")
+
+    def test_lower_verify_runs_checker(self, acoustic_program):
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
+        plan = ex.lower(acoustic_program, verify=True)
+        assert plan.n_instructions == len(acoustic_program)
+
+
+class TestFallbacks:
+    """The plan path must step aside whenever it cannot be exact."""
+
+    def test_functional_run_ignores_plan_path(self, acoustic_program):
+        from repro.obs import get_metrics
+
+        m = get_metrics()
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
+        plan = ex.lower(acoustic_program)
+        runs0 = m.value("executor.plan.runs")
+        rep = ex.run(plan, functional=True)
+        ex2 = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
+        raw = ex2.run(acoustic_program, functional=True)
+        assert rep.n_instructions == raw.n_instructions
+        assert m.value("executor.plan.runs") == runs0
+
+    def test_fault_model_falls_back_to_dispatch(self, acoustic_program):
+        from repro.faults.model import FaultConfig, FaultModel
+        from repro.obs import get_metrics
+
+        m = get_metrics()
+        # an *enabled* fault model (nonzero rate) must disable the plan path
+        cfg = FaultConfig(seed=7, flip_rate=1e-5)
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]),
+                          faults=FaultModel(cfg))
+        plan = ex.lower(acoustic_program)
+        runs0 = m.value("executor.plan.runs")
+        rep = ex.run(plan, functional=False)
+        assert m.value("executor.plan.runs") == runs0
+        # the fallback is the ordinary dispatch path: same seed, same report
+        ex2 = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]),
+                           faults=FaultModel(FaultConfig(seed=7, flip_rate=1e-5)))
+        raw = ex2.run(acoustic_program, functional=False)
+        _assert_reports_identical(rep, raw, "fault fallback")
+
+    def test_repro_plan_knob(self, monkeypatch):
+        for off in ("off", "0", "false", "no", " OFF "):
+            monkeypatch.setenv("REPRO_PLAN", off)
+            assert not plan_enabled()
+        for on in ("on", "1", "yes", ""):
+            monkeypatch.setenv("REPRO_PLAN", on)
+            assert plan_enabled()
+        monkeypatch.delenv("REPRO_PLAN")
+        assert plan_enabled()
+
+    def test_compiler_honours_knob(self, monkeypatch, tmp_path):
+        """REPRO_PLAN=off restores the batched path, bit-identically."""
+        from repro.core.cache import CompileCache
+        from repro.core.compiler import WavePimCompiler
+
+        def compile_once():
+            return WavePimCompiler(order=2).compile(
+                "acoustic", 2, CHIP_CONFIGS["512MB"],
+                cache=CompileCache(tmp_path / "c", enabled=False),
+            )
+
+        with_plan = compile_once()
+        monkeypatch.setenv("REPRO_PLAN", "off")
+        without = compile_once()
+        assert with_plan.stage_times == without.stage_times
+
+
+class TestStaleRoutes:
+    """Satellite 1: a routing-epoch bump must never replay stale paths."""
+
+    def test_invalidate_routes_bumps_epoch(self):
+        chip = PimChip(CHIP_CONFIGS["512MB"])
+        e0 = chip.routing_epoch
+        chip.transfer_path(0, 5)  # populate the memo
+        chip.invalidate_routes()
+        assert chip.routing_epoch == e0 + 1
+
+    def test_stale_plan_relowers_transparently(self, acoustic_program):
+        from repro.obs import get_metrics
+
+        m = get_metrics()
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
+        plan = ex.lower(acoustic_program)
+        fresh = ex.run(plan, functional=False)
+        ex.chip.invalidate_routes()
+        relowered0 = m.value("executor.plan.relowered")
+        ex.reset_clocks()
+        after = ex.run(plan, functional=False)
+        assert m.value("executor.plan.relowered") == relowered0 + 1
+        # same topology, so the re-lowered schedule is the same schedule
+        _assert_reports_identical(fresh, after, "re-lowered")
+
+    def test_mapper_remap_invalidates_chip_routes(self):
+        """An ElementMapper spare-block remap bumps the live chip's epoch."""
+        from repro.core.mapper import ElementMapper
+
+        class _RemapFaults:
+            """Stub: block 0 is bad, so every mapped block shifts by one."""
+
+            def __init__(self):
+                self.recorded = []
+
+            def bad_blocks(self, n_blocks, block_rows, row_words):
+                return {0}
+
+            def record_remaps(self, n, detail=""):
+                self.recorded.append((n, detail))
+
+        cfg = CHIP_CONFIGS["512MB"]
+        chip = PimChip(cfg)
+        e0 = chip.routing_epoch
+        faults = _RemapFaults()
+        mapper = ElementMapper(2, cfg, 1, fault_model=faults,
+                               chip_model=chip)
+        assert faults.recorded, "stub never saw the remap"
+        assert chip.routing_epoch == e0 + 1
+        assert mapper.block_of(int(mapper.elements[0])) != 0
+
+    def test_plan_records_lowering_epoch(self, acoustic_program):
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
+        ex.chip.invalidate_routes()
+        plan = ex.lower(acoustic_program)
+        assert plan.routing_epoch == ex.chip.routing_epoch == 1
+
+
+class TestFoldArray:
+    """fold_array is the plan-side twin of the executor's _fold_add."""
+
+    def test_matches_sequential_left_fold(self):
+        rng = np.random.default_rng(3)
+        for n in (1, 7, 64, 65, 500):
+            vals = rng.standard_normal(n) * 1e-6
+            base = 0.125
+            acc = base
+            for v in vals:
+                acc = acc + v
+            assert fold_array(base, vals) == acc  # bitwise, not approx
+
+    def test_empty_values(self):
+        assert fold_array(1.5, np.array([])) == 1.5
+
+
+class TestLintRL004:
+    """The repo lint rejects new per-instruction dispatch loops."""
+
+    @staticmethod
+    def _lint(tmp_path, rel, source):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "lint_repo", Path(__file__).resolve().parents[1] / "scripts" / "lint_repo.py"
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        return [v[2] for v in mod._lint_file(path, tmp_path)]
+
+    def test_flags_dispatch_loop(self, tmp_path):
+        codes = self._lint(tmp_path, "src/repro/core/bad.py",
+                           "def f(insts):\n"
+                           "    for i in insts:\n"
+                           "        if i.op == 1:\n"
+                           "            pass\n")
+        assert "RL004" in codes
+
+    def test_allows_executor_and_comprehensions(self, tmp_path):
+        codes = self._lint(tmp_path, "src/repro/pim/executor.py",
+                           "def f(insts):\n"
+                           "    for i in insts:\n"
+                           "        x = i.op\n")
+        assert "RL004" not in codes
+        codes = self._lint(tmp_path, "src/repro/core/ok.py",
+                           "def f(insts):\n"
+                           "    return [i for i in insts if i.op == 1]\n")
+        assert "RL004" not in codes
+
+
+class TestRouteTable:
+    def test_matches_inline_resolution(self):
+        from repro.interconnect import HTree, Transfer, schedule_transfers
+        from repro.interconnect.routing import RouteTable
+
+        h = HTree(64)
+        transfers = [Transfer(i, (i * 7 + 3) % 64, 32) for i in range(50)]
+        plain = schedule_transfers(h, transfers)
+        routes = RouteTable(h)
+        memo = schedule_transfers(h, transfers, routes=routes)
+        assert plain.makespan == memo.makespan
+        assert plain.switch_busy_time == memo.switch_busy_time
+        assert plain.n_transfers == memo.n_transfers
+        assert len(routes._paths) > 0
+
+    def test_invalidate_clears_and_bumps(self):
+        from repro.interconnect import HTree
+        from repro.interconnect.routing import RouteTable
+
+        routes = RouteTable(HTree(64))
+        routes.path(0, 9)
+        assert routes._paths
+        e0 = routes.epoch
+        routes.invalidate()
+        assert not routes._paths
+        assert routes.epoch == e0 + 1
+
+    def test_rejects_foreign_interconnect(self):
+        from repro.interconnect import HTree, Transfer, schedule_transfers
+        from repro.interconnect.routing import RouteTable
+
+        with pytest.raises(ValueError):
+            schedule_transfers(HTree(64), [Transfer(0, 1, 32)],
+                               routes=RouteTable(HTree(16)))
+
+
+class TestLowerProgramDirect:
+    def test_rejects_transfer_without_source(self):
+        from repro.pim.isa import Instruction
+
+        chip = PimChip(CHIP_CONFIGS["512MB"])
+        ex = ChipExecutor(chip)
+        bad = [Instruction(op=Opcode.TRANSFER, block=1, dst=0, src1=0,
+                           rows=(0, 4), words=1)]
+        with pytest.raises(ValueError):
+            lower_program(chip, ex.costs, bad)
