@@ -25,11 +25,18 @@ Rules (stdlib ``ast`` only, so this runs in the bare container):
 ``RL004``  no per-instruction Python ``for`` loops over instruction
            streams (a loop variable whose ``.op`` is inspected in the
            body) outside ``pim/executor.py``, ``pim/plan.py`` (the
-           lowering pass itself) and ``analysis/`` (the checker walks
-           streams by design).  Everything else must hand streams to
+           lowering pass itself), ``pim/schedule.py`` (the DAG builder)
+           and ``analysis/`` (the checker walks streams by design).
+           Everything else must hand streams to
            ``ChipExecutor.run``/``lower`` — per-instruction dispatch in
            library code is exactly the hot path execution plans removed.
            Comprehensions are exempt (they filter, not dispatch).
+
+``RL005``  no ``._dispatch`` references outside ``pim/executor.py``.
+           Plan replay is the universal execution path; the serial
+           dispatcher survives only as the executor-internal audit
+           reference (``run(..., serial=True)``), and a new call site
+           would silently fork the semantics the plan engine must mirror.
 
 Usage::
 
@@ -62,8 +69,11 @@ RL003_ALLOWED = ("src/repro/analysis/",)
 RL004_ALLOWED = (
     "src/repro/pim/executor.py",
     "src/repro/pim/plan.py",
+    "src/repro/pim/schedule.py",
     "src/repro/analysis/",
 )
+
+RL005_ALLOWED = ("src/repro/pim/executor.py",)
 
 
 def _rel(path: Path, root: Path) -> str:
@@ -143,6 +153,15 @@ def _lint_file(path: Path, root: Path) -> List[Violation]:
                                 "the executor/lowering/analysis layers may "
                                 "dispatch per instruction"))
                     break
+
+    # RL005: serial-dispatch call sites stay inside the executor
+    if not rel.startswith(RL005_ALLOWED):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and node.attr == "_dispatch":
+                out.append((path, node.lineno, "RL005",
+                            "._dispatch referenced outside pim/executor.py — "
+                            "plan replay is the only execution path; request "
+                            "the audit reference via run(..., serial=True)"))
     return out
 
 

@@ -21,7 +21,9 @@ Commands
 
 Performance knobs: ``--jobs N`` (or ``REPRO_JOBS``) compiles the experiment
 matrix with N worker processes; ``--no-cache`` (or ``REPRO_NO_CACHE=1``)
-bypasses the on-disk compile cache in ``REPRO_CACHE_DIR``.
+bypasses the on-disk compile cache in ``REPRO_CACHE_DIR``; ``REPRO_SCHED=on``
+(or ``bench --schedule``) makespan-schedules every lowered plan
+(see DESIGN.md §13).
 
 Observability knobs: ``--profile`` records a span/metric trace and writes
 it as JSON (plus a Chrome ``trace_event`` sibling) to ``--trace-file`` /
@@ -283,6 +285,8 @@ def _cmd_bench(args) -> int:
     )
 
     t0 = time.perf_counter()
+    if args.schedule:
+        os.environ["REPRO_SCHED"] = "on"
     entry = measure_hot_paths(rounds=args.rounds)
     doc = append_entry(entry, path=args.json)
 
@@ -297,6 +301,10 @@ def _cmd_bench(args) -> int:
           f"(plan path is {entry['executor_serial_step_s'] / max(entry['executor_step_s'], 1e-12):.1f}x faster)")
     print(f"{'cache_hit_rate':16s} {fmt_rate(entry['cache_hit_rate'])}")
     print(f"{'plan_reuse_rate':16s} {fmt_rate(entry['plan_reuse_rate'])}")
+    print(f"{'plan_coverage':16s} {fmt_rate(entry['plan_coverage'])}")
+    print(f"{'makespan':16s} {entry['makespan_cycles']:,.0f} cycles emission, "
+          f"{entry['scheduled_makespan_cycles']:,.0f} scheduled "
+          f"(scheduler {entry['scheduler_speedup']:.2f}x)")
 
     summary = history_summary(doc)
     measured = summary["executor_step_s"]["measured"]
@@ -486,6 +494,9 @@ def main(argv=None) -> int:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="BENCH_perf.json path to append to (default: the "
                         "repo-root BENCH_perf.json)")
+    p.add_argument("--schedule", action="store_true",
+                   help="enable the makespan scheduler (REPRO_SCHED=on) for "
+                        "every plan lowered during the measurement")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("faults", parents=[common, profiled],

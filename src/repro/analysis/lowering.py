@@ -9,6 +9,12 @@ benchmark replays — a plan that drifted from its stream (or carries routes
 from a pre-remap epoch) is a silent corruption of every downstream cycle
 count, which is precisely the class of defect the static checker exists
 to catch before execution.
+
+PL004 extends the audit to reordering: the makespan scheduler
+(:mod:`repro.pim.schedule`) may permute the stream, and this pass proves
+the permutation it would produce respects every data dependency —
+RAW/WAW/WAR word-region edges, host/DRAM channel chains, and BARRIER
+fences.
 """
 
 from __future__ import annotations
@@ -110,4 +116,17 @@ class LoweringPass:
                     f"switches, topology resolves {hops} hops/{flits} flits "
                     f"over {len(keys)}",
                     index=i, block=inst.block, tag=inst.tag)
+
+        # PL004: reorder legality — the makespan scheduler's permutation of
+        # this stream must respect every RAW/WAW/WAR edge, the host/DRAM
+        # chains and each BARRIER fence (repro.pim.schedule recomputes the
+        # DAG and re-runs the list scheduler here, so the audit covers the
+        # exact order a `--schedule` run would replay).
+        try:
+            from repro.pim.schedule import audit_reorder
+
+            for msg in audit_reorder(program, plan, chip):
+                add("PL004", f"scheduler reordering is illegal: {msg}")
+        except Exception as exc:
+            add("PL004", f"reorder-legality audit failed: {exc}")
         return out

@@ -37,6 +37,7 @@ from repro.pim.chip import PimChip
 from repro.pim.executor import ChipExecutor
 from repro.pim.isa import Opcode
 from repro.pim.plan import plan_enabled
+from repro.pim.schedule import schedule_enabled, schedule_plan
 from repro.pim.params import ChipConfig
 
 __all__ = ["WavePimCompiler", "CompiledBenchmark"]
@@ -239,6 +240,7 @@ class WavePimCompiler:
         emitted = 0
 
         use_plan = plan_enabled()
+        use_sched = use_plan and schedule_enabled()
 
         def run(insts, label):
             nonlocal emitted
@@ -246,10 +248,16 @@ class WavePimCompiler:
             with tracer.span(f"compile/{label}", instructions=len(insts)):
                 ex = ChipExecutor(chip_model)
                 if use_plan:
-                    # lower + vectorized replay; bit-identical to batched
-                    # (REPRO_PLAN=off restores the batched path).
-                    return ex.run(ex.lower(insts), functional=False)
-                return ex.run(insts, functional=False, batched=True)
+                    # lower + vectorized replay; bit-identical to serial
+                    # dispatch (REPRO_PLAN=off restores the audit path).
+                    lowered = ex.lower(insts)
+                    if use_sched:
+                        # REPRO_SCHED: makespan-schedule the lowered plan
+                        # (best-of: never worse than emission order).
+                        lowered = schedule_plan(ex, lowered)
+                        ex.reset_clocks()
+                    return ex.run(lowered, functional=False)
+                return ex.run(insts, functional=False, serial=True)
 
         # -- lane times from representative streams ----------------------- #
         vol = run(kern.volume(elements=rep), "volume_kernel")

@@ -14,11 +14,18 @@ from repro.pim.isa import Instruction, Opcode
 __all__ = ["KernelBase", "face_sign_axis"]
 
 
+_FACE_SIGN_AXIS: dict = {}
+
+
 def face_sign_axis(face: int) -> tuple[float, int]:
-    """(outward-normal sign, axis index) of a reference face."""
-    normal = FACE_NORMALS[face]
-    axis = int(np.argmax(np.abs(normal)))
-    return float(normal[axis]), axis
+    """(outward-normal sign, axis index) of a reference face (memoized —
+    six faces, requested once per emitted flux instruction)."""
+    out = _FACE_SIGN_AXIS.get(face)
+    if out is None:
+        normal = FACE_NORMALS[face]
+        axis = int(np.argmax(np.abs(normal)))
+        out = _FACE_SIGN_AXIS[face] = (float(normal[axis]), axis)
+    return out
 
 
 class KernelBase:
@@ -52,16 +59,33 @@ class KernelBase:
             Opcode.BROADCAST, block=block, rows=rows, dst=dst, value=value, tag=tag
         )
 
+    #: row-map distinct-row counts keyed by array identity; the value holds
+    #: the array itself so the id stays pinned.  Row maps come from the
+    #: (memoized) ElementLayout producers, so the same handful of arrays
+    #: recur for every element of every compile; the size cap only guards
+    #: against a caller streaming fresh arrays.
+    _GATHER_STATS: dict = {}
+
     @staticmethod
     def _gather(block, rows, dst, src, row_map, tag) -> Instruction:
-        # row maps are small non-negative row indices: a boolean occupancy
-        # mask counts the distinct rows without np.unique's sort.
-        rm = np.asarray(row_map)
-        seen = np.zeros(int(rm.max()) + 1 if rm.size else 0, dtype=bool)
-        seen[rm] = True
+        cache = KernelBase._GATHER_STATS
+        hit = cache.get(id(row_map))
+        if hit is not None and hit[0] is row_map:
+            n_unique = hit[1]
+        else:
+            # row maps are small non-negative row indices: a boolean
+            # occupancy mask counts the distinct rows without np.unique's
+            # sort.
+            rm = np.asarray(row_map)
+            seen = np.zeros(int(rm.max()) + 1 if rm.size else 0, dtype=bool)
+            seen[rm] = True
+            n_unique = int(np.count_nonzero(seen))
+            if len(cache) > 4096:
+                cache.clear()
+            cache[id(row_map)] = (row_map, n_unique)
         return Instruction(
             Opcode.GATHER, block=block, rows=rows, dst=dst, src1=src, row_map=row_map,
-            n_unique_rows=int(np.count_nonzero(seen)), tag=tag,
+            n_unique_rows=n_unique, tag=tag,
         )
 
     @staticmethod

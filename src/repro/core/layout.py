@@ -116,6 +116,13 @@ class ElementLayout:
         self.row_flux0 = self.row_econst + 1
         if self.row_flux0 + 6 > self.block_rows:
             raise ValueError("storage region overflow")
+        #: memoized row-map arrays: the producers below are pure functions
+        #: of the layout geometry, and the kernel generators request the
+        #: same handful of maps for every element of every compile — the
+        #: memo also keeps the returned arrays id-stable, which downstream
+        #: per-array caches (gather stats) key on.  Callers must treat the
+        #: returned arrays as read-only.
+        self._rowmap_cache: dict = {}
 
     # ------------------------------------------------------------------ #
     # node index helpers (flat node id n = i + (N+1) j + (N+1)^2 k)
@@ -127,9 +134,13 @@ class ElementLayout:
 
     def axis_index(self, axis: int) -> np.ndarray:
         """Per-node coordinate index along ``axis`` (0=x,1=y,2=z)."""
-        n = np.arange(self.n_nodes)
-        p = self.npts
-        return (n % p, (n // p) % p, n // (p * p))[axis]
+        out = self._rowmap_cache.get(("axis", axis))
+        if out is None:
+            n = np.arange(self.n_nodes)
+            p = self.npts
+            out = (n % p, (n // p) % p, n // (p * p))[axis]
+            self._rowmap_cache[("axis", axis)] = out
+        return out
 
     def tap_row_map(self, axis: int, tap: int) -> np.ndarray:
         """Row of the ``tap``-th derivative stencil point along ``axis``.
@@ -140,10 +151,15 @@ class ElementLayout:
         """
         if not 0 <= tap < self.npts:
             raise IndexError(f"tap {tap} outside [0, {self.npts})")
-        n = np.arange(self.n_nodes)
-        p = self.npts
-        stride = p**axis
-        return n + (tap - self.axis_index(axis)) * stride
+        key = ("tap", axis, tap)
+        out = self._rowmap_cache.get(key)
+        if out is None:
+            n = np.arange(self.n_nodes)
+            p = self.npts
+            stride = p**axis
+            out = n + (tap - self.axis_index(axis)) * stride
+            self._rowmap_cache[key] = out
+        return out
 
     def dshape_row_map(self, axis: int) -> np.ndarray:
         """Storage row holding each node's derivative coefficient.
@@ -151,15 +167,30 @@ class ElementLayout:
         Node ``n`` needs ``D[idx_axis(n), tap]``, stored at storage row
         ``row_dshape0 + idx_axis(n)``, column ``tap``.
         """
-        return self.row_dshape0 + self.axis_index(axis)
+        key = ("dshape", axis)
+        out = self._rowmap_cache.get(key)
+        if out is None:
+            out = self.row_dshape0 + self.axis_index(axis)
+            self._rowmap_cache[key] = out
+        return out
 
     def const_row_map(self, storage_row: int) -> np.ndarray:
         """Gather map that broadcasts one storage row to all compute rows."""
-        return np.full(self.n_nodes, storage_row, dtype=np.int64)
+        key = ("const", storage_row)
+        out = self._rowmap_cache.get(key)
+        if out is None:
+            out = np.full(self.n_nodes, storage_row, dtype=np.int64)
+            self._rowmap_cache[key] = out
+        return out
 
     def face_row_map(self, face_nodes: np.ndarray, storage_row: int) -> np.ndarray:
         """Gather map broadcasting one storage row to a face's rows."""
-        return np.full(len(face_nodes), storage_row, dtype=np.int64)
+        key = ("face", len(face_nodes), storage_row)
+        out = self._rowmap_cache.get(key)
+        if out is None:
+            out = np.full(len(face_nodes), storage_row, dtype=np.int64)
+            self._rowmap_cache[key] = out
+        return out
 
     # ------------------------------------------------------------------ #
 

@@ -39,6 +39,12 @@ class MemoryBlock:
         The row drivers can activate an arbitrary subset of rows (face
         nodes are scattered through the node enumeration), so arithmetic
         accepts either form; timing is row-count independent either way.
+
+        Side-effect-free by contract: the plan engine
+        (:meth:`repro.pim.plan._VecSegment.build_apply`) validates whole
+        segments through ``_rows``/``_check`` *before* mutating any block
+        state, which is what makes a rejected stream execute nothing at
+        all under plan replay.
         """
         if isinstance(rows, tuple):
             r0, r1 = rows

@@ -31,6 +31,13 @@ INTER_TILE_HOP_S = 10e-9
 class PimChip:
     """A full Wave-PIM chip (lazy tiles, shared config)."""
 
+    #: process-wide path tables keyed by topology: chips with the same
+    #: geometry share one memo, so a fresh ``PimChip`` (the compiler builds
+    #: one per costing pass) starts with every previously walked route
+    #: already resolved.  Sound because :meth:`transfer_path` is a pure
+    #: function of the config's geometry.
+    _shared_paths: dict[tuple, dict] = {}
+
     def __init__(self, config: ChipConfig):
         self.config = config
         self.hbm = HbmModel()
@@ -38,8 +45,13 @@ class PimChip:
         #: (src, dst) -> (switch keys, hops, extra latency, source-tile
         #: interconnect).  The topology never changes, so every executor on
         #: this chip shares one memoized path table instead of re-walking
-        #: the H-tree/Bus per TRANSFER/LUT instruction.
-        self._path_cache: dict[tuple[int, int], "TransferPath"] = {}
+        #: the H-tree/Bus per TRANSFER/LUT instruction — and chips of the
+        #: same topology share the table process-wide.
+        topo = (config.name, config.interconnect, config.n_tiles,
+                config.blocks_per_tile)
+        self._path_cache: dict[tuple[int, int], "TransferPath"] = (
+            PimChip._shared_paths.setdefault(topo, {})
+        )
         #: bumped by :meth:`invalidate_routes` whenever cached paths may be
         #: stale (spare-block remapping moved a block).  Execution plans
         #: record the epoch they were lowered under; a mismatch forces a
@@ -52,8 +64,10 @@ class PimChip:
         Called when the block id -> physical location association changes
         (e.g. :class:`~repro.core.mapper.ElementMapper` remapping around
         faulty blocks), so no executor or plan replays a stale route.
+        This chip detaches from the process-wide shared table (other chips
+        of the same topology keep their — still valid — geometry memo).
         """
-        self._path_cache.clear()
+        self._path_cache = {}
         self.routing_epoch += 1
 
     # -- geometry --------------------------------------------------------- #

@@ -16,10 +16,17 @@ in program order and maintains:
 With ``functional=True`` instructions also update the blocks' word
 contents, which is how the tests prove the PIM-mapped wave kernels compute
 the same numbers as the numpy dG reference.
+
+Every run executes through an :class:`~repro.pim.plan.ExecutionPlan` —
+raw streams are lowered on entry, and functional and fault-injecting runs
+replay the plan bit-identically to per-instruction dispatch (DESIGN.md
+§13).  ``serial=True`` keeps the original per-instruction dispatcher as
+the audit reference the plan path is verified against.
 """
 
 from __future__ import annotations
 
+import math
 from collections import Counter, defaultdict
 from dataclasses import dataclass, field
 
@@ -30,7 +37,14 @@ from repro.pim.arithmetic import HostOpModel, OpCosts, default_op_costs
 from repro.pim.chip import PimChip
 from repro.pim.isa import ARITHMETIC_OPS, Instruction, Opcode
 from repro.pim.plan import (
+    APPLY_ARITH,
+    APPLY_ARITH_BATCH,
+    APPLY_BROADCAST,
+    APPLY_COPY,
+    APPLY_COPY_BATCH,
+    APPLY_GATHER,
     COPY_NORS,
+    OP_IDS,
     STEP_SEGMENT,
     STEP_TRANSFER,
     ExecutionPlan,
@@ -48,8 +62,10 @@ __all__ = [
 #: the runtime estimator and the fault hooks import it from this module.
 _COPY_NORS = COPY_NORS
 
-#: Opcodes the batched analytic mode may group (same block / rows / tag).
-_BATCHABLE_OPS = frozenset(ARITHMETIC_OPS) | {Opcode.COPY}
+#: plan-array opcode ids of the flip-eligible (NOR-based) compute ops.
+_FLIP_OP_IDS = np.array(
+    sorted(OP_IDS[op] for op in (*ARITHMETIC_OPS, Opcode.COPY)), dtype=np.uint8
+)
 
 
 def _float_dict() -> defaultdict:
@@ -103,7 +119,7 @@ def _fold_add(base: float, value: float, count: int) -> float:
 
     Bit-identical to ``for _ in range(count): base += value`` — IEEE float
     addition is deterministic and ``np.add.accumulate`` is a strict
-    sequential fold (no pairwise re-association), so the batched executor
+    sequential fold (no pairwise re-association), so grouped accounting
     can price a whole run of identical instructions in one shot and still
     match the serial path float-for-float.
     """
@@ -146,6 +162,12 @@ class TimingReport:
     faults_detected: int = 0
     faults_corrected: int = 0
     faults_uncorrected: int = 0
+    #: modeled makespan in chip clock cycles (``total_time_s`` scaled by
+    #: the chip clock); for scheduler-reordered plans
+    #: ``emission_makespan_cycles`` additionally records the modeled
+    #: emission-order baseline the scheduler improved on (0.0 otherwise).
+    makespan_cycles: float = 0.0
+    emission_makespan_cycles: float = 0.0
 
     def __post_init__(self) -> None:
         # accept plain dicts from callers; the accumulators below rely on
@@ -219,6 +241,8 @@ class TimingReport:
         self.faults_detected += other.faults_detected
         self.faults_corrected += other.faults_corrected
         self.faults_uncorrected += other.faults_uncorrected
+        self.makespan_cycles += other.makespan_cycles
+        self.emission_makespan_cycles += other.emission_makespan_cycles
         for k, v in other.time_by_tag.items():
             self.time_by_tag[k] += v
         for k, v in other.energy_by_tag.items():
@@ -329,24 +353,22 @@ class ChipExecutor:
         return plan
 
     def run(self, instructions, functional: bool = True,
-            batched: bool = False, verify: bool | None = None) -> TimingReport:
+            verify: bool | None = None, serial: bool = False) -> TimingReport:
         """Execute ``instructions`` in program order; returns the report.
 
         ``instructions`` may be a plain stream or an :class:`ExecutionPlan`
-        from :meth:`lower`.  A plan replays through the vectorized engine
-        whenever the run is analytic (``functional=False``) and fault-free;
-        ``functional=True`` needs real data movement and an enabled
-        :class:`~repro.faults.model.FaultModel` needs per-instruction
-        draws, so both fall back to serial dispatch over the plan's
-        original instructions.  A plan lowered before the chip's routes
-        changed (``routing_epoch`` mismatch after spare-block remapping)
-        is transparently re-lowered, never replayed stale.
+        from :meth:`lower`.  Plan replay is the universal path: raw streams
+        are lowered on entry, and analytic, functional *and* fault-injecting
+        runs all replay the plan — bit-identically to per-instruction
+        dispatch (block state, fault event digests and
+        :class:`TimingReport` all match float for float).  A plan lowered
+        before the chip's routes changed (``routing_epoch`` mismatch after
+        spare-block remapping) is transparently re-lowered, never replayed
+        stale.
 
-        With ``batched=True`` runs of consecutive same-shape arithmetic/COPY
-        instructions on one block are priced analytically in one shot
-        (vectorized accounting) instead of one dict update per instruction.
-        The resulting report is float-identical to the serial path — the
-        grouped accumulation replays the exact left-fold addition order.
+        ``serial=True`` forces the per-instruction dispatch loop — the
+        audit reference the plan path is checked against (PL001–PL004 and
+        the bit-identity test sweep); it is not a performance mode.
 
         ``verify`` overrides the executor-level flag for this run: when
         true, the static checker passes audit the stream first and a
@@ -370,34 +392,38 @@ class ChipExecutor:
         report = TimingReport()
         faults = self.faults
         faults_on = faults is not None and faults.config.enabled
-        if faults_on and batched:
-            # per-instruction fault draws need serial dispatch order; the
-            # serial accounting is float-identical to the batched path.
-            batched = False
-        use_plan = plan is not None and not functional and not faults_on
-        if use_plan and plan.routing_epoch != self.chip.routing_epoch:
-            # spare-block remapping moved a block since this plan was
-            # lowered: its resolved routes may be stale.  Re-lower against
-            # the current topology rather than replaying them.
-            plan = self.lower(plan.instructions)
-            metrics = get_metrics()
-            if metrics.enabled:
-                metrics.inc("executor.plan.relowered")
-        mode = "plan" if use_plan else ("batched" if batched else "serial")
+        if serial:
+            plan = None
+            mode = "serial"
+        else:
+            if plan is None:
+                plan = self.lower(instructions)
+            elif plan.routing_epoch != self.chip.routing_epoch:
+                # spare-block remapping moved a block since this plan was
+                # lowered: its resolved routes may be stale.  Re-lower
+                # against the current topology rather than replaying them.
+                plan = self.lower(plan.instructions)
+                metrics = get_metrics()
+                if metrics.enabled:
+                    metrics.inc("executor.plan.relowered")
+            mode = "plan"
         counts_before = dict(faults.counts) if faults_on else None
         with get_tracer().span("pim/run", chip=self.chip.config.name,
-                               batched=batched, functional=functional,
-                               mode=mode) as sp:
-            if use_plan:
-                self._run_plan(plan, report)
-            elif batched:
-                self._run_batched(instructions, functional, report)
+                               functional=functional, mode=mode) as sp:
+            if plan is not None:
+                self._run_plan(plan, functional, faults_on, report)
             else:
                 for inst in instructions:
                     self._dispatch(inst, functional, report)
             report.total_time_s = self._now()
             report.host_busy_s = self._host_clock
             report.dram_busy_s = self._dram_clock
+            report.makespan_cycles = report.total_time_s * self.chip.config.clock_hz
+            if plan is not None and plan.schedule_stats is not None:
+                report.emission_makespan_cycles = (
+                    plan.schedule_stats["emission_makespan_s"]
+                    * self.chip.config.clock_hz
+                )
             for b, t in self._block_clock.items():
                 report.block_busy_s[b] = t
             if counts_before is not None:
@@ -426,6 +452,10 @@ class ChipExecutor:
             metrics.inc("executor.runs")
             if mode == "plan":
                 metrics.inc("executor.plan.runs")
+            else:
+                # serial runs are explicit audit-reference requests; the
+                # bench's plan-coverage guard excludes them.
+                metrics.inc("executor.serial.runs")
             metrics.inc("executor.instructions", report.n_instructions)
             metrics.observe("executor.instructions_per_run", report.n_instructions)
             for op, n in report.op_counts.items():
@@ -451,76 +481,28 @@ class ChipExecutor:
                 phase_cycles={p: t * clock for p, t in phases.items()},
             )
 
-    def _run_batched(self, instructions, functional: bool, report: TimingReport) -> None:
-        insts = instructions if isinstance(instructions, (list, tuple)) else list(instructions)
-        i, n = 0, len(insts)
-        while i < n:
-            inst = insts[i]
-            op = inst.op
-            if op in _BATCHABLE_OPS and isinstance(inst.rows, tuple):
-                block, rows, tag = inst.block, inst.rows, inst.tag
-                j = i + 1
-                while j < n:
-                    nxt = insts[j]
-                    if (nxt.op is not op or nxt.block != block
-                            or not isinstance(nxt.rows, tuple)
-                            or nxt.rows != rows or nxt.tag != tag):
-                        break
-                    j += 1
-                if j - i > 1:
-                    self._batched_group(insts[i:j], functional, report)
-                    i = j
-                    continue
-            self._dispatch(inst, functional, report)
-            i += 1
-
-    def _batched_group(self, group, functional: bool, report: TimingReport) -> None:
-        """Price a run of identical-shape arithmetic/COPY ops on one block.
-
-        Per-instruction cost is constant across the group (same opcode and
-        row count), so the block clock and the report accumulators advance
-        by an exact left-fold of ``count`` additions (:func:`_fold_add`) —
-        bit-identical to serial dispatch, without the per-instruction
-        dispatch and dict-update overhead.
-        """
-        inst = group[0]
-        count = len(group)
-        if inst.op is Opcode.COPY:
-            dur = _COPY_NORS * self.costs.device.t_nor_s
-            energy = _COPY_NORS * 32 * self.costs.device.e_nor_j * inst.n_rows
-        else:
-            dur = self.costs.time_s(inst.op.value)
-            energy = self.costs.energy_j(inst.op.value, active_rows=inst.n_rows)
-        start = self._compute_start(inst.block)
-        self._block_clock[inst.block] = _fold_add(start, dur, count)
-        if functional:
-            blk = self.chip.block(inst.block)
-            if inst.op is Opcode.COPY:
-                for g in group:
-                    blk.copy_column(g.rows, g.dst, g.src1)
-            else:
-                fn = getattr(blk, inst.op.value)
-                for g in group:
-                    fn(g.rows, g.dst, g.src1, g.src2)
-        report.add_batch(inst.tag, inst.op, dur, energy, count)
-
     # -- plan replay ------------------------------------------------------- #
 
-    def _run_plan(self, plan: ExecutionPlan, report: TimingReport) -> None:
+    def _run_plan(self, plan: ExecutionPlan, functional: bool,
+                  faults_on: bool, report: TimingReport) -> None:
         """Replay a lowered plan: vectorized accounting, serial semantics.
 
         Walks the plan's step list instead of the instruction stream.
         Compute segments advance each block's clock by an exact left-fold
         of precomputed durations from the serial starting point
         (``_compute_start`` dominates after the first op, see
-        :mod:`repro.pim.plan`), and fold the report accumulators in stream
-        order; TRANSFERs run a precomputed fast path; everything that
-        couples multiple clocks (LUT/HOSTOP/DRAM/BARRIER) dispatches
-        through the unchanged serial handlers.  Bit-identical to
-        ``run(plan.instructions, functional=False)``.
+        :mod:`repro.pim.plan`), fold the report accumulators in stream
+        order and — when ``functional`` — execute the segment's batched
+        word-level apply program; TRANSFERs run a precomputed fast path;
+        everything that couples multiple clocks (LUT/HOSTOP/DRAM/BARRIER)
+        dispatches through the unchanged serial handlers.  Bit-identical
+        to ``run(plan.instructions, serial=True)``.
         """
         plan.replays += 1
         insts = plan.instructions
+        if faults_on:
+            self._run_plan_faulty(plan, functional, report)
+            return
         bc = self._block_clock
         pf = self._port_free
         time_by_tag = report.time_by_tag
@@ -543,18 +525,172 @@ class ChipExecutor:
                         bc[block], pf[("r", block)], pf[("w", block)], barrier
                     )
                     bc[block] = fold_array(start, durs)
+                if functional:
+                    self._segment_apply(payload, insts)
             elif kind == STEP_TRANSFER:
-                self._transfer_step(payload, report)
+                self._transfer_step(payload, functional, report)
             else:  # STEP_DISPATCH
-                self._dispatch(insts[payload], False, report)
+                self._dispatch(insts[payload], functional, report)
 
-    def _transfer_step(self, t, report: TimingReport) -> None:
-        """Fault-free TRANSFER with route and latencies precomputed.
+    def _run_plan_faulty(self, plan: ExecutionPlan, functional: bool,
+                         report: TimingReport) -> None:
+        """Fault-mode plan replay: per-instruction, every cost precomputed.
 
-        Replays exactly the ``plan is None`` branch of :meth:`_transfer`;
-        only the data-dependent readiness ``max`` and the switch/port
-        updates happen at run time.
+        Fault overheads advance block clocks mid-segment, so segments walk
+        one instruction at a time — but the dispatch if-chain, the cost
+        recomputation and the per-draw RNG round-trips are all gone:
+        durations/energies/NOR counts come from the plan array and the
+        transient-flip stream is pre-drawn vectorized
+        (:meth:`~repro.faults.model.FaultModel.draw_flips`).  Event logs,
+        digests and reports stay bit-identical to serial dispatch.
         """
+        insts = plan.instructions
+        arr = plan.array
+        durs = arr["dur"]
+        energies = arr["energy"]
+        nors_col = arr["nors"]
+        flips = self._predraw_flips(plan)
+        for kind, payload in plan.steps:
+            if kind == STEP_SEGMENT:
+                for i in range(payload.start, payload.stop):
+                    inst = insts[i]
+                    dur = float(durs[i])
+                    energy = float(energies[i])
+                    self._block_clock[inst.block] = (
+                        self._compute_start(inst.block) + dur
+                    )
+                    if functional:
+                        self._apply_functional(inst)
+                    report.add(inst.tag, inst.op, dur, energy)
+                    nors = int(nors_col[i])
+                    if nors:
+                        self._apply_compute_faults(
+                            inst, functional, report, dur, energy, nors,
+                            flips.get(i) if flips is not None else None,
+                        )
+            elif kind == STEP_TRANSFER:
+                self._transfer_step(payload, functional, report)
+            else:  # STEP_DISPATCH
+                self._dispatch(insts[payload], functional, report)
+
+    def _predraw_flips(self, plan: ExecutionPlan):
+        """Vector-draw the whole plan's transient flips up front.
+
+        Flip draws come from their own sequential substream, independent
+        of the transfer and stuck-cell streams, so consuming the entire
+        run's draws before replay leaves every other draw unchanged.  The
+        per-instruction hit probabilities (a handful of unique
+        ``(nors, n_rows)`` exposures) are memoized on the plan.
+        """
+        f = self.faults
+        rate = f.config.flip_rate
+        if rate <= 0.0:
+            return None
+        cache = plan.flip_cache
+        if cache is None or cache[0] != rate:
+            arr = plan.array
+            elig = np.flatnonzero(
+                np.isin(arr["op"], _FLIP_OP_IDS) & (arr["n_rows"] > 0)
+            )
+            nors = arr["nors"][elig]
+            n_rows = arr["n_rows"][elig]
+            base = math.log1p(-min(rate, 0.5))
+            memo: dict = {}
+            ps = np.empty(elig.shape[0])
+            for k in range(elig.shape[0]):
+                key = (int(nors[k]), int(n_rows[k]))
+                p = memo.get(key)
+                if p is None:
+                    # the exact draw_flip expression (association included)
+                    p = memo[key] = -math.expm1(base * key[0] * key[1])
+                ps[k] = p
+            cache = plan.flip_cache = (rate, elig, ps, n_rows)
+        _, elig, ps, n_rows = cache
+        hits = f.draw_flips(ps, n_rows)
+        return {int(elig[k]): v for k, v in hits.items()}
+
+    def _segment_apply(self, seg, insts) -> None:
+        """Execute one segment's functional effects (fault-free fast path).
+
+        The batched program is built lazily on the first functional replay
+        (see :meth:`~repro.pim.plan._VecSegment.build_apply`); bounds were
+        validated at build time, so replay is raw float32 column math —
+        elementwise identical to the serial :class:`MemoryBlock` calls.
+        """
+        prog = seg.apply
+        if prog is None:
+            prog = seg.build_apply(insts, self.chip)
+        block = self.chip.block
+        for step in prog:
+            kind = step[0]
+            if kind == APPLY_ARITH_BATCH:
+                _, b, sel, fn, dsts, s1s, s2s = step
+                d = block(b).data
+                d[sel, dsts] = fn(d[sel, s1s], d[sel, s2s])
+            elif kind == APPLY_ARITH:
+                _, b, sel, fn, dst, s1, s2 = step
+                d = block(b).data
+                d[sel, dst] = fn(d[sel, s1], d[sel, s2])
+            elif kind == APPLY_GATHER:
+                _, b, sel, dst, src, row_map = step
+                d = block(b).data
+                d[sel, dst] = d[row_map, src]
+            elif kind == APPLY_COPY_BATCH:
+                _, b, sel, dsts, s1s = step
+                d = block(b).data
+                d[sel, dsts] = d[sel, s1s]
+            elif kind == APPLY_COPY:
+                _, b, sel, dst, s1 = step
+                d = block(b).data
+                d[sel, dst] = d[sel, s1]
+            else:  # APPLY_BROADCAST
+                _, b, sel, dst, value = step
+                block(b).data[sel, dst] = value
+
+    def _apply_functional(self, inst: Instruction) -> None:
+        """Serial functional semantics of one compute op (fault-mode path)."""
+        op = inst.op
+        blk = self.chip.block(inst.block)
+        if op in ARITHMETIC_OPS:
+            getattr(blk, op.value)(inst.rows, inst.dst, inst.src1, inst.src2)
+        elif op is Opcode.COPY:
+            blk.copy_column(inst.rows, inst.dst, inst.src1)
+        elif op is Opcode.GATHER:
+            blk.gather(inst.rows, inst.dst, inst.src1, inst.row_map)
+        else:  # BROADCAST
+            blk.broadcast(inst.rows, inst.dst, inst.value)
+
+    def _transfer_step(self, t, functional: bool, report: TimingReport) -> None:
+        """TRANSFER with route and latencies precomputed at lower time.
+
+        Replays :meth:`_transfer` exactly — including the fault branch:
+        the retry/backoff arithmetic reuses the precomputed phase
+        latencies with the serial handler's expression order, and
+        functional delivery indexes block state through the precomputed
+        row selectors.  Only the data-dependent readiness ``max``, the
+        switch/port updates and the seeded fault draws happen at run time.
+        """
+        f = self.faults
+        fplan = None
+        if f is not None and f.config.any_transfer_faults:
+            n_sw = t.n_switches
+            fplan = f.transfer_plan(
+                t.keys, lambda _tile: n_sw, where=t.where
+            )
+        dur = t.dur
+        attempts = 1
+        backoff = 0.0
+        delivered = True
+        if fplan is not None:
+            attempts, backoff, delivered = (
+                fplan.attempts, fplan.backoff_s, fplan.delivered
+            )
+            # every attempt re-reads the row buffer and re-traverses the
+            # wire; only a successful final attempt pays the write-back.
+            dur = (
+                attempts * (t.read_t + t.wire) + backoff
+                + (t.write_t if delivered else 0.0)
+            )
         sw = self._switch_free
         pf = self._port_free
         ready = max(
@@ -567,22 +703,52 @@ class ChipExecutor:
         keys = t.keys
         for k in keys:
             ready = max(ready, sw[k])
-        finish = ready + t.dur
+        finish = ready + dur
         if t.exclusive:
-            held = ready + t.read_t + t.wire
+            if fplan is None:
+                held = ready + t.read_t + t.wire
+            else:
+                held = ready + attempts * (t.read_t + t.wire) + backoff
             for k in keys:
                 sw[k] = held
         else:
-            flit_train = t.flit_train
+            add = t.flit_train if fplan is None else attempts * t.flit_train
             for k in keys:
-                sw[k] += flit_train
-        pf[("r", t.src)] = ready + t.read_t + t.flit_train
+                sw[k] += add
+        if fplan is None:
+            pf[("r", t.src)] = ready + t.read_t + t.flit_train
+        else:
+            pf[("r", t.src)] = (
+                ready + attempts * (t.read_t + t.flit_train) + backoff
+            )
         pf[("w", t.dst)] = finish
+        energy = t.energy
+        if fplan is not None and attempts > 1:
+            # retransmissions repeat the row reads and switch traversals.
+            energy = attempts * energy
         report.transfers += 1
-        report.hops += t.hops
-        report.flits += t.flits
+        report.hops += t.hops if fplan is None else t.hops * attempts
+        report.flits += t.flits if fplan is None else t.flits * attempts
         report.bytes_moved += t.n_bytes
-        report.add(t.tag, t.op, t.dur, t.energy)
+        if fplan is not None and not delivered:
+            # undeliverable payload: the destination keeps its stale rows.
+            report.add(t.tag, t.op, dur, energy)
+            return
+        if functional:
+            src_vals = self.chip.block(t.src).data[
+                t.s_sel, t.src1:t.src1 + t.words
+            ]
+            if src_vals.shape[0] != t.n_rows:
+                raise ValueError("TRANSFER src/dst row selections must match in size")
+            dblk = self.chip.block(t.dst)
+            dblk.data[t.d_sel, t.dst_col:t.dst_col + t.words] = src_vals
+            if fplan is not None and fplan.corrupt_payload:
+                # undetected corruption (protection off): one flipped bit
+                # lands in the delivered payload.
+                off, word, bit = f.draw_corrupt_bit(t.n_rows, t.words)
+                row = self._abs_row(t.d_rows, off)
+                dblk.flip_bit(row, t.dst_col + word, bit)
+        report.add(t.tag, t.op, dur, energy)
 
     # ------------------------------------------------------------------ #
 
@@ -624,6 +790,20 @@ class ChipExecutor:
         """Inject device faults into one NOR-based compute op (arith/COPY).
 
         Called only when a fault model with non-zero rates is attached.
+        The serial audit path draws the flip here; the plan path pre-draws
+        the whole stream (:meth:`_predraw_flips`) and calls
+        :meth:`_apply_compute_faults` directly — same stream, same order,
+        same outcomes.
+        """
+        flip = self.faults.draw_flip(nors, inst.n_rows)
+        self._apply_compute_faults(inst, functional, report, dur, energy,
+                                   nors, flip)
+
+    def _apply_compute_faults(self, inst: Instruction, functional: bool,
+                              report: TimingReport, dur: float, energy: float,
+                              nors: int, flip) -> None:
+        """Apply one compute op's fault outcomes (flip pre-drawn by caller).
+
         Recovery work (parity upkeep, detect-and-recompute) is charged as
         overhead under the instruction's tag and advances the block clock,
         so mitigation shows up in the timing report, not just the counters.
@@ -639,7 +819,6 @@ class ChipExecutor:
             overhead += _COPY_NORS * self.costs.device.t_nor_s
             o_energy += _COPY_NORS * 32 * self.costs.device.e_nor_j * inst.n_rows
 
-        flip = f.draw_flip(nors, inst.n_rows)
         if flip is not None:
             off, bit = flip
             f.count("injected")

@@ -20,6 +20,12 @@ The ripple-carry full adder costs a fixed number of cycles per bit
 costs ``N * FULL_ADDER_STEPS`` cycles, and the shift-add multiplier costs
 ``O(N^2)`` — the reason the paper calls PIM arithmetic "not as efficient
 as other CMOS designs" per op while winning on row-parallelism.
+
+These measured counts are also what the execution-plan engine bakes into
+its per-instruction ``nors`` column at lowering time
+(:func:`repro.pim.plan.lower_program`), so fault-enabled plan replay
+charges NOR wear-out (``FaultModel.record_nor``) with exactly the cycle
+counts the serial audit dispatcher derives from the same netlists.
 """
 
 from __future__ import annotations

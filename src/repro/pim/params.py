@@ -19,6 +19,7 @@ Every constant here is traceable to the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 
 __all__ = [
     "DeviceParams",
@@ -127,29 +128,32 @@ class ChipConfig:
             )
 
     # -- geometry ------------------------------------------------------- #
+    # cached_property works on the frozen dataclass because it assigns via
+    # the instance __dict__, which freezing does not forbid; the values are
+    # pure functions of frozen fields, so caching is sound.
 
-    @property
+    @cached_property
     def block_bytes(self) -> int:
         return self.block_rows * self.block_cols // 8
 
-    @property
+    @cached_property
     def tile_bytes(self) -> int:
         return self.block_bytes * self.blocks_per_tile
 
-    @property
+    @cached_property
     def n_tiles(self) -> int:
         return self.capacity_bytes // self.tile_bytes
 
-    @property
+    @cached_property
     def n_blocks(self) -> int:
         return self.n_tiles * self.blocks_per_tile
 
-    @property
+    @cached_property
     def row_words(self) -> int:
         """32-bit words per row (32 for the 1K row)."""
         return self.block_cols // 32
 
-    @property
+    @cached_property
     def max_parallel_ops(self) -> int:
         """Paper §7.1: max parallelism = capacity / 1024 bits (16M at 2 GB)."""
         return self.capacity_bytes * 8 // self.block_cols

@@ -4,11 +4,24 @@ Wave simulation replays the same per-element instruction streams every
 RK stage of every time-step (§4–§5), yet per-instruction dispatch pays the
 full Python interpretation cost on every replay.  :func:`lower_program`
 compiles a stream *once* into an :class:`ExecutionPlan` — numpy structured
-arrays of ``(opcode, block, tag id, duration, energy, flits, hops)`` with
-every TRANSFER's route resolved per unique ``(src, dst)`` pair up front —
-so :meth:`repro.pim.executor.ChipExecutor.run` on a plan becomes a few
+arrays of ``(opcode, block, tag id, duration, energy, flits, hops, NOR
+cycles, row count)`` with every TRANSFER's route resolved per unique
+``(src, dst)`` pair up front — so
+:meth:`repro.pim.executor.ChipExecutor.run` on a plan becomes a few
 vectorized segment reductions plus a per-block prefix-max clock advance
 instead of thousands of Python dispatches.
+
+Plan replay is the *universal* execution path (DESIGN.md §13): analytic,
+functional and fault-injecting runs all go through it.  Functional
+replay executes each compute segment as a batched word-level program
+against :class:`~repro.pim.block.MemoryBlock` state (built lazily by
+:meth:`_VecSegment.build_apply`, hazard-split so column batching never
+reorders a read past a write).  Fault-injecting replay pre-draws the
+flip stream vectorized (:meth:`~repro.faults.model.FaultModel.draw_flips`
+consumes the seeded generator bit-identically to per-instruction draws)
+and walks segments per instruction with every cost precomputed.  Serial
+dispatch survives only as the audit reference
+(``ChipExecutor.run(..., serial=True)``).
 
 Bit-identity contract
 ---------------------
@@ -34,18 +47,17 @@ The plan path must produce a :class:`~repro.pim.executor.TimingReport`
    data-dependent ``max``/update logic.
 
 Coupling opcodes keep their serial handlers: TRANSFER gets a precomputed
-fast-path row (route, flit count and phase latencies resolved at lower
-time); LUT/HOSTOP/DRAM/BARRIER dispatch through the executor unchanged.
+fast-path row (route, flit count, phase latencies *and* the functional
+row selectors resolved at lower time); LUT/HOSTOP/DRAM/BARRIER dispatch
+through the executor unchanged.
 
-The plan path is analytic-only.  ``functional=True`` (real data movement)
-or an attached :class:`~repro.faults.model.FaultModel` (per-instruction
-draws) fall back to serial dispatch over ``plan.instructions``.  A plan
-records the chip's ``routing_epoch`` at lower time; if spare-block
+A plan records the chip's ``routing_epoch`` at lower time; if spare-block
 remapping has invalidated the routes since, the executor re-lowers
 instead of replaying stale paths.
 
 The ``REPRO_PLAN`` environment knob (default on; ``off``/``0``/``false``
-disables) gates the compiler's use of the plan path.
+disables) gates the compiler's use of the plan path; the scheduler knob
+``REPRO_SCHED`` lives in :mod:`repro.pim.schedule`.
 """
 
 from __future__ import annotations
@@ -85,8 +97,10 @@ VECTORIZABLE_OPS = frozenset(ARITHMETIC_OPS) | {
 }
 
 #: One row per instruction: opcode id, owning block (-1 when None), interned
-#: tag id, analytic duration/energy (zero for dispatch-handled rows) and the
-#: TRANSFER interconnect footprint.
+#: tag id, analytic duration/energy (zero for dispatch-handled rows), the
+#: TRANSFER interconnect footprint, and the fault-hook inputs (NOR cycles
+#: of the op — nonzero only for arithmetic/COPY — plus the active row
+#: count the flip/parity models scale with).
 PLAN_DTYPE = np.dtype([
     ("op", np.uint8),
     ("block", np.int32),
@@ -95,6 +109,8 @@ PLAN_DTYPE = np.dtype([
     ("energy", np.float64),
     ("flits", np.int32),
     ("hops", np.int32),
+    ("nors", np.int32),
+    ("n_rows", np.int32),
 ])
 
 #: stable opcode -> small-int encoding for the structured array.
@@ -105,6 +121,18 @@ OP_LIST = tuple(Opcode)
 STEP_SEGMENT = 0
 STEP_TRANSFER = 1
 STEP_DISPATCH = 2
+
+#: functional-apply op kinds (first element of a ``_VecSegment.apply`` row).
+APPLY_ARITH = 0
+APPLY_ARITH_BATCH = 1
+APPLY_COPY = 2
+APPLY_COPY_BATCH = 3
+APPLY_GATHER = 4
+APPLY_BROADCAST = 5
+
+#: ufunc per arithmetic opcode: the batched apply computes the exact same
+#: float32 elementwise operation as ``MemoryBlock.add``/``sub``/``mul``.
+_APPLY_UFUNCS = {"add": np.add, "sub": np.subtract, "mul": np.multiply}
 
 
 def plan_enabled() -> bool:
@@ -137,10 +165,15 @@ def fold_array(base: float, values: np.ndarray) -> float:
 class _VecSegment:
     """A maximal run of compute ops, pre-grouped for vectorized replay."""
 
-    __slots__ = ("n", "op_counts", "energies", "tag_groups", "block_groups")
+    __slots__ = (
+        "n", "start", "stop", "op_counts", "energies", "tag_groups",
+        "block_groups", "apply",
+    )
 
     def __init__(self, array: np.ndarray, indices: range, insts: Sequence[Instruction]):
         self.n = len(indices)
+        self.start = indices.start
+        self.stop = indices.stop
         durs = array["dur"][indices.start:indices.stop]
         ens = array["energy"][indices.start:indices.stop]
         #: whole-segment energies in stream order (global dynamic-energy fold)
@@ -163,19 +196,133 @@ class _VecSegment:
             (block, durs[np.asarray(p, dtype=np.intp)])
             for block, p in by_block.items()
         ]
+        #: functional apply program, built lazily on the first functional
+        #: replay (analytic replays never pay for it).
+        self.apply: list | None = None
+
+    def build_apply(self, insts: Sequence[Instruction], chip: "PimChip") -> list:
+        """Compile this segment's functional effects into a batched program.
+
+        Validation (row/column bounds, row-map shape) runs *once* here with
+        the exact :class:`~repro.pim.block.MemoryBlock` checks, so replay
+        applies raw numpy ops.  Consecutive same-opcode/-block/-row-range
+        arithmetic/COPY ops collapse into one fancy-indexed column batch
+        (``data[sel, dsts] = data[sel, s1s] op data[sel, s2s]``); a batch
+        is flushed before any op that reads or rewrites a column the batch
+        already writes, so RAW/WAW hazards keep serial semantics (WAR is
+        safe: numpy materializes the whole right-hand side first).
+        """
+        prog: list = []
+        b_op = b_block = b_rows = b_sel = None
+        b_dst: list = []
+        b_s1: list = []
+        b_s2: list = []
+        b_written: set = set()
+
+        def flush() -> None:
+            nonlocal b_op
+            if b_op is None:
+                return
+            if len(b_dst) == 1:
+                if b_op is Opcode.COPY:
+                    prog.append((APPLY_COPY, b_block, b_sel, b_dst[0], b_s1[0]))
+                else:
+                    prog.append((APPLY_ARITH, b_block, b_sel,
+                                 _APPLY_UFUNCS[b_op.value],
+                                 b_dst[0], b_s1[0], b_s2[0]))
+            elif b_op is Opcode.COPY:
+                prog.append((APPLY_COPY_BATCH, b_block, b_sel,
+                             np.asarray(b_dst), np.asarray(b_s1)))
+            else:
+                prog.append((APPLY_ARITH_BATCH, b_block, b_sel,
+                             _APPLY_UFUNCS[b_op.value],
+                             np.asarray(b_dst), np.asarray(b_s1),
+                             np.asarray(b_s2)))
+            b_op = None
+            b_dst.clear()
+            b_s1.clear()
+            b_s2.clear()
+            b_written.clear()
+
+        for i in range(self.start, self.stop):
+            inst = insts[i]
+            op = inst.op
+            blk = chip.block(inst.block)
+            if op is Opcode.GATHER:
+                flush()
+                sel, n_sel = blk._rows(inst.rows)
+                blk._check(inst.rows, inst.dst, inst.src1)
+                row_map = np.asarray(inst.row_map, dtype=np.int64)
+                if row_map.shape != (n_sel,):
+                    raise ValueError(
+                        f"row_map must have {n_sel} entries, got {row_map.shape}"
+                    )
+                if row_map.size and (
+                    np.any(row_map < 0) or np.any(row_map >= blk.rows)
+                ):
+                    raise IndexError("row_map entry outside block")
+                prog.append((APPLY_GATHER, inst.block, sel, inst.dst,
+                             inst.src1, row_map))
+                continue
+            if op is Opcode.BROADCAST:
+                flush()
+                sel, n_sel = blk._rows(inst.rows)
+                blk._check(inst.rows, inst.dst)
+                value = np.asarray(inst.value, dtype=np.float32)
+                if value.ndim not in (0, 1):
+                    raise ValueError("broadcast value must be scalar or 1-D")
+                if value.ndim == 1 and value.shape != (n_sel,):
+                    raise ValueError(f"broadcast vector must have {n_sel} entries")
+                prog.append((APPLY_BROADCAST, inst.block, sel, inst.dst, value))
+                continue
+            # arithmetic / COPY
+            if op is Opcode.COPY:
+                sel = blk._check(inst.rows, inst.dst, inst.src1)
+                reads = (inst.src1,)
+            else:
+                sel = blk._check(inst.rows, inst.dst, inst.src1, inst.src2)
+                reads = (inst.src1, inst.src2)
+            rows_key = inst.rows if isinstance(inst.rows, tuple) else None
+            if (b_op is not op or b_block != inst.block or rows_key is None
+                    or b_rows != rows_key or inst.dst in b_written
+                    or any(r in b_written for r in reads)):
+                flush()
+            if rows_key is None:
+                # index-array row selector: apply singly (rare in practice)
+                if op is Opcode.COPY:
+                    prog.append((APPLY_COPY, inst.block, sel, inst.dst, inst.src1))
+                else:
+                    prog.append((APPLY_ARITH, inst.block, sel,
+                                 _APPLY_UFUNCS[op.value],
+                                 inst.dst, inst.src1, inst.src2))
+                continue
+            if b_op is None:
+                b_op, b_block, b_rows, b_sel = op, inst.block, rows_key, sel
+            b_dst.append(inst.dst)
+            b_s1.append(inst.src1)
+            if op is not Opcode.COPY:
+                b_s2.append(inst.src2)
+            b_written.add(inst.dst)
+        flush()
+        self.apply = prog
+        return prog
 
 
 class _TransferStep:
     """A TRANSFER with its route and phase latencies resolved at lower time.
 
     Every float here is computed with the exact expression order of
-    ``ChipExecutor._transfer`` (fault-free branch); replay re-runs only the
-    readiness ``max`` and the switch/port updates.
+    ``ChipExecutor._transfer``; replay re-runs only the readiness ``max``,
+    the switch/port updates and (fault mode) the retry arithmetic.  The
+    functional row selectors are precomputed too, so functional replay
+    indexes block state directly.
     """
 
     __slots__ = (
         "src", "dst", "keys", "hops", "flits", "read_t", "write_t", "wire",
         "flit_train", "dur", "energy", "n_bytes", "exclusive", "tag", "op",
+        "n_rows", "words", "src1", "dst_col", "s_sel", "d_sel", "d_rows",
+        "where", "n_switches",
     )
 
     def __init__(self, inst: Instruction, chip: "PimChip", costs: "OpCosts"):
@@ -203,12 +350,27 @@ class _TransferStep:
         self.exclusive = ic.exclusive
         self.tag = inst.tag
         self.op = inst.op
+        # functional / fault-mode inputs
+        self.n_rows = n_rows
+        self.words = inst.words
+        self.src1 = inst.src1
+        self.dst_col = inst.dst
+        sr = inst.src_rows if inst.src_rows is not None else inst.rows
+        self.s_sel = slice(sr[0], sr[1]) if isinstance(sr, tuple) else np.asarray(sr)
+        self.d_sel = (
+            slice(inst.rows[0], inst.rows[1])
+            if isinstance(inst.rows, tuple)
+            else np.asarray(inst.rows)
+        )
+        self.d_rows = inst.rows
+        self.where = f"transfer:{src}->{dst}"
+        self.n_switches = ic.n_switches
 
 
 class ExecutionPlan:
     """A lowered instruction stream, replayable by ``ChipExecutor.run``.
 
-    Keeps the original ``instructions`` (the fallback/verify path and the
+    Keeps the original ``instructions`` (the serial audit path and the
     re-lowering after a routing-epoch bump both need them) next to the
     structured accounting ``array`` and the ordered ``steps`` the replay
     engine walks.
@@ -216,7 +378,7 @@ class ExecutionPlan:
 
     __slots__ = (
         "instructions", "array", "tags", "steps", "routing_epoch",
-        "chip_name", "replays",
+        "chip_name", "replays", "schedule_stats", "flip_cache",
     )
 
     def __init__(self, instructions, array, tags, steps, routing_epoch, chip_name):
@@ -231,6 +393,12 @@ class ExecutionPlan:
         self.chip_name: str = chip_name
         #: number of times this plan has been replayed (plan-reuse metric).
         self.replays: int = 0
+        #: makespan bookkeeping attached by :func:`repro.pim.schedule.
+        #: schedule_plan` (None for emission-order plans).
+        self.schedule_stats: dict | None = None
+        #: memoized flip-draw inputs: ``(flip_rate, eligible indices,
+        #: per-instruction hit probabilities, eligible row counts)``.
+        self.flip_cache: tuple | None = None
 
     @property
     def n_instructions(self) -> int:
@@ -286,6 +454,13 @@ def lower_program(
     tag_col = array["tag"]
     dur_col = array["dur"]
     energy_col = array["energy"]
+    nors_col = array["nors"]
+    n_rows_col = array["n_rows"]
+    # per-opcode constants, resolved once per lowering
+    arith_dur = {op: costs.time_s(op.value) for op in ARITHMETIC_OPS}
+    arith_nors = {op: costs.nor_count(op.value) for op in ARITHMETIC_OPS}
+    copy_dur = COPY_NORS * dev.t_nor_s
+    copy_e_unit = COPY_NORS * 32 * dev.e_nor_j
 
     def flush(end: int) -> None:
         nonlocal seg_start
@@ -303,26 +478,30 @@ def lower_program(
         tag_col[i] = tid
         if op in VECTORIZABLE_OPS:
             # exact serial-handler cost expressions (see executor._arith &c.)
+            n_rows = inst.n_rows
             if op in ARITHMETIC_OPS:
-                dur = costs.time_s(op.value)
-                energy = costs.energy_j(op.value, active_rows=inst.n_rows)
+                dur = arith_dur[op]
+                energy = costs.energy_j(op.value, active_rows=n_rows)
+                nors_col[i] = arith_nors[op]
             elif op is Opcode.COPY:
-                dur = COPY_NORS * dev.t_nor_s
-                energy = COPY_NORS * 32 * dev.e_nor_j * inst.n_rows
+                dur = copy_dur
+                energy = copy_e_unit * n_rows
+                nors_col[i] = COPY_NORS
             elif op is Opcode.GATHER:
                 n_unique = inst.n_unique_rows
                 if n_unique is None:
                     n_unique = len(np.unique(np.asarray(inst.row_map)))
                 dur = costs.gather_time_s(n_unique)
-                energy = costs.row_move_energy_j(inst.n_rows, words=inst.words)
+                energy = costs.row_move_energy_j(n_rows, words=inst.words)
             else:  # BROADCAST
                 if np.asarray(inst.value).ndim == 0:
                     dur = 2 * dev.t_row_write_s
                 else:
-                    dur = costs.broadcast_time_s(inst.n_rows)
-                energy = costs.row_move_energy_j(inst.n_rows, words=inst.words)
+                    dur = costs.broadcast_time_s(n_rows)
+                energy = costs.row_move_energy_j(n_rows, words=inst.words)
             dur_col[i] = dur
             energy_col[i] = energy
+            n_rows_col[i] = n_rows
             if seg_start < 0:
                 seg_start = i
             continue
@@ -333,6 +512,7 @@ def lower_program(
             energy_col[i] = t.energy
             array["flits"][i] = t.flits
             array["hops"][i] = t.hops
+            n_rows_col[i] = t.n_rows
             steps.append((STEP_TRANSFER, t))
         else:
             # LUT/HOSTOP/DRAM_*/BARRIER couple multiple clocks: replay

@@ -1,0 +1,512 @@
+"""MASIM-style multi-array makespan scheduler for execution plans.
+
+Emission order is execution order: the executor updates shared clocks
+(block transfer ports, interconnect switches, the host/DRAM channels) in
+the order instructions are dispatched, so a TRANSFER emitted before an
+independent compute op can gate that op on the destination's write port
+even though no data flows between them.  MASIM's multi-array scheduling
+observation (PAPERS.md) applies directly: with the dependency DAG in hand,
+a list scheduler can reorder the stream so independent work overlaps —
+compute slides ahead of transfers it does not consume, transfers on
+disjoint routes interleave, and the modeled makespan (the executor's own
+``total_time_s``) drops while every data dependency still holds.
+
+Pipeline:
+
+1. :func:`dependency_edges` builds the inter-instruction DAG from the
+   same word-region model the dataflow checker uses
+   (:func:`repro.analysis.checker.accesses`): RAW/WAW/WAR edges over
+   per-``(block, column)`` access histories (row-interval overlap,
+   covered-writer pruning), serial chains for the host and DRAM channels,
+   and BARRIER as a full fence.
+2. :func:`schedule_order` runs greedy critical-path list scheduling over
+   a resource model that mirrors the executor's timing semantics (block
+   clocks, transfer ports, switch occupancy, host/DRAM channels): among
+   ready instructions, earliest modeled start wins, critical-path length
+   breaks ties, emission index makes it deterministic.
+3. :func:`schedule_plan` re-lowers the reordered stream, measures both
+   orders by *real replay* (fresh clocks, analytic mode) and keeps the
+   scheduled plan only if it strictly improves — the emission-order plan
+   is the fallback, so a scheduled plan never loses to its baseline.
+
+Legality is auditable: PL004 (:mod:`repro.analysis.lowering`) recomputes
+the DAG and verifies the scheduler's permutation respects every edge.
+
+Scheduling changes the *order* of clock updates, so a scheduled plan's
+TimingReport legitimately differs from emission order — that is the
+point.  Fault-injecting runs consume seeded RNG streams in instruction
+order, so the compiler only schedules fault-free pipelines (digests stay
+comparable across runs); a scheduled plan replayed under a fault model is
+still *correct*, it just draws in the new order.
+
+The ``REPRO_SCHED`` knob (default **off**; ``on``/``1``/``true``/``yes``
+enables) gates the compiler's use of the scheduler; ``repro bench
+--schedule`` and the perf-guard flip it per run.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.pim.isa import Instruction, Opcode
+from repro.pim.plan import (
+    ExecutionPlan,
+    STEP_TRANSFER,
+    lower_program,
+)
+
+if TYPE_CHECKING:
+    from repro.pim.executor import ChipExecutor
+
+__all__ = [
+    "audit_reorder",
+    "dependency_edges",
+    "schedule_enabled",
+    "schedule_order",
+    "schedule_plan",
+    "verify_order",
+]
+
+_INF = float("inf")
+
+
+def schedule_enabled() -> bool:
+    """The ``REPRO_SCHED`` knob: default off, ``on``/``1``/``true``/``yes`` enables."""
+    return os.environ.get("REPRO_SCHED", "off").strip().lower() in (
+        "on", "1", "true", "yes",
+    )
+
+
+# --------------------------------------------------------------------- #
+# dependency DAG
+# --------------------------------------------------------------------- #
+
+def _row_bounds(rows) -> Tuple[float, float]:
+    """Conservative ``[lo, hi)`` row-interval of a selector (None = whole block)."""
+    if rows is None:
+        return (0.0, _INF)
+    if isinstance(rows, tuple):
+        return (float(rows[0]), float(rows[1]))
+    arr = np.asarray(rows)
+    if arr.size == 0:
+        return (0.0, 0.0)
+    return (float(arr.min()), float(arr.max()) + 1.0)
+
+
+def dependency_edges(instructions: Sequence[Instruction]) -> List[List[int]]:
+    """Predecessor lists of the inter-instruction dependency DAG.
+
+    ``preds[j]`` holds every ``i < j`` that must execute before ``j``:
+
+    * RAW/WAW/WAR over the word regions of :func:`~repro.analysis.checker.
+      accesses`, tracked per ``(block, column)`` with row-interval overlap
+      (index-array selectors widen to their ``[min, max]`` hull — a
+      conservative over-approximation that can only add edges);
+    * serial chains on the host channel (HOSTOP order) and the DRAM
+      channel (DRAM_LOAD/STORE order) — DRAM staging additionally pins the
+      whole target block, mirroring the executor's clock coupling;
+    * BARRIER as a full fence: it follows everything since the previous
+      fence and precedes everything after it.
+
+    A write that fully covers an earlier access prunes it from the
+    history (its ordering survives transitively through the covering
+    write), which keeps histories short on kernel streams that overwrite
+    the same working columns every stage.
+    """
+    # imported lazily: repro.analysis imports the executor package.
+    from repro.analysis.checker import accesses
+
+    n = len(instructions)
+    preds: List[List[int]] = [[] for _ in range(n)]
+    writers: dict = {}   # (block, col) -> [(idx, lo, hi)]
+    readers: dict = {}   # (block, col) -> [(idx, lo, hi)]
+    block_keys: dict = {}  # block -> set of history keys (for col=None scans)
+    fence: int | None = None
+    region: List[int] = []
+    host_chain: int | None = None
+    dram_chain: int | None = None
+
+    def keys_for(block, col, words):
+        ks = [(block, "*")] if col is None else [
+            (block, c) for c in range(col, col + words)
+        ]
+        seen = block_keys.setdefault(block, set())
+        for k in ks:
+            seen.add(k)
+        if col is None:
+            # a whole-block access conflicts with every column touched so far
+            return sorted(seen, key=str)
+        if (block, "*") in seen:
+            ks.append((block, "*"))
+        return ks
+
+    for j, inst in enumerate(instructions):
+        op = inst.op
+        dep: set = set()
+        if fence is not None:
+            dep.add(fence)
+        if op is Opcode.BARRIER:
+            dep.update(region)
+            preds[j] = sorted(dep)
+            fence = j
+            region = []
+            writers.clear()
+            readers.clear()
+            block_keys.clear()
+            host_chain = None
+            dram_chain = None
+            continue
+        region.append(j)
+        if op is Opcode.HOSTOP:
+            if host_chain is not None:
+                dep.add(host_chain)
+            host_chain = j
+            preds[j] = sorted(dep)
+            continue
+        reads, writes = accesses(inst)
+        if op in (Opcode.DRAM_LOAD, Opcode.DRAM_STORE):
+            if dram_chain is not None:
+                dep.add(dram_chain)
+            dram_chain = j
+            if inst.block is not None:
+                # DRAM staging couples the whole block clock in the
+                # executor: model it as a whole-block read+write.
+                from repro.analysis.checker import Access
+
+                whole = Access(inst.block, None, 1, None)
+                reads = list(reads) + [whole]
+                writes = list(writes) + [whole]
+        for acc in reads:
+            if acc.block is None:
+                continue
+            lo, hi = _row_bounds(acc.rows)
+            for k in keys_for(acc.block, acc.col, acc.words):
+                for i, wlo, whi in writers.get(k, ()):
+                    if wlo < hi and lo < whi:
+                        dep.add(i)
+                readers.setdefault(k, []).append((j, lo, hi))
+        for acc in writes:
+            if acc.block is None:
+                continue
+            lo, hi = _row_bounds(acc.rows)
+            for k in keys_for(acc.block, acc.col, acc.words):
+                wh = writers.setdefault(k, [])
+                rh = readers.setdefault(k, [])
+                for i, wlo, whi in wh:
+                    if wlo < hi and lo < whi:
+                        dep.add(i)
+                for i, rlo, rhi in rh:
+                    if i != j and rlo < hi and lo < rhi:
+                        dep.add(i)
+                # covered-pruning: this write now transitively orders
+                # everything it spans.
+                wh[:] = [e for e in wh if not (lo <= e[1] and e[2] <= hi)]
+                rh[:] = [e for e in rh if e[0] == j or not (lo <= e[1] and e[2] <= hi)]
+                wh.append((j, lo, hi))
+        preds[j] = sorted(dep)
+    return preds
+
+
+def verify_order(preds: Sequence[Sequence[int]], order: Sequence[int]) -> List[str]:
+    """Violations of ``order`` against the DAG (empty list = legal).
+
+    Checks that ``order`` is a permutation of ``range(len(preds))`` and
+    that every predecessor is placed before its dependent.
+    """
+    n = len(preds)
+    out: List[str] = []
+    if sorted(order) != list(range(n)):
+        return [f"order is not a permutation of {n} instructions"]
+    pos = [0] * n
+    for p, i in enumerate(order):
+        pos[i] = p
+    for j in range(n):
+        for i in preds[j]:
+            if pos[i] >= pos[j]:
+                out.append(
+                    f"instruction {j} scheduled at slot {pos[j]} before its "
+                    f"dependency {i} at slot {pos[i]}"
+                )
+    return out
+
+
+# --------------------------------------------------------------------- #
+# resource model (mirrors ChipExecutor timing semantics)
+# --------------------------------------------------------------------- #
+
+class _Sim:
+    """Executor-faithful clock model used to guide the greedy choice.
+
+    Mirrors ``ChipExecutor``'s per-block clocks, transfer ports, switch
+    occupancy and host/DRAM channels (including BARRIER *not* resetting
+    switch load).  Only guides the scheduler — final makespans come from
+    real replay in :func:`schedule_plan`.
+    """
+
+    def __init__(self) -> None:
+        self.block: dict = {}
+        self.sw: dict = {}
+        self.port: dict = {}
+        self.host = 0.0
+        self.dram = 0.0
+        self.barrier = 0.0
+
+    def _g(self, d, k):
+        return d.get(k, 0.0)
+
+    def now(self) -> float:
+        vals = list(self.block.values()) + list(self.port.values())
+        vals += [self.host, self.dram]
+        return max(vals) if vals else 0.0
+
+    def compute_start(self, b) -> float:
+        return max(
+            self._g(self.block, b),
+            self._g(self.port, ("r", b)),
+            self._g(self.port, ("w", b)),
+            self.barrier,
+        )
+
+    def est(self, item) -> float:
+        kind = item[0]
+        if kind == "c":  # block-local compute
+            return self.compute_start(item[1])
+        if kind == "t":  # TRANSFER (payload is the plan's _TransferStep)
+            t = item[1]
+            ready = max(
+                self._g(self.port, ("r", t.src)),
+                self._g(self.port, ("w", t.dst)),
+                self._g(self.block, t.src),
+                self._g(self.block, t.dst),
+                self.barrier,
+            )
+            for k in t.keys:
+                ready = max(ready, self._g(self.sw, k))
+            return ready
+        if kind == "l":  # LUT micro-sequence
+            _, _dur, req, lut, keys = item
+            ready = max(self.compute_start(req), self.compute_start(lut))
+            for k in keys:
+                ready = max(ready, self._g(self.sw, k))
+            return ready
+        if kind == "h":
+            return max(self.host, self.barrier)
+        if kind == "d":
+            start = max(self.dram, self.barrier)
+            if item[2] is not None:
+                start = max(start, self._g(self.block, item[2]))
+            return start
+        return self.now()  # barrier
+
+    def commit(self, item) -> None:
+        kind = item[0]
+        if kind == "c":
+            _, b, dur = item
+            self.block[b] = self.compute_start(b) + dur
+        elif kind == "t":
+            t = item[1]
+            ready = self.est(item)
+            finish = ready + t.dur
+            if t.exclusive:
+                held = ready + t.read_t + t.wire
+                for k in t.keys:
+                    self.sw[k] = held
+            else:
+                for k in t.keys:
+                    self.sw[k] = self._g(self.sw, k) + t.flit_train
+            self.port[("r", t.src)] = ready + t.read_t + t.flit_train
+            self.port[("w", t.dst)] = finish
+        elif kind == "l":
+            _, dur, req, lut, keys = item
+            finish = self.est(item) + dur
+            self.port[("w", req)] = finish
+            self.port[("r", lut)] = finish
+            for k in keys:
+                self.sw[k] = finish
+        elif kind == "h":
+            self.host = max(self.host, self.barrier) + item[1]
+        elif kind == "d":
+            _, dur, b = item
+            finish = self.est(item) + dur
+            self.dram = finish
+            if b is not None:
+                self.block[b] = finish
+        else:  # barrier
+            now = self.now()
+            for b in self.block:
+                self.block[b] = now
+            for k in self.port:
+                self.port[k] = now
+            self.host = now
+            self.dram = now
+            self.barrier = now
+
+
+def _sim_items(ex: "ChipExecutor", plan: ExecutionPlan) -> list:
+    """One resource-model item per instruction, costs from the plan."""
+    insts = plan.instructions
+    durs = plan.array["dur"]
+    transfers = iter(p for k, p in plan.steps if k == STEP_TRANSFER)
+    items = []
+    for i, inst in enumerate(insts):
+        op = inst.op
+        if op is Opcode.TRANSFER:
+            items.append(("t", next(transfers)))
+        elif op is Opcode.BARRIER:
+            items.append(("b",))
+        elif op is Opcode.HOSTOP:
+            items.append(("h", ex.host.time_s(inst.count)))
+        elif op in (Opcode.DRAM_LOAD, Opcode.DRAM_STORE):
+            n_bytes = inst.meta.get("bytes", inst.words * 4 * max(inst.n_rows, 1))
+            items.append(("d", ex.chip.hbm.transfer_time_s(n_bytes), inst.block))
+        elif op is Opcode.LUT:
+            dev = ex.costs.device
+            keys, hops, extra, ic = ex.chip.transfer_path(inst.src_block, inst.block)
+            per_row = (
+                2 * dev.t_row_read_s + dev.t_row_write_s
+                + 2 * (hops * ic.hop_latency_per_flit + extra)
+            )
+            items.append(("l", inst.n_rows * per_row, inst.block,
+                          inst.src_block, tuple(keys)))
+        else:
+            items.append(("c", inst.block, float(durs[i])))
+    return items
+
+
+# --------------------------------------------------------------------- #
+# greedy critical-path list scheduling
+# --------------------------------------------------------------------- #
+
+def schedule_order(
+    ex: "ChipExecutor", plan: ExecutionPlan,
+    preds: Sequence[Sequence[int]] | None = None,
+) -> List[int]:
+    """Greedy list-scheduled instruction order (indices into the stream).
+
+    Ready instructions compete on ``(modeled earliest start, critical-path
+    length, emission index)`` — earliest start first, longer critical path
+    breaks ties, emission index keeps it deterministic.  The heap uses
+    lazy deletion: a popped candidate whose start estimate went stale
+    (resources moved since it was pushed) is re-pushed with the fresh
+    estimate instead of being committed.
+    """
+    insts = plan.instructions
+    n = len(insts)
+    if preds is None:
+        preds = dependency_edges(insts)
+    succs: List[List[int]] = [[] for _ in range(n)]
+    indeg = [0] * n
+    for j, ps in enumerate(preds):
+        indeg[j] = len(ps)
+        for i in ps:
+            succs[i].append(j)
+
+    items = _sim_items(ex, plan)
+    # critical-path length: edges always point forward in emission order,
+    # so a reverse index walk is a reverse topological order.
+    dur_of = [
+        it[2] if it[0] == "c" else (it[1].dur if it[0] == "t" else
+                                    (0.0 if it[0] == "b" else it[1]))
+        for it in items
+    ]
+    cp = [0.0] * n
+    for i in range(n - 1, -1, -1):
+        tail = max((cp[j] for j in succs[i]), default=0.0)
+        cp[i] = dur_of[i] + tail
+
+    sim = _Sim()
+    order: List[int] = []
+    heap: list = []
+    for j in range(n):
+        if indeg[j] == 0:
+            heapq.heappush(heap, (sim.est(items[j]), -cp[j], j))
+    while heap:
+        est0, negcp, j = heapq.heappop(heap)
+        est = sim.est(items[j])
+        if est > est0 and heap and heap[0][0] < est:
+            heapq.heappush(heap, (est, negcp, j))
+            continue
+        sim.commit(items[j])
+        order.append(j)
+        for s in succs[j]:
+            indeg[s] -= 1
+            if indeg[s] == 0:
+                heapq.heappush(heap, (sim.est(items[s]), -cp[s], s))
+    if len(order) != n:  # pragma: no cover - DAG is forward-only by construction
+        raise RuntimeError("scheduler deadlock: dependency graph has a cycle")
+    return order
+
+
+# --------------------------------------------------------------------- #
+# entry points
+# --------------------------------------------------------------------- #
+
+def _replay_makespan(ex: "ChipExecutor", plan: ExecutionPlan) -> float:
+    """Modeled makespan of a plan: real analytic replay from cold clocks."""
+    from repro.pim.executor import ChipExecutor
+
+    fresh = ChipExecutor(ex.chip, op_costs=ex.costs, host=ex.host)
+    return fresh.run(plan, functional=False).total_time_s
+
+
+def schedule_plan(ex: "ChipExecutor", plan: ExecutionPlan) -> ExecutionPlan:
+    """Makespan-schedule ``plan``; returns the better of the two orders.
+
+    Builds the dependency DAG, list-schedules, re-lowers the reordered
+    stream and measures both plans by real replay.  The scheduled plan is
+    kept only if it strictly beats emission order (best-of fallback:
+    the result's modeled makespan is never worse than the input's).  The
+    returned plan carries ``schedule_stats``::
+
+        {"emission_makespan_s", "scheduled_makespan_s", "improvement",
+         "kept", "n_reordered", "permutation"}
+    """
+    insts = plan.instructions
+    preds = dependency_edges(insts)
+    order = schedule_order(ex, plan, preds)
+    emission_s = _replay_makespan(ex, plan)
+    identity = order == list(range(len(insts)))
+    stats = {
+        "emission_makespan_s": emission_s,
+        "scheduled_makespan_s": emission_s,
+        "improvement": 1.0,
+        "kept": False,
+        "n_reordered": sum(1 for p, i in enumerate(order) if p != i),
+        "permutation": order,
+    }
+    if not identity:
+        violations = verify_order(preds, order)
+        if violations:  # pragma: no cover - scheduler invariant
+            raise RuntimeError(
+                "illegal schedule: " + "; ".join(violations[:3])
+            )
+        sched = lower_program(ex.chip, ex.costs, [insts[i] for i in order])
+        sched_s = _replay_makespan(ex, sched)
+        if sched_s < emission_s:
+            stats["scheduled_makespan_s"] = sched_s
+            stats["improvement"] = emission_s / sched_s if sched_s > 0.0 else 1.0
+            stats["kept"] = True
+            sched.schedule_stats = stats
+            return sched
+    plan.schedule_stats = stats
+    return plan
+
+
+def audit_reorder(program: Sequence[Instruction], plan: ExecutionPlan,
+                  chip) -> List[str]:
+    """PL004 helper: prove the scheduler's reordering of ``program`` is legal.
+
+    Recomputes the dependency DAG, runs the list scheduler and verifies
+    the resulting permutation respects every edge; any violation message
+    becomes a PL004 finding.  An identity order is trivially legal.
+    """
+    from repro.pim.executor import ChipExecutor
+
+    ex = ChipExecutor(chip)
+    preds = dependency_edges(plan.instructions)
+    order = schedule_order(ex, plan, preds)
+    return verify_order(preds, order)

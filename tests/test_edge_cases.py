@@ -59,12 +59,19 @@ class TestExecutorFailureInjection:
         """A rejected instruction must not have side effects elsewhere."""
         ex = self._ex()
         ex.chip.block(1).broadcast((0, 4), 0, 7.0)
+        bad = [
+            Instruction(Opcode.ADD, block=1, rows=(0, 4), dst=1, src1=0, src2=0),
+            Instruction(Opcode.ADD, block=0, rows=(0, 4), dst=99, src1=0, src2=1),
+        ]
+        # plan replay validates the whole stream before any state changes:
+        # a rejected stream executes nothing at all.
         with pytest.raises(IndexError):
-            ex.run([
-                Instruction(Opcode.ADD, block=1, rows=(0, 4), dst=1, src1=0, src2=0),
-                Instruction(Opcode.ADD, block=0, rows=(0, 4), dst=99, src1=0, src2=1),
-            ])
-        # the first (valid) instruction executed, the second was rejected
+            ex.run(bad)
+        assert np.allclose(ex.chip.block(1).data[0:4, 1], 0.0)
+        # the serial audit dispatcher keeps per-instruction semantics: the
+        # first (valid) instruction executed, the second was rejected.
+        with pytest.raises(IndexError):
+            ex.run(bad, serial=True)
         assert np.allclose(ex.chip.block(1).data[0:4, 1], 14.0)
 
     def test_timing_mode_skips_functional_validation_of_contents(self):

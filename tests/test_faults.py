@@ -74,10 +74,10 @@ def small_program(n_ops=10, distinct_dst=False):
     return prog
 
 
-def run_prog(prog, model=None, batched=False):
+def run_prog(prog, model=None, serial=False):
     chip = PimChip(CFG)
     ex = ChipExecutor(chip, faults=model)
-    rep = ex.run(prog, functional=True, batched=batched)
+    rep = ex.run(prog, functional=True, serial=serial)
     return chip, rep
 
 
@@ -195,10 +195,10 @@ class TestZeroOverheadDefault:
         for b in (0, 1):
             assert np.array_equal(chip1.block(b).data, chip0.block(b).data)
 
-    def test_disabled_model_keeps_batched_mode(self):
+    def test_disabled_model_keeps_plan_mode(self):
         prog = small_program(n_ops=20)
-        _, rep0 = run_prog(prog, model=None, batched=True)
-        _, rep1 = run_prog(prog, model=FaultModel(FaultConfig()), batched=True)
+        _, rep0 = run_prog(prog, model=None)
+        _, rep1 = run_prog(prog, model=FaultModel(FaultConfig()))
         assert rep1.total_time_s == rep0.total_time_s
 
     def test_benchmark_proxy_bit_identical(self):
@@ -342,14 +342,14 @@ class TestTransferFaults:
         got = chip1.block(1).data[0:8, 4]
         assert not np.array_equal(got, np.full(8, 3.0, dtype=np.float32))
 
-    def test_batched_run_falls_back_to_serial_faults(self):
+    def test_plan_run_matches_serial_faults(self):
         prog = small_program(n_ops=30)
         ms = FaultModel(FaultConfig.at_rate(1e-3, seed=9))
-        _, rep_serial = run_prog(prog, model=ms, batched=False)
-        mb = FaultModel(FaultConfig.at_rate(1e-3, seed=9))
-        _, rep_batched = run_prog(prog, model=mb, batched=True)
-        assert rep_batched.total_time_s == rep_serial.total_time_s
-        assert mb.event_digest() == ms.event_digest()
+        _, rep_serial = run_prog(prog, model=ms, serial=True)
+        mp = FaultModel(FaultConfig.at_rate(1e-3, seed=9))
+        _, rep_plan = run_prog(prog, model=mp)
+        assert rep_plan.total_time_s == rep_serial.total_time_s
+        assert mp.event_digest() == ms.event_digest()
 
     def test_scheduler_accounts_retries(self):
         h = HTree(256)

@@ -310,8 +310,8 @@ class TestTimingReportMerge:
         assert dict(a.block_busy_s) == {0: 1.0, 1: 2.0}
 
 
-class TestBatchedExecutor:
-    """The batched analytic mode must be float-identical to serial."""
+class TestPlanVsSerialExecutor:
+    """Plan replay must be float-identical to the serial audit dispatcher."""
 
     def _stream(self):
         insts = []
@@ -344,26 +344,26 @@ class TestBatchedExecutor:
         return ChipExecutor(chip)
 
     @pytest.mark.parametrize("functional", [False, True])
-    def test_batched_matches_serial_exactly(self, functional):
+    def test_plan_matches_serial_exactly(self, functional):
         chip_s = PimChip(CHIP_CONFIGS["512MB"])
         chip_b = PimChip(CHIP_CONFIGS["512MB"])
         ex_s, ex_b = self._boot(chip_s), self._boot(chip_b)
-        serial = ex_s.run(self._stream(), functional=functional, batched=False)
-        batched = ex_b.run(self._stream(), functional=functional, batched=True)
+        serial = ex_s.run(self._stream(), functional=functional, serial=True)
+        plan = ex_b.run(self._stream(), functional=functional)
 
-        assert batched.total_time_s == serial.total_time_s
-        assert batched.dynamic_energy_j == serial.dynamic_energy_j
-        assert dict(batched.time_by_tag) == dict(serial.time_by_tag)
-        assert dict(batched.energy_by_tag) == dict(serial.energy_by_tag)
-        assert dict(batched.op_counts) == dict(serial.op_counts)
-        assert dict(batched.block_busy_s) == dict(serial.block_busy_s)
-        assert batched.host_busy_s == serial.host_busy_s
-        assert batched.n_instructions == serial.n_instructions
+        assert plan.total_time_s == serial.total_time_s
+        assert plan.dynamic_energy_j == serial.dynamic_energy_j
+        assert dict(plan.time_by_tag) == dict(serial.time_by_tag)
+        assert dict(plan.energy_by_tag) == dict(serial.energy_by_tag)
+        assert dict(plan.op_counts) == dict(serial.op_counts)
+        assert dict(plan.block_busy_s) == dict(serial.block_busy_s)
+        assert plan.host_busy_s == serial.host_busy_s
+        assert plan.n_instructions == serial.n_instructions
         if functional:
             for b in range(6):
                 assert np.array_equal(chip_s.block(b).data, chip_b.block(b).data)
 
-    def test_batched_compile_stream_identical(self):
+    def test_plan_compile_stream_identical(self):
         """A real kernel stream (the compiler's hot path) prices identically."""
         from repro.core.kernels.acoustic import AcousticOneBlockKernels
         from repro.core.mapper import ElementMapper
@@ -377,12 +377,12 @@ class TestBatchedExecutor:
         kern = AcousticOneBlockKernels(mesh, elem, mat, mapper, "riemann")
         insts = kern.volume() + kern.flux() + kern.integration(0, 1e-4)
 
-        serial = ChipExecutor(PimChip(chip_cfg)).run(insts, functional=False)
-        batched = ChipExecutor(PimChip(chip_cfg)).run(insts, functional=False,
-                                                      batched=True)
-        assert batched.total_time_s == serial.total_time_s
-        assert batched.dynamic_energy_j == serial.dynamic_energy_j
-        assert dict(batched.time_by_tag) == dict(serial.time_by_tag)
-        assert dict(batched.energy_by_tag) == dict(serial.energy_by_tag)
-        assert dict(batched.op_counts) == dict(serial.op_counts)
-        assert dict(batched.block_busy_s) == dict(serial.block_busy_s)
+        serial = ChipExecutor(PimChip(chip_cfg)).run(insts, functional=False,
+                                                     serial=True)
+        plan = ChipExecutor(PimChip(chip_cfg)).run(insts, functional=False)
+        assert plan.total_time_s == serial.total_time_s
+        assert plan.dynamic_energy_j == serial.dynamic_energy_j
+        assert dict(plan.time_by_tag) == dict(serial.time_by_tag)
+        assert dict(plan.energy_by_tag) == dict(serial.energy_by_tag)
+        assert dict(plan.op_counts) == dict(serial.op_counts)
+        assert dict(plan.block_busy_s) == dict(serial.block_busy_s)

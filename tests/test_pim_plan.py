@@ -1,15 +1,20 @@
-"""Execution-plan lowering: bit-identity, reuse, and stale-route safety.
+"""Execution plans as the universal execution path: bit-identity everywhere.
 
-The contract under test (DESIGN.md "Execution plans"): replaying a lowered
-:class:`~repro.pim.plan.ExecutionPlan` through ``ChipExecutor.run`` yields
-a :class:`TimingReport` *bit-identical* to per-instruction serial dispatch
-— same totals, same phase split, same interconnect accounting — on every
-paper benchmark; the plan transparently re-lowers when the chip's routing
-epoch moved; and the plan path steps aside for fault models and functional
-execution.
+The contract under test (DESIGN.md §13): *every* ``ChipExecutor.run`` —
+analytic, functional, and fault-injecting — replays a lowered
+:class:`~repro.pim.plan.ExecutionPlan`; the per-instruction serial
+dispatcher survives only as the audit reference behind
+``run(..., serial=True)``.  Plan replay must be *bit-identical* to that
+reference on every paper benchmark: same :class:`TimingReport` (totals,
+phase split, interconnect accounting, dict key order), same block states
+after functional execution, same fault-event digests under a seeded fault
+model.  Plans transparently re-lower when the chip's routing epoch moves,
+and the MASIM-style makespan scheduler (:mod:`repro.pim.schedule`) may
+only emit permutations the dependency DAG proves legal (PL004).
 """
 
 import dataclasses
+import hashlib
 
 import numpy as np
 import pytest
@@ -23,12 +28,31 @@ from repro.pim.plan import fold_array, lower_program, plan_enabled
 from repro.workloads.benchmarks import BENCHMARKS
 
 
-def _run_mode(program, mode, chip_name="2GB"):
-    """One fresh executor per mode: clocks all start at t=0."""
-    ex = ChipExecutor(PimChip(CHIP_CONFIGS[chip_name]))
-    if mode == "plan":
-        return ex.run(ex.lower(program), functional=False)
-    return ex.run(program, functional=False, batched=(mode == "batched"))
+def _run_mode(program, mode, chip_name="2GB", functional=False, fault_cfg=None):
+    """One fresh executor per mode: clocks all start at t=0.
+
+    Returns ``(chip, executor, report)`` so callers can compare block
+    states and fault-event digests, not just reports.
+    """
+    chip = PimChip(CHIP_CONFIGS[chip_name])
+    faults = None
+    if fault_cfg is not None:
+        from repro.faults.model import FaultModel
+
+        faults = FaultModel(fault_cfg)
+    ex = ChipExecutor(chip, faults=faults)
+    rep = ex.run(program, functional=functional, serial=(mode == "serial"))
+    return chip, ex, rep
+
+
+def _state_digest(chip):
+    """sha256 over every materialized block's data, in (tile, block) order."""
+    h = hashlib.sha256()
+    for tid in sorted(chip._tiles):
+        tile = chip._tiles[tid]
+        for lid in sorted(tile._blocks):
+            h.update(tile._blocks[lid].data.tobytes())
+    return h.hexdigest()
 
 
 def _assert_reports_identical(a, b, what):
@@ -42,20 +66,24 @@ def _assert_reports_identical(a, b, what):
     assert list(a.phase_times()) == list(b.phase_times())
 
 
+def _benchmark_program(key):
+    spec = BENCHMARKS[key]
+    return build_check_program(
+        spec.physics, spec.refinement_level, chip="2GB",
+        flux_kind=spec.flux_kind, order=2,
+    ).program
+
+
 class TestBenchmarkBitIdentity:
-    """All six paper benchmarks: serial == batched == plan, bit for bit."""
+    """All six paper benchmarks: serial audit == plan replay, bit for bit —
+    analytic, functional, and under a seeded fault model (the satellite
+    sweep that proves plan replay is safe as the only execution path)."""
 
     @pytest.mark.parametrize("key", sorted(BENCHMARKS))
-    def test_plan_matches_serial_and_batched(self, key):
-        spec = BENCHMARKS[key]
-        checked = build_check_program(
-            spec.physics, spec.refinement_level, chip="2GB",
-            flux_kind=spec.flux_kind, order=2,
-        )
-        serial = _run_mode(checked.program, "serial")
-        batched = _run_mode(checked.program, "batched")
-        plan = _run_mode(checked.program, "plan")
-        _assert_reports_identical(serial, batched, f"{key} batched")
+    def test_analytic_plan_matches_serial(self, key):
+        program = _benchmark_program(key)
+        _, _, serial = _run_mode(program, "serial")
+        _, _, plan = _run_mode(program, "plan")
         _assert_reports_identical(serial, plan, f"{key} plan")
         # the headline fields the acceptance criteria name, explicitly:
         assert plan.total_time_s == serial.total_time_s
@@ -63,6 +91,28 @@ class TestBenchmarkBitIdentity:
         assert plan.transfers == serial.transfers
         assert plan.flits == serial.flits
         assert plan.hops == serial.hops
+
+    @pytest.mark.parametrize("key", sorted(BENCHMARKS))
+    def test_functional_plan_matches_serial(self, key):
+        program = _benchmark_program(key)
+        chip_s, _, serial = _run_mode(program, "serial", functional=True)
+        chip_p, _, plan = _run_mode(program, "plan", functional=True)
+        _assert_reports_identical(serial, plan, f"{key} functional")
+        assert _state_digest(chip_p) == _state_digest(chip_s)
+
+    @pytest.mark.parametrize("key", sorted(BENCHMARKS))
+    def test_faulty_plan_matches_serial(self, key):
+        from repro.faults.model import FaultConfig
+
+        program = _benchmark_program(key)
+        cfg = FaultConfig.at_rate(1e-4, seed=11)
+        chip_s, ex_s, serial = _run_mode(program, "serial", functional=True,
+                                         fault_cfg=cfg)
+        chip_p, ex_p, plan = _run_mode(program, "plan", functional=True,
+                                       fault_cfg=cfg)
+        _assert_reports_identical(serial, plan, f"{key} faulty")
+        assert ex_p.faults.event_digest() == ex_s.faults.event_digest()
+        assert _state_digest(chip_p) == _state_digest(chip_s)
 
 
 @pytest.fixture
@@ -124,10 +174,10 @@ class TestLowering:
         assert plan.n_instructions == len(acoustic_program)
 
 
-class TestFallbacks:
-    """The plan path must step aside whenever it cannot be exact."""
+class TestUniversalPath:
+    """Plan replay is the only execution path; ``serial=True`` is the audit."""
 
-    def test_functional_run_ignores_plan_path(self, acoustic_program):
+    def test_functional_run_takes_plan_path(self, acoustic_program):
         from repro.obs import get_metrics
 
         m = get_metrics()
@@ -135,29 +185,44 @@ class TestFallbacks:
         plan = ex.lower(acoustic_program)
         runs0 = m.value("executor.plan.runs")
         rep = ex.run(plan, functional=True)
-        ex2 = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
-        raw = ex2.run(acoustic_program, functional=True)
-        assert rep.n_instructions == raw.n_instructions
-        assert m.value("executor.plan.runs") == runs0
+        assert m.value("executor.plan.runs") == runs0 + 1
+        # ...and it matches the serial audit reference exactly.
+        chip2 = PimChip(CHIP_CONFIGS["2GB"])
+        ex2 = ChipExecutor(chip2)
+        raw = ex2.run(acoustic_program, functional=True, serial=True)
+        _assert_reports_identical(rep, raw, "functional plan")
+        assert _state_digest(ex.chip) == _state_digest(chip2)
 
-    def test_fault_model_falls_back_to_dispatch(self, acoustic_program):
+    def test_fault_model_stays_on_plan_path(self, acoustic_program):
         from repro.faults.model import FaultConfig, FaultModel
         from repro.obs import get_metrics
 
         m = get_metrics()
-        # an *enabled* fault model (nonzero rate) must disable the plan path
+        # an *enabled* fault model (nonzero rate) also replays the plan
         cfg = FaultConfig(seed=7, flip_rate=1e-5)
         ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]),
                           faults=FaultModel(cfg))
         plan = ex.lower(acoustic_program)
         runs0 = m.value("executor.plan.runs")
         rep = ex.run(plan, functional=False)
-        assert m.value("executor.plan.runs") == runs0
-        # the fallback is the ordinary dispatch path: same seed, same report
+        assert m.value("executor.plan.runs") == runs0 + 1
+        # bit-identical to the serial audit: same seed, same report
         ex2 = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]),
                            faults=FaultModel(FaultConfig(seed=7, flip_rate=1e-5)))
-        raw = ex2.run(acoustic_program, functional=False)
-        _assert_reports_identical(rep, raw, "fault fallback")
+        raw = ex2.run(acoustic_program, functional=False, serial=True)
+        _assert_reports_identical(rep, raw, "fault plan")
+        assert ex.faults.event_digest() == ex2.faults.event_digest()
+
+    def test_serial_runs_are_counted(self, acoustic_program):
+        from repro.obs import get_metrics
+
+        m = get_metrics()
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
+        serial0 = m.value("executor.serial.runs")
+        plan0 = m.value("executor.plan.runs")
+        ex.run(acoustic_program, functional=False, serial=True)
+        assert m.value("executor.serial.runs") == serial0 + 1
+        assert m.value("executor.plan.runs") == plan0
 
     def test_repro_plan_knob(self, monkeypatch):
         for off in ("off", "0", "false", "no", " OFF "):
@@ -170,7 +235,7 @@ class TestFallbacks:
         assert plan_enabled()
 
     def test_compiler_honours_knob(self, monkeypatch, tmp_path):
-        """REPRO_PLAN=off restores the batched path, bit-identically."""
+        """REPRO_PLAN=off restores the serial audit path, bit-identically."""
         from repro.core.cache import CompileCache
         from repro.core.compiler import WavePimCompiler
 
@@ -241,7 +306,117 @@ class TestStaleRoutes:
         ex = ChipExecutor(PimChip(CHIP_CONFIGS["2GB"]))
         ex.chip.invalidate_routes()
         plan = ex.lower(acoustic_program)
-        assert plan.routing_epoch == ex.chip.routing_epoch == 1
+        assert plan.routing_epoch == ex.chip.routing_epoch >= 1
+
+
+class TestScheduler:
+    """MASIM-style makespan scheduling: legal, deterministic, never worse."""
+
+    @staticmethod
+    def _lowered(program, chip_name="2GB"):
+        ex = ChipExecutor(PimChip(CHIP_CONFIGS[chip_name]))
+        return ex, ex.lower(program)
+
+    def test_dependency_edges_raw_waw_war(self):
+        from repro.pim.isa import Instruction
+        from repro.pim.schedule import dependency_edges
+
+        prog = [
+            Instruction(Opcode.BROADCAST, block=0, rows=(0, 8), dst=1, value=1.0),
+            Instruction(Opcode.BROADCAST, block=0, rows=(0, 8), dst=2, value=2.0),
+            Instruction(Opcode.ADD, block=0, rows=(0, 8), dst=3, src1=1, src2=2),
+            Instruction(Opcode.BROADCAST, block=0, rows=(0, 8), dst=1, value=9.0),
+            Instruction(Opcode.BROADCAST, block=1, rows=(0, 8), dst=1, value=5.0),
+        ]
+        preds = dependency_edges(prog)
+        assert preds[0] == [] and preds[1] == []
+        assert preds[2] == [0, 1]           # RAW on cols 1 and 2
+        assert 2 in preds[3]                # WAR: rewrite col 1 after the read
+        assert preds[4] == []               # different block: independent
+
+    def test_barrier_is_a_full_fence(self):
+        from repro.pim.isa import Instruction, barrier
+        from repro.pim.schedule import dependency_edges
+
+        prog = [
+            Instruction(Opcode.BROADCAST, block=0, rows=(0, 4), dst=1, value=1.0),
+            barrier(),
+            Instruction(Opcode.BROADCAST, block=7, rows=(0, 4), dst=1, value=2.0),
+        ]
+        preds = dependency_edges(prog)
+        assert preds[1] == [0]
+        assert preds[2] == [1]  # fenced even though the blocks are disjoint
+
+    def test_verify_order_rejects_violations(self):
+        from repro.pim.schedule import verify_order
+
+        preds = [[], [0], [1]]
+        assert verify_order(preds, [0, 1, 2]) == []
+        assert verify_order(preds, [1, 0, 2])  # 1 before its dep 0
+        assert verify_order(preds, [0, 0, 2])  # not a permutation
+
+    def test_schedule_order_is_legal_and_deterministic(self, acoustic_program):
+        from repro.pim.schedule import dependency_edges, schedule_order, verify_order
+
+        ex, plan = self._lowered(acoustic_program)
+        preds = dependency_edges(plan.instructions)
+        order = schedule_order(ex, plan, preds)
+        assert verify_order(preds, order) == []
+        assert order == schedule_order(ex, plan, preds)
+
+    def test_schedule_plan_never_worse_and_reports_stats(self, acoustic_program):
+        from repro.pim.schedule import schedule_plan
+
+        ex, plan = self._lowered(acoustic_program)
+        sched = schedule_plan(ex, plan)
+        stats = sched.schedule_stats
+        assert stats is not None
+        assert stats["scheduled_makespan_s"] <= stats["emission_makespan_s"]
+        assert stats["improvement"] >= 1.0
+        assert stats["kept"] == (stats["improvement"] > 1.0)
+        assert len(stats["permutation"]) == plan.n_instructions
+        # the scheduled plan replays like any other plan
+        ex.reset_clocks()
+        rep = ex.run(sched, functional=False)
+        clock = ex.chip.config.clock_hz
+        assert rep.total_time_s == pytest.approx(
+            stats["scheduled_makespan_s"], rel=1e-12)
+        assert rep.makespan_cycles == pytest.approx(
+            rep.total_time_s * clock, rel=1e-12)
+        assert rep.emission_makespan_cycles == pytest.approx(
+            stats["emission_makespan_s"] * clock, rel=1e-12)
+
+    def test_scheduled_functional_state_matches_serial(self, acoustic_program):
+        from repro.pim.schedule import schedule_plan
+
+        chip_s, _, _ = _run_mode(acoustic_program, "serial", functional=True)
+        chip_p = PimChip(CHIP_CONFIGS["2GB"])
+        ex = ChipExecutor(chip_p)
+        sched = schedule_plan(ex, ex.lower(acoustic_program))
+        ex.reset_clocks()
+        ex.run(sched, functional=True)
+        assert _state_digest(chip_p) == _state_digest(chip_s)
+
+    def test_repro_sched_knob(self, monkeypatch):
+        from repro.pim.schedule import schedule_enabled
+
+        monkeypatch.delenv("REPRO_SCHED", raising=False)
+        assert not schedule_enabled()  # default off
+        for on in ("on", "1", "true", "yes", " ON "):
+            monkeypatch.setenv("REPRO_SCHED", on)
+            assert schedule_enabled()
+        monkeypatch.setenv("REPRO_SCHED", "off")
+        assert not schedule_enabled()
+
+    @pytest.mark.parametrize("key", sorted(BENCHMARKS)[:2])
+    def test_pl004_clean_on_benchmarks(self, key):
+        from repro.analysis.checker import CheckContext
+        from repro.analysis.lowering import LoweringPass
+
+        program = _benchmark_program(key)
+        chip = PimChip(CHIP_CONFIGS["2GB"])
+        findings = LoweringPass().run(program, CheckContext.for_chip(chip))
+        assert [f for f in findings if f.code == "PL004"] == []
 
 
 class TestFoldArray:
@@ -261,8 +436,8 @@ class TestFoldArray:
         assert fold_array(1.5, np.array([])) == 1.5
 
 
-class TestLintRL004:
-    """The repo lint rejects new per-instruction dispatch loops."""
+class TestLintRules:
+    """The repo lint rejects dispatch loops (RL004) and _dispatch leaks (RL005)."""
 
     @staticmethod
     def _lint(tmp_path, rel, source):
@@ -297,6 +472,25 @@ class TestLintRL004:
                            "def f(insts):\n"
                            "    return [i for i in insts if i.op == 1]\n")
         assert "RL004" not in codes
+
+    def test_scheduler_may_walk_streams(self, tmp_path):
+        codes = self._lint(tmp_path, "src/repro/pim/schedule.py",
+                           "def f(insts):\n"
+                           "    for i in insts:\n"
+                           "        x = i.op\n")
+        assert "RL004" not in codes
+
+    def test_flags_dispatch_reference_outside_executor(self, tmp_path):
+        codes = self._lint(tmp_path, "src/repro/core/bad.py",
+                           "def f(ex, inst):\n"
+                           "    return ex._dispatch(inst, True, None)\n")
+        assert "RL005" in codes
+
+    def test_allows_dispatch_inside_executor(self, tmp_path):
+        codes = self._lint(tmp_path, "src/repro/pim/executor.py",
+                           "def f(ex, inst):\n"
+                           "    return ex._dispatch(inst, True, None)\n")
+        assert "RL005" not in codes
 
 
 class TestRouteTable:
