@@ -126,6 +126,11 @@ def test_perf_regression_guard():
     """
     entry = measure_hot_paths()
     assert entry["plan_reuse_rate"] is not None and entry["plan_reuse_rate"] > 0
+    # hardware-counter roll-ups recorded alongside the timings
+    assert 0.0 < entry["block_util"] <= 1.0
+    assert 0.0 < entry["link_util"] <= 1.0
+    assert entry["binding_resource"] and entry["binding_resource"] != "idle"
+    assert entry["counters_overhead"] > 0.0
     doc = append_entry(entry)
 
     # the null-safe summary must digest the whole history, including

@@ -18,6 +18,8 @@ Commands
                            executor path); appends to ``BENCH_perf.json``
                            and, with ``--min-speedup X``, fails when the
                            executor speedup vs the seed tree drops below X
+``perf history``           trend table over the ``BENCH_perf.json`` history
+                           (null-safe on older entries; flags regressions)
 
 Performance knobs: ``--jobs N`` (or ``REPRO_JOBS``) compiles the experiment
 matrix with N worker processes; ``--no-cache`` (or ``REPRO_NO_CACHE=1``)
@@ -27,8 +29,10 @@ bypasses the on-disk compile cache in ``REPRO_CACHE_DIR``; ``REPRO_SCHED=on``
 
 Observability knobs: ``--profile`` records a span/metric trace and writes
 it as JSON (plus a Chrome ``trace_event`` sibling) to ``--trace-file`` /
-``REPRO_TRACE_FILE``; ``--log-level`` (or ``REPRO_LOG_LEVEL``) tunes the
-package-wide logger.
+``REPRO_TRACE_FILE``; ``--counters`` (or ``REPRO_COUNTERS=1``) turns on the
+executor hardware counters — per-block/link occupancy, makespan attribution
+and a per-resource Gantt in the Chrome trace (DESIGN.md §14); ``--log-level``
+(or ``REPRO_LOG_LEVEL``) tunes the package-wide logger.
 """
 
 from __future__ import annotations
@@ -64,6 +68,12 @@ from repro.obs import (
 def _configure_cache(args) -> None:
     if getattr(args, "no_cache", False):
         default_cache(refresh=True).enabled = False
+
+
+def _configure_counters(args) -> None:
+    """Arm the executor hardware counters (``--counters``) for this run."""
+    if getattr(args, "counters", False):
+        os.environ["REPRO_COUNTERS"] = "1"
 
 
 def _cache_status(elapsed_s: float) -> str:
@@ -107,6 +117,7 @@ def _cmd_experiments(_args) -> int:
 
 def _cmd_run(args) -> int:
     _configure_cache(args)
+    _configure_counters(args)
     kwargs = {}
     if args.order is not None:
         kwargs["order"] = args.order
@@ -131,6 +142,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_all(args) -> int:
     _configure_cache(args)
+    _configure_counters(args)
     profiling = _profile_begin(args)
     t0 = time.perf_counter()
     try:
@@ -204,7 +216,8 @@ def _cmd_check(args) -> int:
     from repro.workloads.benchmarks import BENCHMARKS
 
     if args.trace is not None:
-        errors = validate_trace_file(args.trace, require=args.require)
+        errors = validate_trace_file(args.trace, require=args.require,
+                                     require_counters=args.counters)
         for err in errors:
             print(f"FAIL: {err}", file=sys.stderr)
         if not errors:
@@ -299,12 +312,18 @@ def _cmd_bench(args) -> int:
               f"speedup {speedups[key]:6.2f}x")
     print(f"{'serial replay':16s} {entry['executor_serial_step_s']*1e3:9.2f} ms   "
           f"(plan path is {entry['executor_serial_step_s'] / max(entry['executor_step_s'], 1e-12):.1f}x faster)")
-    print(f"{'cache_hit_rate':16s} {fmt_rate(entry['cache_hit_rate'])}")
-    print(f"{'plan_reuse_rate':16s} {fmt_rate(entry['plan_reuse_rate'])}")
-    print(f"{'plan_coverage':16s} {fmt_rate(entry['plan_coverage'])}")
-    print(f"{'makespan':16s} {entry['makespan_cycles']:,.0f} cycles emission, "
-          f"{entry['scheduled_makespan_cycles']:,.0f} scheduled "
-          f"(scheduler {entry['scheduler_speedup']:.2f}x)")
+    print(f"{'cache_hit_rate':16s} {fmt_rate(entry.get('cache_hit_rate'))}")
+    print(f"{'plan_reuse_rate':16s} {fmt_rate(entry.get('plan_reuse_rate'))}")
+    print(f"{'plan_coverage':16s} {fmt_rate(entry.get('plan_coverage'))}")
+    if isinstance(entry.get("makespan_cycles"), (int, float)):
+        print(f"{'makespan':16s} {entry['makespan_cycles']:,.0f} cycles emission, "
+              f"{entry.get('scheduled_makespan_cycles') or 0:,.0f} scheduled "
+              f"(scheduler {entry.get('scheduler_speedup') or 0:.2f}x)")
+    print(f"{'block_util':16s} {fmt_rate(entry.get('block_util'))}   "
+          f"link_util {fmt_rate(entry.get('link_util'))}   "
+          f"binding {entry.get('binding_resource') or 'not measured'}")
+    print(f"{'counters':16s} {fmt_rate(entry.get('counters_overhead'))}x "
+          f"enabled-replay overhead (budget 1.02x)")
 
     summary = history_summary(doc)
     measured = summary["executor_step_s"]["measured"]
@@ -328,6 +347,7 @@ def _cmd_faults(args) -> int:
     from repro.faults.campaign import DEFAULT_RATES, run_campaign, strict_violations
     from repro.workloads.benchmarks import BENCHMARKS
 
+    _configure_counters(args)
     keys = args.benchmarks or list(BENCHMARKS)
     unknown = [k for k in keys if k not in BENCHMARKS]
     if unknown:
@@ -390,6 +410,24 @@ def _cmd_faults(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    import json
+
+    # imported here: keeps `repro perf history` free of the kernel stack
+    # (bench's measurement imports live inside measure_hot_paths).
+    from repro.eval.bench import default_bench_path, render_history
+
+    path = args.json or default_bench_path()
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read bench history {path}: {exc}", file=sys.stderr)
+        return 2
+    print(render_history(doc))
+    return 0
+
+
 def _cmd_trace(args) -> int:
     try:
         doc = load_trace(args.file)
@@ -415,6 +453,11 @@ def main(argv=None) -> int:
     profiled.add_argument("--trace-file", default=None, metavar="PATH",
                           help="trace output path (default: REPRO_TRACE_FILE "
                                "or repro_trace.json)")
+    profiled.add_argument("--counters", action="store_true",
+                          help="record executor hardware counters "
+                               "(REPRO_COUNTERS=1): per-block/link occupancy, "
+                               "makespan attribution, Gantt tracks in the "
+                               "Chrome trace")
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -481,6 +524,10 @@ def main(argv=None) -> int:
     p.add_argument("--require", action="append", default=[], metavar="TOKEN",
                    help="with --trace: fail unless some span name contains "
                         "TOKEN (repeatable)")
+    p.add_argument("--counters", action="store_true",
+                   help="with --trace: require hardware-counter evidence "
+                        "(counters.* metrics + Gantt tracks in the Chrome "
+                        "sibling)")
     p.set_defaults(fn=_cmd_check)
 
     p = sub.add_parser("bench", parents=[common],
@@ -530,6 +577,16 @@ def main(argv=None) -> int:
     p.add_argument("--json", default=None, metavar="PATH",
                    help="write the campaign report as JSON")
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser("perf", parents=[common],
+                       help="inspect the BENCH_perf.json perf trajectory")
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+    ph = perf_sub.add_parser("history",
+                             help="trend table across bench history entries "
+                                  "(null-safe; flags regressions/backfill)")
+    ph.add_argument("--json", default=None, metavar="PATH",
+                    help="BENCH_perf.json path (default: the repo-root file)")
+    ph.set_defaults(fn=_cmd_perf)
 
     p = sub.add_parser("trace", parents=[common],
                        help="inspect a trace recorded with --profile")

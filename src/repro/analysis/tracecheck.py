@@ -15,11 +15,14 @@ import sys
 from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Set, Union
 
+from repro.obs.timeline import COUNTERS_PID
+
 __all__ = [
     "EXPECTED_SCHEMA",
     "EXPECTED_KIND",
     "validate",
     "validate_chrome",
+    "validate_counters",
     "validate_trace_file",
     "main",
 ]
@@ -102,6 +105,11 @@ def validate_chrome(doc: object) -> List[str]:
             continue
         if not ev.get("name") or ev.get("ph") not in ("X", "B", "E", "i", "C", "M"):
             errors.append(f"traceEvents[{i}]: missing name or bad ph {ev.get('ph')!r}")
+        if ev.get("ph") == "M":
+            # metadata events (process_name/thread_name) carry no timestamp
+            if not isinstance(ev.get("args"), dict):
+                errors.append(f"traceEvents[{i}]: metadata event missing args")
+            continue
         if not isinstance(ev.get("ts"), (int, float)):
             errors.append(f"traceEvents[{i}]: ts must be a number")
         if ev.get("ph") == "X" and not isinstance(ev.get("dur"), (int, float)):
@@ -109,19 +117,75 @@ def validate_chrome(doc: object) -> List[str]:
     return errors
 
 
+def validate_counters(doc: object, chrome_doc: object) -> List[str]:
+    """Check the hardware-counter evidence of a ``--counters`` run.
+
+    The JSON document's metrics must carry ``counters.*`` entries, and the
+    Chrome sibling must contain the counter Gantt (see
+    :mod:`repro.obs.timeline`): a ``process_name`` metadata event naming
+    the ``"hardware counters"`` process, at least one ``thread_name``
+    track on that pid, and ``ph: "X"`` occupancy slices on it.
+    """
+    errors: List[str] = []
+    counters: object = None
+    if isinstance(doc, dict):
+        metrics = doc.get("metrics")
+        if isinstance(metrics, dict):
+            counters = metrics.get("counters")
+    has_counters = isinstance(counters, dict) and any(
+        isinstance(k, str) and k.startswith("counters.") for k in counters
+    )
+    if not has_counters:
+        errors.append(
+            "metrics carry no counters.* entries (was the run profiled "
+            "with --counters / REPRO_COUNTERS=1?)"
+        )
+    if not isinstance(chrome_doc, dict):
+        errors.append("chrome trace is not a JSON object")
+        return errors
+    raw_events = chrome_doc.get("traceEvents")
+    events = [e for e in raw_events if isinstance(e, dict)] \
+        if isinstance(raw_events, list) else []
+    pid_events = [e for e in events if e.get("pid") == COUNTERS_PID]
+    named = any(
+        e.get("ph") == "M" and e.get("name") == "process_name"
+        and isinstance(e.get("args"), dict)
+        and e["args"].get("name") == "hardware counters"
+        for e in pid_events
+    )
+    if not named:
+        errors.append(
+            'chrome trace has no "hardware counters" process metadata '
+            f"(ph M, pid {COUNTERS_PID})"
+        )
+    if not any(e.get("ph") == "M" and e.get("name") == "thread_name"
+               for e in pid_events):
+        errors.append("chrome trace has no counter thread_name tracks "
+                      "(per-block/link Gantt lanes)")
+    if not any(e.get("ph") == "X" for e in pid_events):
+        errors.append("chrome trace has no counter occupancy slices "
+                      f"(ph X on pid {COUNTERS_PID})")
+    return errors
+
+
 def validate_trace_file(
     path: Union[str, Path],
     require: Sequence[str] = (),
     check_chrome: bool = True,
+    require_counters: bool = False,
 ) -> List[str]:
-    """Validate a trace file on disk (and its Chrome sibling); never raises."""
+    """Validate a trace file on disk (and its Chrome sibling); never raises.
+
+    ``require_counters`` additionally demands hardware-counter evidence
+    (:func:`validate_counters`) and implies loading the Chrome sibling.
+    """
     path = Path(path)
     try:
         doc = json.loads(path.read_text())
     except (OSError, ValueError) as exc:
         return [f"cannot read {path}: {exc}"]
     errors = validate(doc, require=require)
-    if check_chrome:
+    if check_chrome or require_counters:
         chrome_path = path.with_name(path.stem + ".chrome.json")
         if not chrome_path.exists():
             errors.append(f"missing Chrome export {chrome_path}")
@@ -131,7 +195,10 @@ def validate_trace_file(
             except (OSError, ValueError) as exc:
                 errors.append(f"cannot read {chrome_path}: {exc}")
             else:
-                errors.extend(validate_chrome(chrome_doc))
+                if check_chrome:
+                    errors.extend(validate_chrome(chrome_doc))
+                if require_counters:
+                    errors.extend(validate_counters(doc, chrome_doc))
     return errors
 
 
@@ -146,6 +213,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(repeatable)")
     parser.add_argument("--no-chrome", action="store_true",
                         help="skip validating the .chrome.json sibling")
+    parser.add_argument("--counters", action="store_true",
+                        help="require hardware-counter evidence: counters.* "
+                             "metrics plus the Gantt tracks in the Chrome "
+                             "sibling (a --counters/REPRO_COUNTERS=1 run)")
     args = parser.parse_args(argv)
 
     path = Path(args.trace)
@@ -153,7 +224,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"FAIL: cannot read {path}: no such file", file=sys.stderr)
         return 2
     errors = validate_trace_file(path, require=args.require,
-                                 check_chrome=not args.no_chrome)
+                                 check_chrome=not args.no_chrome,
+                                 require_counters=args.counters)
     if errors:
         for err in errors:
             print(f"FAIL: {err}", file=sys.stderr)

@@ -32,6 +32,7 @@ __all__ = [
     "append_entry",
     "history_summary",
     "regression_failures",
+    "render_history",
     "default_bench_path",
 ]
 
@@ -166,6 +167,33 @@ def measure_hot_paths(rounds: int = 3) -> dict:
     scheduled_makespan_cycles = sched_stats["scheduled_makespan_s"] * clock_hz
     scheduler_speedup = sched_stats["improvement"]
 
+    # hardware counters on the same step plan: one recording executor
+    # replays it, attribution names the binding resource, and the ratio of
+    # counters-on to counters-off replay time is the enabled overhead the
+    # ~2% budget (DESIGN.md §14) tracks.  Measured by toggling the recorder
+    # on ONE executor in interleaved on/off pairs and comparing the best of
+    # each side — separate executors (or separate loops) pick up machine
+    # noise several times larger than the effect being measured.
+    ex_cnt = ChipExecutor(chip, counters=True)
+    ex_cnt.run(step_plan, functional=False)  # warm
+    ex_cnt.reset_clocks()
+    ex_cnt.run(step_plan, functional=False)  # the attributed recording
+    attrib = ex_cnt.attribution()
+    recorder = ex_cnt.counters
+    best_on = best_off = float("inf")
+    for pair in range(max(rounds, 3) * 8):
+        for on in ((True, False) if pair % 2 else (False, True)):
+            ex_cnt.counters = recorder if on else None
+            t0 = time.perf_counter()
+            ex_cnt.run(step_plan, functional=False)
+            dt = time.perf_counter() - t0
+            if on:
+                best_on = min(best_on, dt)
+            else:
+                best_off = min(best_off, dt)
+    ex_cnt.counters = recorder
+    counters_overhead = best_on / max(best_off, 1e-12)
+
     # coverage over everything this function ran: plan runs / non-serial runs.
     cov_runs = metrics.value("executor.runs") - cov_runs0
     cov_serial = metrics.value("executor.serial.runs") - cov_serial0
@@ -190,6 +218,10 @@ def measure_hot_paths(rounds: int = 3) -> dict:
         "makespan_cycles": makespan_cycles,
         "scheduled_makespan_cycles": scheduled_makespan_cycles,
         "scheduler_speedup": scheduler_speedup,
+        "block_util": attrib.block_util,
+        "link_util": attrib.link_util,
+        "binding_resource": attrib.binding_resource,
+        "counters_overhead": counters_overhead,
     }
 
 
@@ -231,6 +263,72 @@ def history_summary(doc: dict) -> dict:
             "latest": vals[-1] if vals else None,
         }
     return out
+
+
+def render_history(doc: dict) -> str:
+    """Trend table of a BENCH_perf.json document (``repro perf history``).
+
+    One row per history entry, oldest first.  Missing/``null`` values
+    render as ``--`` ("not measured") and flag the row ``backfill`` —
+    entries written before a counter existed must never crash the table.
+    Rows that trip :func:`regression_failures` are flagged ``REGRESSION``.
+    """
+    history = doc.get("history") or []
+    if not history:
+        return "no bench history (run `repro bench` to record an entry)"
+
+    def cell(value, width: int = 8, fmt: str = "{:.2f}", scale: float = 1.0):
+        if isinstance(value, (int, float)):
+            return fmt.format(value * scale).rjust(width)
+        return "--".rjust(width)
+
+    #: fields the current schema measures; older entries may lack them.
+    current = ("cache_hit_rate", "makespan_cycles", "block_util",
+               "link_util", "binding_resource", "counters_overhead")
+    lines = [
+        f"{'#':>3} {'timestamp':<19} {'step_ms':>8} {'serial_ms':>9} "
+        f"{'speedup':>7} {'sched_x':>7} {'blk_util':>8} {'lnk_util':>8} "
+        f"{'ovh_x':>6}  {'binding':<12} flags"
+    ]
+    n_backfill = n_regress = 0
+    for i, e in enumerate(history):
+        flags = []
+        missing = [k for k in current if e.get(k) is None]
+        if missing:
+            n_backfill += 1
+            flags.append(f"backfill({len(missing)})")
+        if regression_failures(e):
+            n_regress += 1
+            flags.append("REGRESSION")
+        speedup = (e.get("speedup_vs_seed") or {}).get("executor_step_s")
+        lines.append(" ".join([
+            f"{i:>3}",
+            f"{str(e.get('timestamp') or '?'):<19}",
+            cell(e.get("executor_step_s"), scale=1e3),
+            cell(e.get("executor_serial_step_s"), width=9, scale=1e3),
+            cell(speedup, width=7),
+            cell(e.get("scheduler_speedup"), width=7),
+            cell(e.get("block_util"), width=8),
+            cell(e.get("link_util"), width=8),
+            cell(e.get("counters_overhead"), width=6, fmt="{:.3f}"),
+            f" {str(e.get('binding_resource') or '--'):<12}",
+            " ".join(flags) if flags else "ok",
+        ]))
+
+    best = history_summary(doc)["executor_step_s"]["best"]
+    best_s = (f"{best * 1e3:.2f} ms" if isinstance(best, (int, float))
+              else "never measured")
+    lines.append("")
+    lines.append(
+        f"{len(history)} entries; best executor_step_s {best_s}; "
+        f"seed baseline {SEED_BASELINE['executor_step_s'] * 1e3:.2f} ms"
+    )
+    if n_backfill or n_regress:
+        lines.append(
+            f"{n_regress} flagged REGRESSION, {n_backfill} backfilled "
+            "(older schema, missing fields render as --)"
+        )
+    return "\n".join(lines)
 
 
 def regression_failures(entry: dict, min_speedup: float | None = None) -> list:

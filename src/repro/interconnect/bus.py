@@ -49,5 +49,10 @@ class Bus(Interconnect):
             raise IndexError(f"switch {switch_id} outside tile of 1")
         return 0
 
+    def switch_label(self, switch_id: int) -> str:
+        if switch_id != 0:
+            raise IndexError(f"switch {switch_id} outside tile of 1")
+        return "bus"
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Bus(n_blocks={self.n_blocks})"

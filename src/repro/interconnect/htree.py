@@ -106,6 +106,11 @@ class HTree(Interconnect):
                 level = lvl
         return level
 
+    def switch_label(self, switch_id: int) -> str:
+        """``S<level>.<local>`` — the paper's S0/S1/... naming (§4.2.1)."""
+        level = self.switch_level(switch_id)
+        return f"S{level}.{switch_id - self._level_offsets[level]}"
+
     def _ancestor(self, block: int, level: int) -> int:
         """Local id of ``block``'s ancestor switch at ``level``."""
         return block // (self.fanout ** (level + 1))

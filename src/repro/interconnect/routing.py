@@ -115,6 +115,7 @@ def schedule_transfers(
     start_time: float = 0.0,
     fault_model=None,
     routes: RouteTable | None = None,
+    counters=None,
 ) -> ScheduleResult:
     """Greedy conflict-aware schedule for a batch of transfers.
 
@@ -131,6 +132,11 @@ def schedule_transfers(
     ``routes`` lets callers share a :class:`RouteTable` across batches;
     without one, a table local to this call still collapses the repeated
     path walks of recurring ``(src, dst)`` pairs.
+
+    ``counters`` optionally records each placement into a
+    :class:`~repro.obs.counters.HardwareCounters` (per-link occupancy and
+    flit counts under ``(0, switch)`` keys, transfer queueing delay) —
+    a pure observer, the schedule itself is unchanged.
     """
     switch_free: dict = {}
     port_free: dict = {}
@@ -164,10 +170,11 @@ def schedule_transfers(
                 if not plan.delivered:
                     undelivered += 1
         ready = start_time
-        for sw in path:
-            ready = max(ready, switch_free.get(sw, start_time))
         ready = max(ready, port_free.get(("r", tr.src), start_time))
         ready = max(ready, port_free.get(("w", tr.dst), start_time))
+        ready0 = ready  # port-ready time, before queueing behind switches
+        for sw in path:
+            ready = max(ready, switch_free.get(sw, start_time))
         finish = ready + dur
         for sw in path:
             switch_free[sw] = finish
@@ -176,6 +183,12 @@ def schedule_transfers(
         port_free[("w", tr.dst)] = finish
         scheduled.append(ScheduledTransfer(transfer=tr, start=ready, finish=finish, path=path))
         makespan = max(makespan, finish)
+        if counters is not None:
+            flits = -(-tr.words // interconnect.flit_words)
+            counters.transfer(
+                [(0, sw) for sw in path], ready, dur, flits, len(path),
+                tr.words * 4, ready - ready0,
+            )
 
     return ScheduleResult(
         makespan=makespan - start_time,

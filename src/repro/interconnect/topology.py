@@ -118,6 +118,16 @@ class Interconnect(abc.ABC):
             raise IndexError(f"switch {switch_id} outside tile of {self.n_switches}")
         return 0
 
+    def switch_label(self, switch_id: int) -> str:
+        """Human name of a switch for counter timelines and reports.
+
+        Topologies with structure override this (H-tree: ``S<level>.<n>``,
+        Bus: ``bus``); the default is the bare id.
+        """
+        if not 0 <= switch_id < self.n_switches:
+            raise IndexError(f"switch {switch_id} outside tile of {self.n_switches}")
+        return f"s{switch_id}"
+
     @property
     @abc.abstractmethod
     def switch_power_w(self) -> float:

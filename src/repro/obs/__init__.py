@@ -18,6 +18,12 @@ This package imports nothing from the rest of ``repro`` (and no third
 party code), so any module may instrument itself without import cycles.
 """
 
+from repro.obs.counters import (
+    HardwareCounters,
+    MakespanAttribution,
+    attribute_makespan,
+    counters_enabled,
+)
 from repro.obs.log import ROOT_LOGGER_NAME, configure_logging, get_logger
 from repro.obs.metrics import (
     Counter,
@@ -26,6 +32,7 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
 )
+from repro.obs.timeline import COUNTERS_PID, counter_track_events
 from repro.obs.tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer, trace_span
 from repro.obs.export import (
     TRACE_SCHEMA_VERSION,
@@ -47,6 +54,13 @@ __all__ = [
     "get_tracer",
     "set_tracer",
     "trace_span",
+    # hardware counters + timeline
+    "COUNTERS_PID",
+    "HardwareCounters",
+    "MakespanAttribution",
+    "attribute_makespan",
+    "counter_track_events",
+    "counters_enabled",
     # metrics
     "Counter",
     "Histogram",

@@ -135,8 +135,33 @@ def render_tree(doc: dict, max_depth: int = 12) -> str:
 
 
 def chrome_trace(doc: dict) -> dict:
-    """Chrome/Perfetto ``trace_event`` JSON (complete-event ``ph: "X"``)."""
-    events = []
+    """Chrome/Perfetto ``trace_event`` JSON (complete-event ``ph: "X"``).
+
+    Emits ``process_name``/``thread_name`` metadata (``ph: "M"``) ahead of
+    the span events, so Perfetto labels each track with its root span's
+    name instead of a bare pid/tid.  Spans may smuggle extra pre-built
+    events — the Fig. 13 pipeline lanes and the hardware-counter Gantt
+    (:mod:`repro.obs.timeline`) carry their own metadata the same way.
+    """
+    events = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro"},
+        }
+    ]
+    for i, root in enumerate(doc.get("spans", ())):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": i,
+                "args": {"name": root.get("name", f"root {i}")},
+            }
+        )
 
     def walk(span, tid):
         start = float(span.get("start_s", 0.0))
@@ -205,6 +230,41 @@ def summarize(doc: dict, top: int = 12) -> str:
         ranked = sorted(totals.items(), key=lambda kv: kv[1][0], reverse=True)
         for name, (t, n) in ranked[:top]:
             lines.append(f"  {name:<44} {format_duration(t):>9}  x{n}")
+        lines.append("")
+
+    # executor runs: makespan / scheduler / binding-resource roll-up off
+    # the pim/run span attributes (present on profiled executor runs).
+    runs = [
+        s for s in _walk_spans(doc.get("spans", ()))
+        if s.get("name") == "pim/run" and s.get("attrs")
+    ]
+    if runs:
+        makespan = sum(
+            a.get("makespan_cycles") or 0.0
+            for a in (s.get("attrs", {}) for s in runs)
+        )
+        emission = sum(
+            a.get("emission_makespan_cycles") or 0.0
+            for a in (s.get("attrs", {}) for s in runs)
+        )
+        lines.append(f"executor runs: {len(runs)}")
+        lines.append(f"  makespan_cycles {'':<30} {makespan:,.0f}")
+        if emission:
+            lines.append(
+                f"  emission_makespan_cycles {'':<21} {emission:,.0f}  "
+                f"(scheduler {emission / makespan:.2f}x)" if makespan else
+                f"  emission_makespan_cycles {'':<21} {emission:,.0f}"
+            )
+        bindings = [
+            s["attrs"]["binding_resource"] for s in runs
+            if s.get("attrs", {}).get("binding_resource")
+        ]
+        if bindings:
+            top_binding = max(set(bindings), key=bindings.count)
+            lines.append(
+                f"  binding_resource {'':<29} {top_binding} "
+                f"({bindings.count(top_binding)}/{len(bindings)} runs)"
+            )
         lines.append("")
 
     counters = (doc.get("metrics") or {}).get("counters") or {}

@@ -1,0 +1,130 @@
+"""Per-resource Gantt timeline: hardware-counter intervals as Chrome tracks.
+
+:func:`counter_track_events` turns a :class:`~repro.obs.counters.
+HardwareCounters` recording into Chrome ``trace_event`` entries — one
+track (``tid``) per block, link and channel under a dedicated "hardware
+counters" process (``pid`` :data:`COUNTERS_PID`), each labeled through
+``process_name``/``thread_name`` metadata events so Perfetto shows
+resource names instead of bare ids.
+
+The intervals are *modeled* chip time (the executor's analytic clocks),
+not wall clock; the caller anchors them with ``origin_s`` (normally the
+owning span's ``start_s``) so the Gantt lines up beside the wall-clock
+span tracks.  The events ride the existing exporter unmodified via the
+``chrome_events`` span-attribute smuggling that the Fig. 13 pipeline
+lanes already use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional
+
+from repro.obs.counters import HardwareCounters, default_link_label
+
+__all__ = ["COUNTERS_PID", "counter_track_events"]
+
+#: Chrome pid of the counter Gantt; span tracks use pid 0, the Fig. 13
+#: pipeline lanes tid 100+, so a dedicated process keeps them separable.
+COUNTERS_PID = 1
+
+#: track (tid) bands per resource kind — stable ordering in the Perfetto
+#: track list: blocks first, then links, then the two channels.
+_BLOCK_TID0 = 10
+_LINK_TID0 = 10_000
+_HOST_TID = 2
+_DRAM_TID = 3
+
+_KIND_NAMES = {"block": "compute", "stage": "dram-stage",
+               "link": "xfer", "host": "host", "dram": "dram"}
+
+
+def counter_track_events(
+    counters: HardwareCounters,
+    origin_s: float = 0.0,
+    link_label: Optional[Callable[[Hashable], str]] = None,
+    max_events: int = 200_000,
+) -> List[dict]:
+    """Chrome events (``ph:"M"`` labels + ``ph:"X"`` busy slices).
+
+    ``max_events`` caps the slice count (label metadata is always kept):
+    beyond it the remaining intervals are dropped and a final instant
+    event notes how many — a truncated Gantt renders, a 10M-event JSON
+    does not.
+    """
+    label = link_label or default_link_label
+    events: List[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": COUNTERS_PID,
+            "tid": 0,
+            "args": {"name": "hardware counters"},
+        }
+    ]
+
+    # stable tid per resource, labeled via thread_name metadata
+    tids: dict = {}
+    link_next = _LINK_TID0
+
+    def tid_for(kind: str, key: Hashable) -> int:
+        nonlocal link_next
+        if kind in ("block", "stage"):
+            rkey = ("block", key)
+            name = f"block:{key}"
+            tid = _BLOCK_TID0 + int(key)
+        elif kind == "link":
+            rkey = ("link", key)
+            name = label(key)
+            tid = tids.get(rkey, link_next)
+        elif kind == "host":
+            rkey, name, tid = ("host", None), "host", _HOST_TID
+        else:
+            rkey, name, tid = ("dram", None), "dram", _DRAM_TID
+        if rkey not in tids:
+            tids[rkey] = tid
+            if kind == "link" and tid == link_next:
+                link_next += 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": COUNTERS_PID,
+                    "tid": tid,
+                    "args": {"name": name},
+                }
+            )
+        return tids[rkey]
+
+    slices = 0
+    dropped = 0
+    for kind, key, start, end in counters.events:
+        if end <= start:
+            continue
+        if slices >= max_events:
+            dropped += 1
+            continue
+        slices += 1
+        events.append(
+            {
+                "name": _KIND_NAMES.get(kind, kind),
+                "cat": "counters",
+                "ph": "X",
+                "ts": (origin_s + start) * 1e6,
+                "dur": (end - start) * 1e6,
+                "pid": COUNTERS_PID,
+                "tid": tid_for(kind, key),
+            }
+        )
+    if dropped:
+        events.append(
+            {
+                "name": f"timeline truncated (+{dropped} intervals)",
+                "cat": "counters",
+                "ph": "i",
+                "s": "p",
+                "ts": origin_s * 1e6,
+                "pid": COUNTERS_PID,
+                "tid": 0,
+            }
+        )
+    return events

@@ -124,6 +124,16 @@ class PimChip:
         self._path_cache[(src, dst)] = result
         return result
 
+    def link_label(self, key: tuple[int, int]) -> str:
+        """Human name of a switch-occupancy key ``(tile, switch)``.
+
+        The hardware counters record link occupancy under these keys; this
+        labels them ``link:t<tile>.<switch>`` (H-tree: ``link:t0.S1.3``,
+        Bus: ``link:t0.bus``) for timelines and attribution reports.
+        """
+        tile_id, switch_id = key
+        return f"link:t{tile_id}.{self.tile(tile_id).interconnect.switch_label(switch_id)}"
+
     # -- power ------------------------------------------------------------- #
 
     def static_power_w(self, include_host: bool = True, include_hbm: bool = False) -> float:

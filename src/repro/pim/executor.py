@@ -32,7 +32,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.obs import get_metrics, get_tracer
+from repro.obs import (
+    HardwareCounters,
+    attribute_makespan,
+    counter_track_events,
+    counters_enabled,
+    get_metrics,
+    get_tracer,
+)
 from repro.pim.arithmetic import HostOpModel, OpCosts, default_op_costs
 from repro.pim.chip import PimChip
 from repro.pim.isa import ARITHMETIC_OPS, Instruction, Opcode
@@ -262,8 +269,19 @@ class ChipExecutor:
         host: HostOpModel | None = None,
         verify: bool = False,
         faults=None,
+        counters: "HardwareCounters | bool | None" = None,
     ):
         self.chip = chip
+        #: optional :class:`~repro.obs.counters.HardwareCounters` recorder.
+        #: ``None`` defers to the ``REPRO_COUNTERS`` knob (default off),
+        #: ``True`` attaches a fresh recorder, ``False`` forces off.  The
+        #: recorder is a pure observer of values the replay already
+        #: computes: reports and block state are bit-identical either way.
+        if counters is None:
+            counters = counters_enabled()
+        if counters is True:
+            counters = HardwareCounters()
+        self.counters: HardwareCounters | None = counters or None
         #: opt-in static checking: every :meth:`run` audits the stream with
         #: the :mod:`repro.analysis` passes before executing it (and raises
         #: :class:`~repro.analysis.checker.ProgramCheckError` on errors).
@@ -295,6 +313,11 @@ class ChipExecutor:
         self._host_clock = 0.0
         self._dram_clock = 0.0
         self._barrier_time = 0.0
+        if self.counters is not None:
+            # counter intervals live on the executor's modeled clock; a
+            # clock reset would fold new intervals onto old ones, so the
+            # recorder restarts with the clocks.
+            self.counters = HardwareCounters(timeline=self.counters.timeline)
 
     def _now(self) -> float:
         clocks = (
@@ -446,6 +469,7 @@ class ChipExecutor:
         tracing-disabled overhead stays within the BENCH_perf.json guard's
         noise floor.
         """
+        cnt = self.counters
         metrics = get_metrics()
         if metrics.enabled:
             clock = self.chip.config.clock_hz
@@ -468,6 +492,30 @@ class ChipExecutor:
                 metrics.inc(f"interconnect.{kind}.hops", report.hops)
                 metrics.inc(f"interconnect.{kind}.flits", report.flits)
                 metrics.inc(f"interconnect.{kind}.bytes", report.bytes_moved)
+            if cnt is not None and span.name:
+                # per-resource utilization (busy / cumulative makespan) as
+                # mergeable histograms: one observation per active block /
+                # link per run, so --jobs workers and batched runs fold
+                # into one fleet-wide distribution.  Published on *traced*
+                # runs only: reading any counter aggregate drains the raw
+                # logs (HardwareCounters._finalize), and paying that every
+                # bare replay would blow the ≤2% enabled-overhead budget —
+                # untraced callers read executor.counters / attribution()
+                # when they want the numbers.
+                span_s = self._now()
+                if span_s > 0.0:
+                    for t in cnt.block_busy_s.values():
+                        metrics.observe("counters.block_util", t / span_s)
+                    for t in cnt.link_busy_s.values():
+                        metrics.observe("counters.link_util", t / span_s)
+                metrics.inc("counters.runs")
+                metrics.inc("counters.transfers_queued", cnt.transfers_queued)
+                metrics.inc("counters.transfer_queue_cycles",
+                            cnt.transfer_queue_s * clock)
+                metrics.inc("counters.host_stall_cycles",
+                            cnt.host_stall_s * clock)
+                metrics.inc("counters.dram_stall_cycles",
+                            cnt.dram_stall_s * clock)
         if span.name:  # live span (tracing enabled)
             clock = self.chip.config.clock_hz
             phases = report.phase_times()
@@ -477,9 +525,43 @@ class ChipExecutor:
                 dynamic_energy_j=report.dynamic_energy_j,
                 transfers=report.transfers,
                 hops=report.hops,
+                makespan_cycles=report.makespan_cycles,
+                emission_makespan_cycles=report.emission_makespan_cycles,
                 phase_times_s=phases,
                 phase_cycles={p: t * clock for p, t in phases.items()},
             )
+            if cnt is not None:
+                # attribution + the per-resource Gantt only on profiled
+                # runs: the sweep is O(events log events), far too big a
+                # bill for the counters-only fast path.
+                attrib = self.attribution()
+                span.set(
+                    binding_resource=attrib.binding_resource,
+                    binding_share=attrib.binding_share,
+                    idle_fraction=attrib.idle_fraction,
+                    block_util=attrib.block_util,
+                    link_util=attrib.link_util,
+                    chrome_events=counter_track_events(
+                        cnt, origin_s=span.start_s,
+                        link_label=self.chip.link_label,
+                    ),
+                )
+
+    def attribution(self):
+        """Makespan attribution of everything recorded since the last
+        :meth:`reset_clocks`, in chip clock cycles with chip-aware link
+        labels.  Requires an attached counters recorder."""
+        if self.counters is None:
+            raise ValueError(
+                "no counters attached: construct with counters=True or set "
+                "REPRO_COUNTERS=1"
+            )
+        return attribute_makespan(
+            self.counters,
+            total_time_s=self._now(),
+            clock_hz=self.chip.config.clock_hz,
+            link_label=self.chip.link_label,
+        )
 
     # -- plan replay ------------------------------------------------------- #
 
@@ -505,6 +587,19 @@ class ChipExecutor:
             return
         bc = self._block_clock
         pf = self._port_free
+        cnt = self.counters
+        # deferred counter recording: the whole plan is logged once up
+        # front and the hot loop appends only one float per (segment,
+        # block) through a bound list.append — the ≤2% enabled-overhead
+        # budget lives or dies here (aggregation re-walks plan.steps at
+        # the counters' first read).
+        if cnt is not None:
+            cnt._fold = fold_array
+            cnt._seg_kind = STEP_SEGMENT
+            cnt.plan_log.append(plan)
+            s_app = cnt.start_log.append
+        else:
+            s_app = None
         time_by_tag = report.time_by_tag
         energy_by_tag = report.energy_by_tag
         for kind, payload in plan.steps:
@@ -518,13 +613,27 @@ class ChipExecutor:
                 report.op_counts.update(payload.op_counts)
                 report.n_instructions += payload.n
                 barrier = self._barrier_time
-                for block, durs in payload.block_groups:
-                    # defaultdict lookups deliberately mirror _compute_start
-                    # (they insert missing keys, which _now() later reads).
-                    start = max(
-                        bc[block], pf[("r", block)], pf[("w", block)], barrier
-                    )
-                    bc[block] = fold_array(start, durs)
+                if s_app is None:
+                    for block, durs, _nors, _ops in payload.block_groups:
+                        # defaultdict lookups deliberately mirror
+                        # _compute_start (they insert missing keys, which
+                        # _now() later reads).
+                        start = max(
+                            bc[block], pf[("r", block)], pf[("w", block)],
+                            barrier,
+                        )
+                        bc[block] = fold_array(start, durs)
+                else:
+                    # recording twin of the loop above: the only extra work
+                    # per block is one float append — ends are recomputed
+                    # lazily from the same fold at the counters' first read.
+                    for block, durs, _nors, _ops in payload.block_groups:
+                        start = max(
+                            bc[block], pf[("r", block)], pf[("w", block)],
+                            barrier,
+                        )
+                        bc[block] = fold_array(start, durs)
+                        s_app(start)
                 if functional:
                     self._segment_apply(payload, insts)
             elif kind == STEP_TRANSFER:
@@ -550,15 +659,18 @@ class ChipExecutor:
         energies = arr["energy"]
         nors_col = arr["nors"]
         flips = self._predraw_flips(plan)
+        cnt = self.counters
         for kind, payload in plan.steps:
             if kind == STEP_SEGMENT:
                 for i in range(payload.start, payload.stop):
                     inst = insts[i]
                     dur = float(durs[i])
                     energy = float(energies[i])
-                    self._block_clock[inst.block] = (
-                        self._compute_start(inst.block) + dur
-                    )
+                    start = self._compute_start(inst.block)
+                    self._block_clock[inst.block] = start + dur
+                    if cnt is not None:
+                        cnt.compute(inst.block, start, start + dur,
+                                    int(nors_col[i]))
                     if functional:
                         self._apply_functional(inst)
                     report.add(inst.tag, inst.op, dur, energy)
@@ -700,6 +812,7 @@ class ChipExecutor:
             self._block_clock[t.dst],
             self._barrier_time,
         )
+        ready0 = ready  # port-ready time, before queueing behind switches
         keys = t.keys
         for k in keys:
             ready = max(ready, sw[k])
@@ -726,10 +839,26 @@ class ChipExecutor:
         if fplan is not None and attempts > 1:
             # retransmissions repeat the row reads and switch traversals.
             energy = attempts * energy
+        hops = t.hops if fplan is None else t.hops * attempts
+        flits = t.flits if fplan is None else t.flits * attempts
         report.transfers += 1
-        report.hops += t.hops if fplan is None else t.hops * attempts
-        report.flits += t.flits if fplan is None else t.flits * attempts
+        report.hops += hops
+        report.flits += flits
         report.bytes_moved += t.n_bytes
+        cnt = self.counters
+        if cnt is not None:
+            if fplan is None:
+                # deferred record (see HardwareCounters hot-path contract):
+                # occupancy/flits/hops all derive from the stable step
+                # object at finalize time, so the replay pays one 3-tuple.
+                cnt.xfer_log.append((t, ready, ready0))
+            else:
+                link_busy = (
+                    attempts * (t.read_t + t.wire) + backoff
+                    if t.exclusive else attempts * t.flit_train
+                )
+                cnt.transfer(keys, ready, link_busy, flits, hops,
+                             t.n_bytes, ready - ready0)
         if fplan is not None and not delivered:
             # undeliverable payload: the destination keeps its stale rows.
             report.add(t.tag, t.op, dur, energy)
@@ -872,7 +1001,12 @@ class ChipExecutor:
                             s_rows[hit], inst.dst, s_bits[hit], s_vals[hit]
                         )
         if overhead:
-            self._block_clock[inst.block] += overhead
+            start = self._block_clock[inst.block]
+            self._block_clock[inst.block] = start + overhead
+            if self.counters is not None:
+                # recovery work occupies the block but retires no op
+                self.counters.compute(inst.block, start, start + overhead,
+                                      ops=0)
             report.add_overhead(inst.tag, overhead, o_energy)
 
     # -- individual opcodes ------------------------------------------------ #
@@ -880,7 +1014,11 @@ class ChipExecutor:
     def _arith(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
         dur = self.costs.time_s(inst.op.value)
         energy = self.costs.energy_j(inst.op.value, active_rows=inst.n_rows)
-        self._block_clock[inst.block] = self._compute_start(inst.block) + dur
+        start = self._compute_start(inst.block)
+        self._block_clock[inst.block] = start + dur
+        if self.counters is not None:
+            self.counters.compute(inst.block, start, start + dur,
+                                  self.costs.nor_count(inst.op.value))
         if functional:
             blk = self.chip.block(inst.block)
             getattr(blk, inst.op.value)(inst.rows, inst.dst, inst.src1, inst.src2)
@@ -892,7 +1030,10 @@ class ChipExecutor:
     def _copy(self, inst: Instruction, functional: bool, report: TimingReport) -> None:
         dur = _COPY_NORS * self.costs.device.t_nor_s
         energy = _COPY_NORS * 32 * self.costs.device.e_nor_j * inst.n_rows
-        self._block_clock[inst.block] = self._compute_start(inst.block) + dur
+        start = self._compute_start(inst.block)
+        self._block_clock[inst.block] = start + dur
+        if self.counters is not None:
+            self.counters.compute(inst.block, start, start + dur, _COPY_NORS)
         if functional:
             self.chip.block(inst.block).copy_column(inst.rows, inst.dst, inst.src1)
         report.add(inst.tag, inst.op, dur, energy)
@@ -905,7 +1046,10 @@ class ChipExecutor:
             n_unique = len(np.unique(np.asarray(inst.row_map)))
         dur = self.costs.gather_time_s(n_unique)
         energy = self.costs.row_move_energy_j(inst.n_rows, words=inst.words)
-        self._block_clock[inst.block] = self._compute_start(inst.block) + dur
+        start = self._compute_start(inst.block)
+        self._block_clock[inst.block] = start + dur
+        if self.counters is not None:
+            self.counters.compute(inst.block, start, start + dur)
         if functional:
             self.chip.block(inst.block).gather(inst.rows, inst.dst, inst.src1, inst.row_map)
         report.add(inst.tag, inst.op, dur, energy)
@@ -922,7 +1066,10 @@ class ChipExecutor:
             # batch loop by broadcasting constants only once.
             dur = self.costs.broadcast_time_s(inst.n_rows)
         energy = self.costs.row_move_energy_j(inst.n_rows, words=inst.words)
-        self._block_clock[inst.block] = self._compute_start(inst.block) + dur
+        start = self._compute_start(inst.block)
+        self._block_clock[inst.block] = start + dur
+        if self.counters is not None:
+            self.counters.compute(inst.block, start, start + dur)
         if functional:
             self.chip.block(inst.block).broadcast(inst.rows, inst.dst, inst.value)
         report.add(inst.tag, inst.op, dur, energy)
@@ -981,6 +1128,7 @@ class ChipExecutor:
             self._block_clock[dst],
             self._barrier_time,
         )
+        ready0 = ready  # port-ready time, before queueing behind switches
         if exclusive:
             # "only one data path can be enabled when using the bus
             # interconnection" (§4.2.2): the switch is held for the row
@@ -994,6 +1142,10 @@ class ChipExecutor:
                     self._switch_free[k] = ready + read_t + wire
                 else:
                     self._switch_free[k] = ready + attempts * (read_t + wire) + backoff
+            link_busy = (
+                read_t + wire if plan is None
+                else attempts * (read_t + wire) + backoff
+            )
         else:
             # H-tree switches behave as pipelined FIFO servers: each one
             # serves a transfer for one flit-train (wormhole cut-through),
@@ -1007,6 +1159,7 @@ class ChipExecutor:
             finish = ready + dur
             for k in keys:
                 self._switch_free[k] += flit_train if plan is None else attempts * flit_train
+            link_busy = flit_train if plan is None else attempts * flit_train
         # the source is free again once the row buffer has drained into the
         # network; the destination holds its write port to the end.  The
         # compute clocks are untouched: ordering against arithmetic is
@@ -1025,10 +1178,17 @@ class ChipExecutor:
             # retransmissions repeat the row reads and switch traversals.
             energy = attempts * energy
 
+        n_hops = hops if plan is None else hops * attempts
+        n_flits = flits if plan is None else flits * attempts
         report.transfers += 1
-        report.hops += hops if plan is None else hops * attempts
-        report.flits += flits if plan is None else flits * attempts
+        report.hops += n_hops
+        report.flits += n_flits
         report.bytes_moved += n_rows * inst.words * 4
+        if self.counters is not None:
+            self.counters.transfer(
+                keys, ready, link_busy, n_flits, n_hops,
+                n_rows * inst.words * 4, ready - ready0,
+            )
 
         if plan is not None and not delivered:
             # undeliverable payload: the destination keeps its stale rows.
@@ -1072,6 +1232,7 @@ class ChipExecutor:
         ready = max(
             self._compute_start(inst.block), self._compute_start(inst.src_block)
         )
+        ready0 = ready  # block-ready time, before queueing behind switches
         for k in keys:
             ready = max(ready, self._switch_free[k])
         finish = ready + dur
@@ -1085,6 +1246,11 @@ class ChipExecutor:
         report.hops += hops
         report.flits += 2 * n  # index out + entry back, one word each
         report.bytes_moved += 2 * n * 4
+        if self.counters is not None:
+            # the LUT micro-sequence holds its switches end-to-end
+            self.counters.transfer(
+                keys, ready, dur, 2 * n, hops, 2 * n * 4, ready - ready0
+            )
 
         if functional:
             req = self.chip.block(inst.block)
@@ -1098,7 +1264,10 @@ class ChipExecutor:
     def _hostop(self, inst: Instruction, report: TimingReport) -> None:
         dur = self.host.time_s(inst.count)
         energy = self.host.energy_j(inst.count)
-        self._host_clock = max(self._host_clock, self._barrier_time) + dur
+        start = max(self._host_clock, self._barrier_time)
+        if self.counters is not None:
+            self.counters.host(start, start + dur, start - self._host_clock)
+        self._host_clock = start + dur
         report.add(inst.tag or "host", inst.op, dur, energy)
 
     def _dram(self, inst: Instruction, report: TimingReport) -> None:
@@ -1109,6 +1278,9 @@ class ChipExecutor:
         if inst.block is not None:
             start = max(start, self._block_clock[inst.block])
         finish = start + dur
+        if self.counters is not None:
+            self.counters.dram(start, finish, start - self._dram_clock,
+                               block=inst.block)
         self._dram_clock = finish
         if inst.block is not None:
             self._block_clock[inst.block] = finish

@@ -176,6 +176,7 @@ class _VecSegment:
         self.stop = indices.stop
         durs = array["dur"][indices.start:indices.stop]
         ens = array["energy"][indices.start:indices.stop]
+        nors = array["nors"][indices.start:indices.stop]
         #: whole-segment energies in stream order (global dynamic-energy fold)
         self.energies = ens
         self.op_counts = Counter(
@@ -192,9 +193,13 @@ class _VecSegment:
             (tag, durs[np.asarray(p, dtype=np.intp)], ens[np.asarray(p, dtype=np.intp)])
             for tag, p in by_tag.items()
         ]
+        # per-block duration runs plus the hardware-counter aggregates
+        # (NOR cycles issued / ops retired) precomputed at lower time, so
+        # counters-enabled replay costs one dict update per group.
         self.block_groups = [
-            (block, durs[np.asarray(p, dtype=np.intp)])
+            (block, durs[sel], int(nors[sel].sum()), len(p))
             for block, p in by_block.items()
+            for sel in (np.asarray(p, dtype=np.intp),)
         ]
         #: functional apply program, built lazily on the first functional
         #: replay (analytic replays never pay for it).
@@ -423,6 +428,45 @@ class ExecutionPlan:
         if not n:
             return 0.0
         return 1.0 - (self.n_dispatch + self.n_transfers) / n
+
+    def footprint(self) -> dict:
+        """Resource totals of one replay, derived from the plan alone.
+
+        An executor-independent cross-check for the hardware counters:
+        per-block compute busy seconds (left-fold of segment durations, the
+        same order replay folds them), per-block NOR cycles and compute-op
+        counts, and the interconnect totals of the TRANSFER steps.  LUT/
+        HOSTOP/DRAM/BARRIER go through serial dispatch, so their footprint
+        is reported separately as ``dispatch_ops``.
+        """
+        block_busy: dict = {}
+        block_nors: dict = {}
+        block_ops: dict = {}
+        transfers = flits = hops = n_bytes = 0
+        dispatch_ops = 0
+        for kind, payload in self.steps:
+            if kind == STEP_SEGMENT:
+                for block, durs, nors, ops in payload.block_groups:
+                    block_busy[block] = fold_array(block_busy.get(block, 0.0), durs)
+                    block_nors[block] = block_nors.get(block, 0) + nors
+                    block_ops[block] = block_ops.get(block, 0) + ops
+            elif kind == STEP_TRANSFER:
+                transfers += 1
+                flits += payload.flits
+                hops += payload.hops
+                n_bytes += payload.n_bytes
+            else:
+                dispatch_ops += 1
+        return {
+            "block_busy_s": block_busy,
+            "block_nors": block_nors,
+            "block_ops": block_ops,
+            "transfers": transfers,
+            "flits": flits,
+            "hops": hops,
+            "bytes_moved": n_bytes,
+            "dispatch_ops": dispatch_ops,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -65,10 +65,12 @@ if TYPE_CHECKING:
 __all__ = [
     "audit_reorder",
     "dependency_edges",
+    "plan_slack",
     "schedule_enabled",
     "schedule_order",
     "schedule_plan",
     "verify_order",
+    "verify_resource_model",
 ]
 
 _INF = float("inf")
@@ -377,6 +379,128 @@ def _sim_items(ex: "ChipExecutor", plan: ExecutionPlan) -> list:
     return items
 
 
+def _item_durations(items: list) -> List[float]:
+    """Modeled duration of each resource-model item (barrier: 0)."""
+    return [
+        it[2] if it[0] == "c" else (it[1].dur if it[0] == "t" else
+                                    (0.0 if it[0] == "b" else it[1]))
+        for it in items
+    ]
+
+
+# --------------------------------------------------------------------- #
+# cross-checks: the resource model vs the measured executor/counters
+# --------------------------------------------------------------------- #
+
+def verify_resource_model(ex: "ChipExecutor", plan: ExecutionPlan) -> List[str]:
+    """Prove the scheduler's ``_Sim`` agrees with the measured executor.
+
+    Walks the resource model over ``plan`` in emission order, then replays
+    the same plan on a fresh hardware-counting executor and compares:
+    every final clock (blocks, ports, switches, host, DRAM) and the
+    makespan must match *exactly* — the scheduler prices instructions with
+    the very semantics the executor charges — and the counters' totals
+    must equal the TimingReport's interconnect aggregates with per-block
+    busy time never exceeding the block's final clock.  Returns mismatch
+    messages (empty list = the model, the executor and the counters agree).
+    """
+    from repro.pim.executor import ChipExecutor
+
+    sim = _Sim()
+    for item in _sim_items(ex, plan):
+        sim.commit(item)
+    fresh = ChipExecutor(ex.chip, op_costs=ex.costs, host=ex.host, counters=True)
+    report = fresh.run(plan, functional=False)
+    out: List[str] = []
+
+    def compare(what: str, modeled: dict, measured: dict,
+                floor: float = 0.0) -> None:
+        # The executor's clock dicts materialize entries on *read*
+        # (defaultdict) and BARRIER then sweeps those entries up to `now`;
+        # _Sim reads with .get and never creates them.  Both agree on the
+        # *effective* value max(entry, barrier) every consumer observes, so
+        # block/port entries compare through that floor — exactly, not
+        # approximately.  Switches are not swept (floor stays 0).
+        for key in sorted({*modeled, *measured}, key=str):
+            a = max(modeled.get(key, 0.0), floor)
+            b = max(measured.get(key, 0.0), floor)
+            if a != b:
+                out.append(
+                    f"{what}[{key}]: resource model {a!r} != executor {b!r}"
+                )
+
+    if sim.barrier != fresh._barrier_time:
+        out.append(
+            f"barrier: model {sim.barrier!r} != executor {fresh._barrier_time!r}"
+        )
+    compare("block_clock", sim.block, dict(fresh._block_clock),
+            floor=sim.barrier)
+    compare("port_free", sim.port, dict(fresh._port_free), floor=sim.barrier)
+    compare("switch_free", sim.sw, dict(fresh._switch_free))
+    if sim.host != fresh._host_clock:
+        out.append(f"host clock: model {sim.host!r} != executor {fresh._host_clock!r}")
+    if sim.dram != fresh._dram_clock:
+        out.append(f"dram clock: model {sim.dram!r} != executor {fresh._dram_clock!r}")
+    if sim.now() != report.total_time_s:
+        out.append(
+            f"makespan: model {sim.now()!r} != measured {report.total_time_s!r}"
+        )
+
+    cnt = fresh.counters
+    assert cnt is not None
+    for name, measured_n, reported_n in (
+        ("transfers", cnt.transfers, report.transfers),
+        ("flits", cnt.flits, report.flits),
+        ("hops", cnt.hops, report.hops),
+        ("bytes_moved", cnt.bytes_moved, report.bytes_moved),
+    ):
+        if measured_n != reported_n:
+            out.append(
+                f"counters.{name} {measured_n} != report.{name} {reported_n}"
+            )
+    for b, busy in cnt.block_busy_s.items():
+        occupied = busy + cnt.block_stage_s.get(b, 0.0)
+        clock = fresh._block_clock.get(b, 0.0)
+        if occupied > clock * (1.0 + 1e-9) + 1e-15:
+            out.append(
+                f"block {b} occupancy {occupied!r} exceeds its clock {clock!r}"
+            )
+    return out
+
+
+def plan_slack(
+    ex: "ChipExecutor", plan: ExecutionPlan,
+    preds: Sequence[Sequence[int]] | None = None,
+) -> np.ndarray:
+    """Per-instruction scheduler slack, in seconds (emission order).
+
+    ``slack[j]`` is the instruction's modeled start under the emission
+    order (the ``_Sim`` walk) minus its critical-path earliest start (the
+    resource-free DAG bound ``est[j] = max over preds(est[i] + dur[i])``).
+    Zero means the instruction sits on the critical path as emitted; large
+    values mark work the scheduler (or a future multi-chip sharding) could
+    pull earlier.  Always >= 0 up to float rounding: resources only ever
+    delay an instruction past its dependency bound.
+    """
+    insts = plan.instructions
+    n = len(insts)
+    if preds is None:
+        preds = dependency_edges(insts)
+    items = _sim_items(ex, plan)
+    dur_of = _item_durations(items)
+    sim = _Sim()
+    starts = np.empty(n)
+    for j, item in enumerate(items):
+        starts[j] = sim.est(item)
+        sim.commit(item)
+    earliest = np.zeros(n)
+    for j in range(n):
+        ps = preds[j]
+        if ps:
+            earliest[j] = max(earliest[i] + dur_of[i] for i in ps)
+    return starts - earliest
+
+
 # --------------------------------------------------------------------- #
 # greedy critical-path list scheduling
 # --------------------------------------------------------------------- #
@@ -408,11 +532,7 @@ def schedule_order(
     items = _sim_items(ex, plan)
     # critical-path length: edges always point forward in emission order,
     # so a reverse index walk is a reverse topological order.
-    dur_of = [
-        it[2] if it[0] == "c" else (it[1].dur if it[0] == "t" else
-                                    (0.0 if it[0] == "b" else it[1]))
-        for it in items
-    ]
+    dur_of = _item_durations(items)
     cp = [0.0] * n
     for i in range(n - 1, -1, -1):
         tail = max((cp[j] for j in succs[i]), default=0.0)

@@ -40,6 +40,37 @@ class TestCli:
         assert "matches_paper" in capsys.readouterr().out
 
 
+class TestPerfHistory:
+    def test_history_table(self, tmp_path, capsys):
+        import json
+
+        doc = {"history": [{
+            "timestamp": "2026-08-08T00:00:00",
+            "executor_step_s": 0.003,
+            "block_util": 0.8, "link_util": 0.1,
+            "binding_resource": "block:1", "counters_overhead": 1.01,
+        }]}
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps(doc))
+        assert main(["perf", "history", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "block:1" in out and "1 entries" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["perf", "history", "--json",
+                     str(tmp_path / "nope.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_counters_flag_sets_env(self, monkeypatch, capsys):
+        import os
+
+        # seed a falsy value so monkeypatch restores the pre-test state
+        # even though main() itself rewrites the variable
+        monkeypatch.setenv("REPRO_COUNTERS", "0")
+        assert main(["run", "table5", "--counters"]) == 0
+        assert os.environ.get("REPRO_COUNTERS") == "1"
+
+
 class TestCacheStatus:
     """Satellite: sub-second runs must not print ``elapsed 0.00s``."""
 

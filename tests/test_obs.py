@@ -269,7 +269,11 @@ class TestExport:
         chrome = chrome_trace(_sample_doc())
         events = chrome["traceEvents"]
         assert {e["name"] for e in events} >= {"run/test", "compile", "execute", "report"}
+        meta = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in meta} >= {"process_name"}
         for e in events:
+            if e["ph"] == "M":
+                continue
             assert e["ph"] == "X"
             assert e["dur"] >= 0 and isinstance(e["ts"], float)
 
