@@ -38,6 +38,15 @@ Rules (stdlib ``ast`` only, so this runs in the bare container):
            reference (``run(..., serial=True)``), and a new call site
            would silently fork the semantics the plan engine must mirror.
 
+``RL006``  every finding code emitted inside ``src/repro/analysis/`` (a
+           ``XX123`` string literal passed as the first argument of a
+           ``Finding(...)`` constructor or an ``add(...)`` emit helper)
+           must be registered in ``repro.analysis.findings.FINDING_CODES``.
+           ``Finding.__post_init__`` raises on unregistered codes, but
+           only when the emitting branch actually runs — this catches the
+           drift statically (a PL004 emit once shipped unregistered and
+           only a rare scheduler-audit failure path would have tripped it).
+
 Usage::
 
     python scripts/lint_repo.py [--root PATH]
@@ -49,6 +58,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import re
 import sys
 from pathlib import Path
 from typing import List, Tuple
@@ -75,12 +85,40 @@ RL004_ALLOWED = (
 
 RL005_ALLOWED = ("src/repro/pim/executor.py",)
 
+#: RL006: where finding codes are registered / emitted.
+RL006_REGISTRY = "src/repro/analysis/findings.py"
+RL006_SCOPE = "src/repro/analysis/"
+#: the shape of a finding code (mirrors findings.Finding's contract).
+RL006_CODE = re.compile(r"^[A-Z]{2}\d{3}$")
+
+
+def _registered_codes(root: Path) -> set:
+    """FINDING_CODES keys, read statically from the registry module."""
+    path = root / RL006_REGISTRY
+    try:
+        tree = ast.parse(path.read_text(), filename=str(path))
+    except (OSError, SyntaxError):
+        return set()
+    for node in ast.walk(tree):
+        target = None
+        if isinstance(node, ast.Assign) and node.targets:
+            target = node.targets[0]
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+        if (target is not None and isinstance(target, ast.Name)
+                and target.id == "FINDING_CODES"
+                and isinstance(getattr(node, "value", None), ast.Dict)):
+            return {k.value for k in node.value.keys
+                    if isinstance(k, ast.Constant) and isinstance(k.value, str)}
+    return set()
+
 
 def _rel(path: Path, root: Path) -> str:
     return path.relative_to(root).as_posix()
 
 
-def _lint_file(path: Path, root: Path) -> List[Violation]:
+def _lint_file(path: Path, root: Path,
+               registered_codes: frozenset = frozenset()) -> List[Violation]:
     rel = _rel(path, root)
     try:
         tree = ast.parse(path.read_text(), filename=str(path))
@@ -162,6 +200,27 @@ def _lint_file(path: Path, root: Path) -> List[Violation]:
                             "._dispatch referenced outside pim/executor.py — "
                             "plan replay is the only execution path; request "
                             "the audit reference via run(..., serial=True)"))
+
+    # RL006: emitted finding codes must be registered in FINDING_CODES
+    if rel.startswith(RL006_SCOPE) and rel != RL006_REGISTRY:
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call) and node.args):
+                continue
+            fn = node.func
+            name = fn.id if isinstance(fn, ast.Name) else (
+                fn.attr if isinstance(fn, ast.Attribute) else None)
+            if name not in ("Finding", "add"):
+                continue
+            arg = node.args[0]
+            if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+                    and RL006_CODE.match(arg.value)):
+                continue
+            if arg.value not in registered_codes:
+                out.append((path, node.lineno, "RL006",
+                            f"finding code {arg.value!r} is not registered in "
+                            "repro.analysis.findings.FINDING_CODES — register "
+                            "it (Finding.__post_init__ would raise at emit "
+                            "time)"))
     return out
 
 
@@ -177,9 +236,15 @@ def main(argv=None) -> int:
         print(f"lint_repo: no Python files under {root / 'src'}", file=sys.stderr)
         return 2
 
+    registered = frozenset(_registered_codes(root))
+    if not registered:
+        print(f"lint_repo: no FINDING_CODES found in {RL006_REGISTRY} — "
+              "RL006 cannot run", file=sys.stderr)
+        return 2
+
     violations: List[Violation] = []
     for path in files:
-        violations.extend(_lint_file(path, root))
+        violations.extend(_lint_file(path, root, registered))
 
     for path, line, code, msg in violations:
         print(f"{_rel(path, root)}:{line}: {code} {msg}", file=sys.stderr)

@@ -20,6 +20,11 @@ Commands
                            executor speedup vs the seed tree drops below X
 ``perf history``           trend table over the ``BENCH_perf.json`` history
                            (null-safe on older entries; flags regressions)
+``perf audit [benchmarks]``  static cost-bound audit: work/span/occupancy
+                           lower bounds, scheduler optimality gap and the
+                           PF001-PF006 anti-pattern findings (DESIGN.md
+                           §15; ``--strict`` fails on warnings, ``--json``
+                           writes the audit report)
 
 Performance knobs: ``--jobs N`` (or ``REPRO_JOBS``) compiles the experiment
 matrix with N worker processes; ``--no-cache`` (or ``REPRO_NO_CACHE=1``)
@@ -428,6 +433,85 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _cmd_perf_audit(args) -> int:
+    # imported here: the audit pulls in the compiler + executor stack.
+    from repro.analysis.perf import audit_program
+    from repro.analysis.programs import build_check_program
+    from repro.core.compiler import WavePimCompiler
+    from repro.pim.executor import ChipExecutor
+    from repro.workloads.benchmarks import BENCHMARKS
+
+    keys = args.benchmarks or list(BENCHMARKS)
+    unknown = [k for k in keys if k not in BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmark(s) {', '.join(unknown)}; "
+              f"choose from {', '.join(BENCHMARKS)}", file=sys.stderr)
+        return 2
+    interconnects = (
+        ["htree", "bus"] if args.interconnect == "both" else [args.interconnect]
+    )
+
+    compiler = WavePimCompiler(order=args.order or 7)
+    entries = []
+    n_errors = n_warnings = 0
+    for key in keys:
+        spec = BENCHMARKS[key]
+        for ic in interconnects:
+            checked = build_check_program(
+                spec.physics, spec.refinement_level, chip=args.chip,
+                flux_kind=spec.flux_kind,
+                order=spec.order if args.order is None else args.order,
+                interconnect=ic, compiler=compiler,
+            )
+            ex = ChipExecutor(checked.context.chip)
+            audit = audit_program(
+                checked.program, ex,
+                block_rows=checked.context.block_rows,
+            )
+            findings = audit.findings
+            errs = sum(1 for f in findings if f.is_error)
+            n_errors += errs
+            n_warnings += len(findings) - errs
+            status = "FAIL" if errs else ("WARN" if findings else "ok")
+            print(f"{status:4s} {key:18s} {args.chip}/{ic:5s} "
+                  f"gap={audit.optimality_gap:6.3f}x "
+                  f"bound={audit.bounds.makespan_lower_bound_s:.3e}s "
+                  f"binding={audit.bounds.predicted_binding_resource:<12s} "
+                  f"{len(findings)} finding{'s' if len(findings) != 1 else ''}")
+            for f in findings:
+                print(f"     {f.format()}")
+            entries.append({
+                "benchmark": key,
+                "chip": args.chip,
+                "interconnect": ic,
+                "plan": checked.plan_label,
+                **audit.as_dict(),
+            })
+
+    if args.json:
+        import json
+
+        report = {
+            "kind": "repro-perf-audit",
+            "schema": 1,
+            "strict": args.strict,
+            "errors": n_errors,
+            "warnings": n_warnings,
+            "benchmarks": entries,
+        }
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"[perf audit report: {args.json}]", file=sys.stderr)
+
+    total = n_errors + n_warnings
+    print(f"audited {len(entries)} program{'s' if len(entries) != 1 else ''}: "
+          f"{n_errors} error{'s' if n_errors != 1 else ''}, "
+          f"{n_warnings} warning{'s' if n_warnings != 1 else ''}")
+    if n_errors or (args.strict and total):
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     try:
         doc = load_trace(args.file)
@@ -587,6 +671,24 @@ def main(argv=None) -> int:
     ph.add_argument("--json", default=None, metavar="PATH",
                     help="BENCH_perf.json path (default: the repo-root file)")
     ph.set_defaults(fn=_cmd_perf)
+    pa = perf_sub.add_parser(
+        "audit",
+        help="static cost-bound audit: lower bounds, optimality gap and "
+             "PF001-PF006 anti-pattern findings (DESIGN.md §15)")
+    pa.add_argument("benchmarks", nargs="*", metavar="BENCHMARK",
+                    help="benchmark keys (default: all six paper benchmarks)")
+    pa.add_argument("--chip", default="2GB", choices=list(CHIP_CONFIGS),
+                    help="chip configuration (default: 2GB)")
+    pa.add_argument("--interconnect", default="both",
+                    choices=["htree", "bus", "both"],
+                    help="interconnect(s) to audit the plan on")
+    pa.add_argument("--order", type=int, default=None,
+                    help="element order (default: the paper's 7)")
+    pa.add_argument("--strict", action="store_true",
+                    help="exit nonzero on warnings, not just errors")
+    pa.add_argument("--json", default=None, metavar="PATH",
+                    help="write a JSON audit report")
+    pa.set_defaults(fn=_cmd_perf_audit)
 
     p = sub.add_parser("trace", parents=[common],
                        help="inspect a trace recorded with --profile")

@@ -15,7 +15,13 @@ Passes (see DESIGN.md "Static analysis" for the finding-code catalogue):
   the active H-tree/Bus interconnect;
 * ``phases``    — PH001 total ``tag_phase`` coverage, PH002
   BARRIER-delimited compute phases;
-* ``hazards``   — HZ001 lost slice updates in batched/expanded schedules.
+* ``hazards``   — HZ001 lost slice updates in batched/expanded schedules;
+* ``faultready``— FT001 parity-row budget for fault protection;
+* ``lowering``  — PL001-PL004 plan/stream agreement, route freshness and
+  scheduler reorder legality;
+* ``perf``      — PF001-PF006 static cost bounds (work/span/occupancy),
+  scheduler optimality gap, perf anti-patterns, and the
+  predict-vs-measured counter cross-validation.
 
 Entry points: :func:`check_program` (any stream), the per-benchmark
 :func:`check_benchmark` / :func:`verify_benchmark`, the ``repro check``
@@ -36,6 +42,14 @@ from repro.analysis.checker import (
     row_mask,
 )
 from repro.analysis.findings import ERROR, FINDING_CODES, WARNING, Finding
+from repro.analysis.perf import (
+    CostBounds,
+    PerfAudit,
+    PerfOptions,
+    PerfPass,
+    audit_program,
+    cost_bounds,
+)
 from repro.analysis.programs import (
     CheckedProgram,
     build_check_program,
@@ -48,16 +62,22 @@ __all__ = [
     "CheckContext",
     "CheckOptions",
     "CheckedProgram",
+    "CostBounds",
     "ERROR",
     "FINDING_CODES",
     "Finding",
+    "PerfAudit",
+    "PerfOptions",
+    "PerfPass",
     "ProgramCheckError",
     "WARNING",
     "accesses",
     "all_passes",
+    "audit_program",
     "build_check_program",
     "check_benchmark",
     "check_program",
+    "cost_bounds",
     "raise_on_errors",
     "row_mask",
     "verify_benchmark",

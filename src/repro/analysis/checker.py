@@ -208,12 +208,13 @@ def all_passes() -> tuple:
     from repro.analysis.faultready import FaultReadinessPass
     from repro.analysis.hazards import HazardPass
     from repro.analysis.lowering import LoweringPass
+    from repro.analysis.perf import PerfPass
     from repro.analysis.phases import PhasePass
     from repro.analysis.structural import LayoutPass, TransferPass
 
     return (
         LayoutPass(), TransferPass(), DataflowPass(), PhasePass(),
-        HazardPass(), FaultReadinessPass(), LoweringPass(),
+        HazardPass(), FaultReadinessPass(), LoweringPass(), PerfPass(),
     )
 
 

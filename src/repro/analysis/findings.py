@@ -53,6 +53,22 @@ FINDING_CODES: Dict[str, str] = {
              "topology (stale or mis-resolved path)",
     "PL003": "lowered plan was built under a different routing epoch than "
              "the chip's current one (stale-route hazard)",
+    "PL004": "scheduler reordering violates the dependency DAG (illegal "
+             "permutation of the instruction stream)",
+    # static performance analysis (pass h)
+    "PF001": "scheduler optimality gap exceeds tolerance (measured makespan "
+             "far above the static work/span/resource lower bound)",
+    "PF002": "removable over-fencing BARRIER: no data dependency crosses the "
+             "fence, so it only serializes independent work",
+    "PF003": "TRANSFER serializes behind unrelated traffic (resource queueing "
+             "delay far exceeds its own duration; reroute or reorder to overlap)",
+    "PF004": "dead segment: every value the segment writes is overwritten "
+             "before any read (compute contributes nothing to the result)",
+    "PF005": "degenerate vectorization: most compute lands in segments below "
+             "the width threshold, paying per-segment dispatch overhead",
+    "PF006": "static cost bound disagrees with measured hardware counters "
+             "(bound exceeds the measured makespan, or predicted occupancy "
+             "diverges beyond epsilon — analyzer and hardware model diverged)",
 }
 
 

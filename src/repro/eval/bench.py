@@ -47,6 +47,14 @@ SEED_BASELINE = {
 #: Only flag order-of-magnitude breakage, not machine-to-machine noise.
 REGRESSION_FACTOR = 3.0
 
+#: Ceiling on the scheduled plan's optimality gap (measured makespan over
+#: the static work/span/occupancy lower bound of ``repro.analysis.perf``).
+#: The bench step workload schedules to a ~1.0x gap today (block-bound,
+#: emission order is ~3.2x); regressing past this means the scheduler
+#: started leaving provably-available overlap on the table.  A gap *below*
+#: 1.0 is a model-soundness failure either way.
+GAP_TOLERANCE = 6.0
+
 
 def default_bench_path() -> Path:
     """``BENCH_perf.json`` at the repo root (next to ``src/``)."""
@@ -167,6 +175,21 @@ def measure_hot_paths(rounds: int = 3) -> dict:
     scheduled_makespan_cycles = sched_stats["scheduled_makespan_s"] * clock_hz
     scheduler_speedup = sched_stats["improvement"]
 
+    # the static cost-bound side of the predict-then-measure loop
+    # (repro.analysis.perf): the work/span/occupancy lower bound is
+    # order-invariant, so the scheduled makespan over it is the scheduler's
+    # optimality gap — 1.0 means provably optimal, and the CI gate fails
+    # the entry when the gap regresses past GAP_TOLERANCE (or dips below
+    # 1.0, which would mean the bound itself is unsound).
+    from repro.analysis.perf import cost_bounds
+
+    bounds = cost_bounds(ex, step_plan)
+    makespan_lower_bound_cycles = bounds.makespan_lower_bound_s * clock_hz
+    optimality_gap = (
+        sched_stats["scheduled_makespan_s"] / bounds.makespan_lower_bound_s
+        if bounds.makespan_lower_bound_s > 0.0 else None
+    )
+
     # hardware counters on the same step plan: one recording executor
     # replays it, attribution names the binding resource, and the ratio of
     # counters-on to counters-off replay time is the enabled overhead the
@@ -218,6 +241,9 @@ def measure_hot_paths(rounds: int = 3) -> dict:
         "makespan_cycles": makespan_cycles,
         "scheduled_makespan_cycles": scheduled_makespan_cycles,
         "scheduler_speedup": scheduler_speedup,
+        "makespan_lower_bound": makespan_lower_bound_cycles,
+        "optimality_gap": optimality_gap,
+        "predicted_binding_resource": bounds.predicted_binding_resource,
         "block_util": attrib.block_util,
         "link_util": attrib.link_util,
         "binding_resource": attrib.binding_resource,
@@ -250,15 +276,16 @@ def history_summary(doc: dict) -> dict:
     """
     history = doc.get("history") or []
     out: dict = {"entries": len(history)}
+    lower_is_better = set(SEED_BASELINE) | {"optimality_gap"}
     for key in (*SEED_BASELINE, "cache_hit_rate", "plan_reuse_rate",
-                "plan_coverage", "scheduler_speedup"):
+                "plan_coverage", "scheduler_speedup", "optimality_gap"):
         vals = [
             e[key] for e in history
             if isinstance(e.get(key), (int, float))
         ]
         out[key] = {
             "measured": len(vals),
-            "best": min(vals) if key in SEED_BASELINE and vals else
+            "best": min(vals) if key in lower_is_better and vals else
                     (max(vals) if vals else None),
             "latest": vals[-1] if vals else None,
         }
@@ -284,11 +311,12 @@ def render_history(doc: dict) -> str:
 
     #: fields the current schema measures; older entries may lack them.
     current = ("cache_hit_rate", "makespan_cycles", "block_util",
-               "link_util", "binding_resource", "counters_overhead")
+               "link_util", "binding_resource", "counters_overhead",
+               "optimality_gap")
     lines = [
         f"{'#':>3} {'timestamp':<19} {'step_ms':>8} {'serial_ms':>9} "
-        f"{'speedup':>7} {'sched_x':>7} {'blk_util':>8} {'lnk_util':>8} "
-        f"{'ovh_x':>6}  {'binding':<12} flags"
+        f"{'speedup':>7} {'sched_x':>7} {'gap_x':>6} {'blk_util':>8} "
+        f"{'lnk_util':>8} {'ovh_x':>6}  {'binding':<12} flags"
     ]
     n_backfill = n_regress = 0
     for i, e in enumerate(history):
@@ -308,6 +336,7 @@ def render_history(doc: dict) -> str:
             cell(e.get("executor_serial_step_s"), width=9, scale=1e3),
             cell(speedup, width=7),
             cell(e.get("scheduler_speedup"), width=7),
+            cell(e.get("optimality_gap"), width=6),
             cell(e.get("block_util"), width=8),
             cell(e.get("link_util"), width=8),
             cell(e.get("counters_overhead"), width=6, fmt="{:.3f}"),
@@ -368,4 +397,17 @@ def regression_failures(entry: dict, min_speedup: float | None = None) -> list:
             f"scheduler_speedup {sched:.3f}x below 1.0: scheduled makespan "
             "exceeds emission order (best-of fallback broken)"
         )
+    gap = entry.get("optimality_gap")
+    if isinstance(gap, (int, float)):
+        if gap > GAP_TOLERANCE:
+            failures.append(
+                f"optimality_gap {gap:.2f}x above the {GAP_TOLERANCE:.1f}x "
+                "tolerance: the scheduled makespan regressed against the "
+                "static lower bound (see repro perf audit)"
+            )
+        elif gap < 1.0 - 1e-9:
+            failures.append(
+                f"optimality_gap {gap:.4f} below 1.0: the static lower bound "
+                "exceeds the measured makespan — the cost model is unsound"
+            )
     return failures

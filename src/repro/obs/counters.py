@@ -479,6 +479,39 @@ class HardwareCounters:
             out["dram"] = self.dram_busy_s
         return out
 
+    def compare_occupancy(
+        self,
+        predicted: Dict[str, float],
+        rel_tol: float = 1e-9,
+        abs_tol: float = 1e-15,
+        link_label: Optional[Callable[[Hashable], str]] = None,
+    ) -> List[str]:
+        """Check a static occupancy prediction against this recording.
+
+        ``predicted`` maps resource names (the :meth:`busy_by_resource`
+        vocabulary: ``"block:N"``, link labels, ``"host"``, ``"dram"``) to
+        predicted busy seconds.  Every resource present on either side must
+        agree within ``max(abs_tol, rel_tol * max(|predicted|, |measured|))``
+        — the epsilon absorbs fold-order/ulp drift only, not modeling error.
+        Returns one message per disagreement (empty list = the static model
+        and the measured hardware agree).  The predict-then-measure
+        cross-validation contract of DESIGN.md §15: the caller supplies the
+        prediction, this recorder supplies the measurement, and neither side
+        imports the other's model.
+        """
+        measured = self.busy_by_resource(link_label=link_label)
+        out: List[str] = []
+        for name in sorted({*predicted, *measured}):
+            p = predicted.get(name, 0.0)
+            m = measured.get(name, 0.0)
+            tol = max(abs_tol, rel_tol * max(abs(p), abs(m)))
+            if abs(p - m) > tol:
+                out.append(
+                    f"{name}: predicted occupancy {p!r} s, measured {m!r} s "
+                    f"(delta {p - m:+.3e} beyond tolerance {tol:.3e})"
+                )
+        return out
+
     def as_dict(self, link_label: Optional[Callable[[Hashable], str]] = None
                 ) -> dict:
         """Plain-dict snapshot (JSON-able, intervals excluded)."""

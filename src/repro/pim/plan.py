@@ -64,7 +64,18 @@ from __future__ import annotations
 
 import os
 from collections import Counter
-from typing import TYPE_CHECKING, List, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -79,6 +90,9 @@ __all__ = [
     "ExecutionPlan",
     "PLAN_DTYPE",
     "OP_IDS",
+    "STEP_DISPATCH",
+    "STEP_SEGMENT",
+    "STEP_TRANSFER",
     "fold_array",
     "lower_program",
     "plan_enabled",
@@ -170,7 +184,8 @@ class _VecSegment:
         "block_groups", "apply",
     )
 
-    def __init__(self, array: np.ndarray, indices: range, insts: Sequence[Instruction]):
+    def __init__(self, array: np.ndarray, indices: range,
+                 insts: Sequence[Instruction]) -> None:
         self.n = len(indices)
         self.start = indices.start
         self.stop = indices.stop
@@ -184,8 +199,8 @@ class _VecSegment:
         )
         # group positions by tag / block, preserving first-seen order so the
         # report dicts are populated in the same key order as serial dispatch
-        by_tag: dict = {}
-        by_block: dict = {}
+        by_tag: Dict[str, List[int]] = {}
+        by_block: Dict[Any, List[int]] = {}
         for pos, i in enumerate(indices):
             by_tag.setdefault(insts[i].tag, []).append(pos)
             by_block.setdefault(insts[i].block, []).append(pos)
@@ -203,9 +218,10 @@ class _VecSegment:
         ]
         #: functional apply program, built lazily on the first functional
         #: replay (analytic replays never pay for it).
-        self.apply: list | None = None
+        self.apply: Optional[List[Tuple[Any, ...]]] = None
 
-    def build_apply(self, insts: Sequence[Instruction], chip: "PimChip") -> list:
+    def build_apply(self, insts: Sequence[Instruction],
+                    chip: "PimChip") -> List[Tuple[Any, ...]]:
         """Compile this segment's functional effects into a batched program.
 
         Validation (row/column bounds, row-map shape) runs *once* here with
@@ -217,12 +233,15 @@ class _VecSegment:
         already writes, so RAW/WAW hazards keep serial semantics (WAR is
         safe: numpy materializes the whole right-hand side first).
         """
-        prog: list = []
-        b_op = b_block = b_rows = b_sel = None
-        b_dst: list = []
-        b_s1: list = []
-        b_s2: list = []
-        b_written: set = set()
+        prog: List[Tuple[Any, ...]] = []
+        b_op: Optional[Opcode] = None
+        b_block: Any = None
+        b_rows: Optional[Tuple[int, int]] = None
+        b_sel: Any = None
+        b_dst: List[int] = []
+        b_s1: List[int] = []
+        b_s2: List[int] = []
+        b_written: Set[int] = set()
 
         def flush() -> None:
             nonlocal b_op
@@ -330,7 +349,8 @@ class _TransferStep:
         "where", "n_switches",
     )
 
-    def __init__(self, inst: Instruction, chip: "PimChip", costs: "OpCosts"):
+    def __init__(self, inst: Instruction, chip: "PimChip",
+                 costs: "OpCosts") -> None:
         src, dst = inst.src_block, inst.block
         if src is None:
             raise ValueError("TRANSFER needs src_block")
@@ -386,11 +406,13 @@ class ExecutionPlan:
         "chip_name", "replays", "schedule_stats", "flip_cache",
     )
 
-    def __init__(self, instructions, array, tags, steps, routing_epoch, chip_name):
+    def __init__(self, instructions: List[Instruction], array: np.ndarray,
+                 tags: List[str], steps: List[Tuple[int, Any]],
+                 routing_epoch: int, chip_name: str) -> None:
         self.instructions: List[Instruction] = instructions
         self.array: np.ndarray = array
         self.tags: List[str] = tags
-        self.steps: list = steps
+        self.steps: List[Tuple[int, Any]] = steps
         #: ``PimChip.routing_epoch`` at lower time; a mismatch at run time
         #: means spare-block remapping moved a block and the resolved routes
         #: may be stale — the executor re-lowers instead of replaying them.
@@ -400,10 +422,10 @@ class ExecutionPlan:
         self.replays: int = 0
         #: makespan bookkeeping attached by :func:`repro.pim.schedule.
         #: schedule_plan` (None for emission-order plans).
-        self.schedule_stats: dict | None = None
+        self.schedule_stats: Optional[Dict[str, Any]] = None
         #: memoized flip-draw inputs: ``(flip_rate, eligible indices,
         #: per-instruction hit probabilities, eligible row counts)``.
-        self.flip_cache: tuple | None = None
+        self.flip_cache: Optional[Tuple[Any, ...]] = None
 
     @property
     def n_instructions(self) -> int:
@@ -429,23 +451,36 @@ class ExecutionPlan:
             return 0.0
         return 1.0 - (self.n_dispatch + self.n_transfers) / n
 
-    def footprint(self) -> dict:
+    def footprint(self) -> Dict[str, Any]:
         """Resource totals of one replay, derived from the plan alone.
 
         An executor-independent cross-check for the hardware counters:
         per-block compute busy seconds (left-fold of segment durations, the
         same order replay folds them), per-block NOR cycles and compute-op
-        counts, and the interconnect totals of the TRANSFER steps.  LUT/
+        counts, and the interconnect totals of the TRANSFER steps —
+        including the per-switch occupancy the counters charge (the flit
+        train on an h-tree route, the exclusive read+wire hold on a bus)
+        under ``link_busy_s``/``link_flits``, the serial transfer time
+        ``transfer_time_s`` (left-fold of TRANSFER durations, a ceiling on
+        any one link's occupancy) and the vectorization profile
+        ``segment_widths`` (instructions per segment, stream order).  LUT/
         HOSTOP/DRAM/BARRIER go through serial dispatch, so their footprint
-        is reported separately as ``dispatch_ops``.
+        is reported separately as ``dispatch_ops`` — the perf analyzer
+        (:mod:`repro.analysis.perf`) folds their link/channel occupancy in
+        from the scheduler's resource items.
         """
-        block_busy: dict = {}
-        block_nors: dict = {}
-        block_ops: dict = {}
+        block_busy: Dict[Any, float] = {}
+        block_nors: Dict[Any, int] = {}
+        block_ops: Dict[Any, int] = {}
+        link_busy: Dict[Hashable, float] = {}
+        link_flits: Dict[Hashable, int] = {}
+        segment_widths: List[int] = []
         transfers = flits = hops = n_bytes = 0
+        transfer_time = 0.0
         dispatch_ops = 0
         for kind, payload in self.steps:
             if kind == STEP_SEGMENT:
+                segment_widths.append(payload.n)
                 for block, durs, nors, ops in payload.block_groups:
                     block_busy[block] = fold_array(block_busy.get(block, 0.0), durs)
                     block_nors[block] = block_nors.get(block, 0) + nors
@@ -455,16 +490,28 @@ class ExecutionPlan:
                 flits += payload.flits
                 hops += payload.hops
                 n_bytes += payload.n_bytes
+                transfer_time += payload.dur
+                # per-link occupancy, exactly as the counters charge it
+                # (executor._transfer's link_busy argument).
+                occ = (payload.read_t + payload.wire if payload.exclusive
+                       else payload.flit_train)
+                for k in payload.keys:
+                    link_busy[k] = link_busy.get(k, 0.0) + occ
+                    link_flits[k] = link_flits.get(k, 0) + payload.flits
             else:
                 dispatch_ops += 1
         return {
             "block_busy_s": block_busy,
             "block_nors": block_nors,
             "block_ops": block_ops,
+            "link_busy_s": link_busy,
+            "link_flits": link_flits,
+            "segment_widths": segment_widths,
             "transfers": transfers,
             "flits": flits,
             "hops": hops,
             "bytes_moved": n_bytes,
+            "transfer_time_s": transfer_time,
             "dispatch_ops": dispatch_ops,
         }
 
@@ -477,7 +524,7 @@ class ExecutionPlan:
 
 
 def lower_program(
-    chip: "PimChip", costs: "OpCosts", instructions
+    chip: "PimChip", costs: "OpCosts", instructions: Iterable[Instruction]
 ) -> ExecutionPlan:
     """Lower ``instructions`` into an :class:`ExecutionPlan` for ``chip``.
 
@@ -489,8 +536,8 @@ def lower_program(
     insts = list(instructions)
     n = len(insts)
     array = np.zeros(n, dtype=PLAN_DTYPE)
-    tag_ids: dict = {}
-    steps: list = []
+    tag_ids: Dict[str, int] = {}
+    steps: List[Tuple[int, Any]] = []
     seg_start = -1  # start index of the open vec segment, -1 when closed
     dev = costs.device
     op_col = array["op"]

@@ -18,7 +18,9 @@ Pipeline:
    (:func:`repro.analysis.checker.accesses`): RAW/WAW/WAR edges over
    per-``(block, column)`` access histories (row-interval overlap,
    covered-writer pruning), serial chains for the host and DRAM channels,
-   and BARRIER as a full fence.
+   and BARRIER as a full fence.  :func:`dependency_graph` wraps the same
+   edges with successor lists and topological bookkeeping for consumers
+   that walk the DAG both ways (the perf analyzer, PL004).
 2. :func:`schedule_order` runs greedy critical-path list scheduling over
    a resource model that mirrors the executor's timing semantics (block
    clocks, transfer ports, switch occupancy, host/DRAM channels): among
@@ -31,6 +33,21 @@ Pipeline:
 
 Legality is auditable: PL004 (:mod:`repro.analysis.lowering`) recomputes
 the DAG and verifies the scheduler's permutation respects every edge.
+
+Cost bounds (the static half of the predict-then-measure loop,
+DESIGN.md §15): :func:`earliest_starts` computes a per-instruction
+earliest-start bound and :func:`critical_path_span` the dependency span —
+both *sound* lower bounds valid for **any** legal order, because edges
+carry only the latency the executor actually enforces.  A dependency
+edge ``i -> j`` constrains ``j``'s start only through the clock entries
+``i`` publishes **and** ``j`` consults (a TRANSFER frees its source read
+port after ``read_t + flit_train``, long before its write-back; a
+transfer chained through a block the predecessor only wrote via its
+*write* port is not gated at all).  The edge latency is therefore the
+maximum published latency over the intersection of ``i``'s published and
+``j``'s consulted entries — zero-intersection edges are ordering-only
+and propagate nothing.  ``repro.analysis.perf`` builds the full
+work/span/occupancy bound family on top of these primitives.
 
 Scheduling changes the *order* of clock updates, so a scheduled plan's
 TimingReport legitimately differs from emission order — that is the
@@ -48,7 +65,18 @@ from __future__ import annotations
 
 import heapq
 import os
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 import numpy as np
 
@@ -63,17 +91,30 @@ if TYPE_CHECKING:
     from repro.pim.executor import ChipExecutor
 
 __all__ = [
+    "DependencyGraph",
     "audit_reorder",
+    "critical_path_span",
     "dependency_edges",
+    "dependency_graph",
+    "earliest_starts",
     "plan_slack",
     "schedule_enabled",
     "schedule_order",
     "schedule_plan",
+    "sim_items",
     "verify_order",
     "verify_resource_model",
 ]
 
 _INF = float("inf")
+
+#: one resource-model item per instruction; heterogeneous tuples tagged by
+#: their first element ("c"/"t"/"l"/"h"/"d"/"b") — see :func:`sim_items`.
+Item = Tuple[Any, ...]
+
+#: a clock-entry key: ``("b", block)`` block clock, ``("r"/"w", block)``
+#: transfer port, ``("s", switch_key)`` switch, ``"host"``/``"dram"``.
+ClockKey = Hashable
 
 
 def schedule_enabled() -> bool:
@@ -87,7 +128,7 @@ def schedule_enabled() -> bool:
 # dependency DAG
 # --------------------------------------------------------------------- #
 
-def _row_bounds(rows) -> Tuple[float, float]:
+def _row_bounds(rows: Any) -> Tuple[float, float]:
     """Conservative ``[lo, hi)`` row-interval of a selector (None = whole block)."""
     if rows is None:
         return (0.0, _INF)
@@ -124,16 +165,16 @@ def dependency_edges(instructions: Sequence[Instruction]) -> List[List[int]]:
 
     n = len(instructions)
     preds: List[List[int]] = [[] for _ in range(n)]
-    writers: dict = {}   # (block, col) -> [(idx, lo, hi)]
-    readers: dict = {}   # (block, col) -> [(idx, lo, hi)]
-    block_keys: dict = {}  # block -> set of history keys (for col=None scans)
-    fence: int | None = None
+    writers: Dict[Hashable, List[Tuple[int, float, float]]] = {}
+    readers: Dict[Hashable, List[Tuple[int, float, float]]] = {}
+    block_keys: Dict[Any, Set[Hashable]] = {}  # block -> history keys seen
+    fence: Optional[int] = None
     region: List[int] = []
-    host_chain: int | None = None
-    dram_chain: int | None = None
+    host_chain: Optional[int] = None
+    dram_chain: Optional[int] = None
 
-    def keys_for(block, col, words):
-        ks = [(block, "*")] if col is None else [
+    def keys_for(block: Any, col: Optional[int], words: int) -> List[Hashable]:
+        ks: List[Hashable] = [(block, "*")] if col is None else [
             (block, c) for c in range(col, col + words)
         ]
         seen = block_keys.setdefault(block, set())
@@ -148,7 +189,7 @@ def dependency_edges(instructions: Sequence[Instruction]) -> List[List[int]]:
 
     for j, inst in enumerate(instructions):
         op = inst.op
-        dep: set = set()
+        dep: Set[int] = set()
         if fence is not None:
             dep.add(fence)
         if op is Opcode.BARRIER:
@@ -213,6 +254,45 @@ def dependency_edges(instructions: Sequence[Instruction]) -> List[List[int]]:
     return preds
 
 
+@dataclass
+class DependencyGraph:
+    """The inter-instruction dependency DAG, walkable both ways.
+
+    ``preds[j]`` lists the instructions that must execute before ``j``
+    (exactly :func:`dependency_edges`); ``succs`` is the transpose, built
+    lazily.  Edges always point forward in emission order, so emission
+    order *is* a topological order — consumers may walk ``range(n)``
+    forward for earliest-start propagation and backward for
+    critical-path/liveness sweeps without sorting.
+    """
+
+    preds: List[List[int]]
+    _succs: Optional[List[List[int]]] = field(default=None, repr=False)
+
+    @property
+    def n(self) -> int:
+        return len(self.preds)
+
+    @property
+    def succs(self) -> List[List[int]]:
+        if self._succs is None:
+            succs: List[List[int]] = [[] for _ in range(len(self.preds))]
+            for j, ps in enumerate(self.preds):
+                for i in ps:
+                    succs[i].append(j)
+            self._succs = succs
+        return self._succs
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(ps) for ps in self.preds)
+
+
+def dependency_graph(instructions: Sequence[Instruction]) -> DependencyGraph:
+    """Build the :class:`DependencyGraph` of ``instructions``."""
+    return DependencyGraph(preds=dependency_edges(instructions))
+
+
 def verify_order(preds: Sequence[Sequence[int]], order: Sequence[int]) -> List[str]:
     """Violations of ``order`` against the DAG (empty list = legal).
 
@@ -250,14 +330,14 @@ class _Sim:
     """
 
     def __init__(self) -> None:
-        self.block: dict = {}
-        self.sw: dict = {}
-        self.port: dict = {}
+        self.block: Dict[Any, float] = {}
+        self.sw: Dict[Hashable, float] = {}
+        self.port: Dict[Tuple[str, Any], float] = {}
         self.host = 0.0
         self.dram = 0.0
         self.barrier = 0.0
 
-    def _g(self, d, k):
+    def _g(self, d: Dict[Any, float], k: Any) -> float:
         return d.get(k, 0.0)
 
     def now(self) -> float:
@@ -265,7 +345,7 @@ class _Sim:
         vals += [self.host, self.dram]
         return max(vals) if vals else 0.0
 
-    def compute_start(self, b) -> float:
+    def compute_start(self, b: Any) -> float:
         return max(
             self._g(self.block, b),
             self._g(self.port, ("r", b)),
@@ -273,7 +353,7 @@ class _Sim:
             self.barrier,
         )
 
-    def est(self, item) -> float:
+    def est(self, item: Item) -> float:
         kind = item[0]
         if kind == "c":  # block-local compute
             return self.compute_start(item[1])
@@ -304,7 +384,7 @@ class _Sim:
             return start
         return self.now()  # barrier
 
-    def commit(self, item) -> None:
+    def commit(self, item: Item) -> None:
         kind = item[0]
         if kind == "c":
             _, b, dur = item
@@ -341,19 +421,26 @@ class _Sim:
             now = self.now()
             for b in self.block:
                 self.block[b] = now
-            for k in self.port:
-                self.port[k] = now
+            for k2 in self.port:
+                self.port[k2] = now
             self.host = now
             self.dram = now
             self.barrier = now
 
 
-def _sim_items(ex: "ChipExecutor", plan: ExecutionPlan) -> list:
-    """One resource-model item per instruction, costs from the plan."""
+def sim_items(ex: "ChipExecutor", plan: ExecutionPlan) -> List[Item]:
+    """One resource-model item per instruction, costs from the plan.
+
+    The shared cost vocabulary of the scheduler, the slack/span bounds and
+    the perf analyzer (:mod:`repro.analysis.perf`): ``("c", block, dur)``
+    compute, ``("t", transfer_step)``, ``("l", dur, requester, lut_block,
+    switch_keys)``, ``("h", dur)`` host, ``("d", dur, block)`` DRAM,
+    ``("b",)`` barrier.
+    """
     insts = plan.instructions
     durs = plan.array["dur"]
     transfers = iter(p for k, p in plan.steps if k == STEP_TRANSFER)
-    items = []
+    items: List[Item] = []
     for i, inst in enumerate(insts):
         op = inst.op
         if op is Opcode.TRANSFER:
@@ -379,13 +466,160 @@ def _sim_items(ex: "ChipExecutor", plan: ExecutionPlan) -> list:
     return items
 
 
-def _item_durations(items: list) -> List[float]:
+#: backward-compatible private alias (pre-§15 callers/tests).
+_sim_items = sim_items
+
+
+def _item_durations(items: Sequence[Item]) -> List[float]:
     """Modeled duration of each resource-model item (barrier: 0)."""
     return [
-        it[2] if it[0] == "c" else (it[1].dur if it[0] == "t" else
-                                    (0.0 if it[0] == "b" else it[1]))
+        float(it[2]) if it[0] == "c" else (float(it[1].dur) if it[0] == "t" else
+                                           (0.0 if it[0] == "b" else float(it[1])))
         for it in items
     ]
+
+
+# --------------------------------------------------------------------- #
+# typed-latency earliest starts: the sound dependency span bound
+# --------------------------------------------------------------------- #
+
+def _publishes(item: Item, dur: float) -> List[Tuple[ClockKey, float]]:
+    """Clock entries ``item`` writes, with latency relative to its start.
+
+    Mirrors the executor's commit semantics exactly.  H-tree switch loads
+    accumulate (``+= flit_train``) and carry no start-relative guarantee,
+    so non-exclusive transfers publish nothing through their switches.
+    """
+    kind = item[0]
+    if kind == "c":
+        return [(("b", item[1]), dur)]
+    if kind == "t":
+        t = item[1]
+        out: List[Tuple[ClockKey, float]] = [
+            (("r", t.src), t.read_t + t.flit_train),
+            (("w", t.dst), t.dur),
+        ]
+        if t.exclusive:
+            out.extend((("s", k), t.read_t + t.wire) for k in t.keys)
+        return out
+    if kind == "l":
+        _, d, req, lut, keys = item
+        out = [(("w", req), d), (("r", lut), d)]
+        out.extend((("s", k), d) for k in keys)
+        return out
+    if kind == "h":
+        return [("host", dur)]
+    if kind == "d":
+        out = [("dram", dur)]
+        if item[2] is not None:
+            out.append((("b", item[2]), dur))
+        return out
+    return []  # barrier: handled via the fence special case
+
+
+def _consults(item: Item) -> Set[ClockKey]:
+    """Clock entries ``item``'s ready condition reads (executor semantics)."""
+    kind = item[0]
+    if kind == "c":
+        b = item[1]
+        return {("b", b), ("r", b), ("w", b)}
+    if kind == "t":
+        t = item[1]
+        keys: Set[ClockKey] = {("r", t.src), ("w", t.dst),
+                               ("b", t.src), ("b", t.dst)}
+        keys.update(("s", k) for k in t.keys)
+        return keys
+    if kind == "l":
+        _, _d, req, lut, lkeys = item
+        keys = set()
+        for b in (req, lut):
+            keys.update({("b", b), ("r", b), ("w", b)})
+        keys.update(("s", k) for k in lkeys)
+        return keys
+    if kind == "h":
+        return {"host"}
+    if kind == "d":
+        keys = {"dram"}
+        if item[2] is not None:
+            keys.add(("b", item[2]))
+        return keys
+    return set()  # barrier: consults everything (special-cased)
+
+
+def earliest_starts(
+    ex: "ChipExecutor", plan: ExecutionPlan,
+    preds: Optional[Sequence[Sequence[int]]] = None,
+) -> np.ndarray:
+    """Sound per-instruction earliest-start lower bounds (seconds).
+
+    ``est[j]`` lower-bounds instruction ``j``'s modeled start under *any*
+    execution order that respects the dependency DAG.  An edge ``i -> j``
+    propagates ``est[i] + latency`` only through the clock entries ``i``
+    publishes and ``j`` consults (the wait the executor actually
+    enforces); edges whose entry sets do not intersect are ordering-only
+    and propagate nothing — the executor never makes ``j`` wait for such
+    an ``i``, so assuming it would could overshoot the measured run.
+
+    BARRIER is exact both ways: its own start is ``max(est[i] + dur[i])``
+    over its region (it waits on ``now()``, which sees every completed
+    duration through a now-visible clock), and every later instruction
+    consults the floor it raises.
+    """
+    insts = plan.instructions
+    n = len(insts)
+    if preds is None:
+        preds = dependency_edges(insts)
+    items = sim_items(ex, plan)
+    dur_of = _item_durations(items)
+    pubs = [_publishes(it, d) for it, d in zip(items, dur_of)]
+    cons = [_consults(it) for it in items]
+    est = np.zeros(n)
+    for j in range(n):
+        e = 0.0
+        if items[j][0] == "b":
+            for i in preds[j]:
+                c = est[i] + dur_of[i]
+                if c > e:
+                    e = c
+        else:
+            cj = cons[j]
+            for i in preds[j]:
+                if items[i][0] == "b":
+                    # the fence raised the barrier floor, which j consults.
+                    if est[i] > e:
+                        e = float(est[i])
+                    continue
+                best = -1.0
+                for key, lat in pubs[i]:
+                    if key in cj and lat > best:
+                        best = lat
+                if best >= 0.0:
+                    c = est[i] + best
+                    if c > e:
+                        e = c
+        est[j] = e
+    return est
+
+
+def critical_path_span(
+    ex: "ChipExecutor", plan: ExecutionPlan,
+    preds: Optional[Sequence[Sequence[int]]] = None,
+) -> float:
+    """Dependency-span lower bound on the plan's makespan, in seconds.
+
+    ``max_j(est[j] + dur[j])`` over the typed earliest starts of
+    :func:`earliest_starts`.  Sound for any legal order: every completed
+    instruction leaves ``start + dur`` on a clock the executor's final
+    ``now()`` reads (block clock for compute/DRAM-coupled ops, the write
+    port for TRANSFER/LUT, the host/DRAM channel clocks), so the measured
+    makespan can never fall below it.
+    """
+    items = sim_items(ex, plan)
+    dur_of = _item_durations(items)
+    est = earliest_starts(ex, plan, preds)
+    if not len(est):
+        return 0.0
+    return float(np.max(est + np.asarray(dur_of)))
 
 
 # --------------------------------------------------------------------- #
@@ -407,13 +641,13 @@ def verify_resource_model(ex: "ChipExecutor", plan: ExecutionPlan) -> List[str]:
     from repro.pim.executor import ChipExecutor
 
     sim = _Sim()
-    for item in _sim_items(ex, plan):
+    for item in sim_items(ex, plan):
         sim.commit(item)
     fresh = ChipExecutor(ex.chip, op_costs=ex.costs, host=ex.host, counters=True)
     report = fresh.run(plan, functional=False)
     out: List[str] = []
 
-    def compare(what: str, modeled: dict, measured: dict,
+    def compare(what: str, modeled: Dict[Any, float], measured: Dict[Any, float],
                 floor: float = 0.0) -> None:
         # The executor's clock dicts materialize entries on *read*
         # (defaultdict) and BARRIER then sweeps those entries up to `now`;
@@ -435,7 +669,8 @@ def verify_resource_model(ex: "ChipExecutor", plan: ExecutionPlan) -> List[str]:
         )
     compare("block_clock", sim.block, dict(fresh._block_clock),
             floor=sim.barrier)
-    compare("port_free", sim.port, dict(fresh._port_free), floor=sim.barrier)
+    compare("port_free", dict(sim.port), dict(fresh._port_free),
+            floor=sim.barrier)
     compare("switch_free", sim.sw, dict(fresh._switch_free))
     if sim.host != fresh._host_clock:
         out.append(f"host clock: model {sim.host!r} != executor {fresh._host_clock!r}")
@@ -470,7 +705,7 @@ def verify_resource_model(ex: "ChipExecutor", plan: ExecutionPlan) -> List[str]:
 
 def plan_slack(
     ex: "ChipExecutor", plan: ExecutionPlan,
-    preds: Sequence[Sequence[int]] | None = None,
+    preds: Optional[Sequence[Sequence[int]]] = None,
 ) -> np.ndarray:
     """Per-instruction scheduler slack, in seconds (emission order).
 
@@ -486,7 +721,7 @@ def plan_slack(
     n = len(insts)
     if preds is None:
         preds = dependency_edges(insts)
-    items = _sim_items(ex, plan)
+    items = sim_items(ex, plan)
     dur_of = _item_durations(items)
     sim = _Sim()
     starts = np.empty(n)
@@ -507,7 +742,7 @@ def plan_slack(
 
 def schedule_order(
     ex: "ChipExecutor", plan: ExecutionPlan,
-    preds: Sequence[Sequence[int]] | None = None,
+    preds: Optional[Sequence[Sequence[int]]] = None,
 ) -> List[int]:
     """Greedy list-scheduled instruction order (indices into the stream).
 
@@ -529,7 +764,7 @@ def schedule_order(
         for i in ps:
             succs[i].append(j)
 
-    items = _sim_items(ex, plan)
+    items = sim_items(ex, plan)
     # critical-path length: edges always point forward in emission order,
     # so a reverse index walk is a reverse topological order.
     dur_of = _item_durations(items)
@@ -540,7 +775,7 @@ def schedule_order(
 
     sim = _Sim()
     order: List[int] = []
-    heap: list = []
+    heap: List[Tuple[float, float, int]] = []
     for j in range(n):
         if indeg[j] == 0:
             heapq.heappush(heap, (sim.est(items[j]), -cp[j], j))
@@ -570,7 +805,7 @@ def _replay_makespan(ex: "ChipExecutor", plan: ExecutionPlan) -> float:
     from repro.pim.executor import ChipExecutor
 
     fresh = ChipExecutor(ex.chip, op_costs=ex.costs, host=ex.host)
-    return fresh.run(plan, functional=False).total_time_s
+    return float(fresh.run(plan, functional=False).total_time_s)
 
 
 def schedule_plan(ex: "ChipExecutor", plan: ExecutionPlan) -> ExecutionPlan:
@@ -590,7 +825,7 @@ def schedule_plan(ex: "ChipExecutor", plan: ExecutionPlan) -> ExecutionPlan:
     order = schedule_order(ex, plan, preds)
     emission_s = _replay_makespan(ex, plan)
     identity = order == list(range(len(insts)))
-    stats = {
+    stats: Dict[str, Any] = {
         "emission_makespan_s": emission_s,
         "scheduled_makespan_s": emission_s,
         "improvement": 1.0,
@@ -617,7 +852,7 @@ def schedule_plan(ex: "ChipExecutor", plan: ExecutionPlan) -> ExecutionPlan:
 
 
 def audit_reorder(program: Sequence[Instruction], plan: ExecutionPlan,
-                  chip) -> List[str]:
+                  chip: Any) -> List[str]:
     """PL004 helper: prove the scheduler's reordering of ``program`` is legal.
 
     Recomputes the dependency DAG, runs the list scheduler and verifies

@@ -83,7 +83,7 @@ class TestFindingModel:
 
     def test_catalogue_covers_all_passes(self):
         prefixes = {c[:2] for c in FINDING_CODES}
-        assert prefixes == {"DF", "LY", "TR", "PH", "HZ", "FT", "PL"}
+        assert prefixes == {"DF", "LY", "TR", "PH", "HZ", "FT", "PL", "PF"}
 
 
 # --------------------------------------------------------------------- #
@@ -373,6 +373,35 @@ class TestBenchmarksClean:
         assert doc["kind"] == "repro-check" and doc["errors"] == 0
         assert doc["benchmarks"][0]["benchmark"] == "acoustic_4"
         assert doc["benchmarks"][0]["findings"] == []
+
+    def test_json_report_golden_schema(self, tmp_path, capsys):
+        """``repro check --json`` is a consumed interface (CI artifact,
+        downstream tooling): its top-level keys, per-benchmark entry keys,
+        finding fields and the code catalogue's shape are frozen."""
+        import re
+
+        from repro.__main__ import main
+
+        out = tmp_path / "findings.json"
+        assert main(["check", "acoustic_4", "--order", "2",
+                     "--interconnect", "htree", "--strict",
+                     "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert set(doc) == {"kind", "schema", "strict", "errors",
+                            "warnings", "benchmarks"}
+        assert doc["kind"] == "repro-check" and doc["schema"] == 1
+        assert doc["strict"] is True
+        entry = doc["benchmarks"][0]
+        assert set(entry) == {"benchmark", "chip", "interconnect", "plan",
+                              "instructions", "findings"}
+        # a finding record always serializes exactly these fields
+        rec = Finding("DF002", "probe", severity=WARNING, index=1, block=0,
+                      tag="t", passname="dataflow").as_dict()
+        assert set(rec) == {"code", "message", "severity", "index", "block",
+                            "tag", "passname"}
+        # every registered code has a known pass prefix + 3-digit number
+        assert all(re.fullmatch(r"(DF|LY|TR|PH|HZ|FT|PL|PF)\d{3}", c)
+                   for c in FINDING_CODES)
 
     def test_unknown_benchmark_exits_2(self, capsys):
         from repro.__main__ import main

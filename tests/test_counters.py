@@ -341,6 +341,7 @@ def _entry(**overrides):
         "link_util": 0.1,
         "binding_resource": "block:1",
         "counters_overhead": 1.01,
+        "optimality_gap": 1.2,
     }
     base.update(overrides)
     return base

@@ -1,0 +1,340 @@
+"""Static performance analysis (``repro.analysis.perf``, DESIGN.md §15).
+
+Three layers under test:
+
+* the cost-bound machinery (``dependency_graph``/``earliest_starts``/
+  ``critical_path_span``/``cost_bounds``) must be *sound* — on every
+  paper benchmark the static lower bound brackets the measured makespan
+  from below and the occupancy prediction matches the hardware counters
+  to float fold-order tolerance;
+* each PF anti-pattern finding fires on a hand-built trigger program and
+  stays silent on the clean variant;
+* the surfaces: ``repro perf audit`` (CLI + JSON schema) and the bench
+  gap gate (``regression_failures``).
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.perf import (
+    PerfOptions,
+    _dead_segments,
+    _overfencing_barriers,
+    audit_program,
+    cost_bounds,
+    emission_timings,
+    measure_plan,
+)
+from repro.pim.chip import PimChip
+from repro.pim.executor import ChipExecutor
+from repro.pim.isa import Instruction, Opcode, barrier
+from repro.pim.params import CHIP_CONFIGS
+from repro.pim.schedule import (
+    critical_path_span,
+    dependency_graph,
+    earliest_starts,
+    sim_items,
+)
+
+BENCHMARK_KEYS = [
+    "acoustic_4", "acoustic_5",
+    "elastic_central_4", "elastic_central_5",
+    "elastic_riemann_4", "elastic_riemann_5",
+]
+
+
+def codes(audit):
+    return [f.code for f in audit.findings]
+
+
+def arith(block=0, rows=(0, 4), dst=3, src1=1, src2=2, tag="volume"):
+    return Instruction(Opcode.ADD, block=block, rows=rows, dst=dst,
+                       src1=src1, src2=src2, tag=tag)
+
+
+def bcast(block=0, rows=(0, 4), dst=1, value=1.0, tag="setup"):
+    return Instruction(Opcode.BROADCAST, block=block, rows=rows, dst=dst,
+                       value=value, tag=tag)
+
+
+def transfer(block=1, src_block=0, rows=(0, 4), dst=5, src1=5, words=1,
+             tag="flux:fetch"):
+    return Instruction(Opcode.TRANSFER, block=block, src_block=src_block,
+                       rows=rows, dst=dst, src1=src1, words=words, tag=tag)
+
+
+@pytest.fixture(scope="module")
+def ex():
+    return ChipExecutor(PimChip(CHIP_CONFIGS["512MB"]))
+
+
+@pytest.fixture(scope="module")
+def ex_bus():
+    return ChipExecutor(
+        PimChip(CHIP_CONFIGS["512MB"].with_interconnect("bus"))
+    )
+
+
+# --------------------------------------------------------------------- #
+# dependency graph + typed-latency span
+# --------------------------------------------------------------------- #
+
+
+class TestSpanMachinery:
+    def test_dependency_graph_shape(self, ex):
+        prog = [bcast(dst=1), bcast(dst=2), arith(dst=3, src1=1, src2=2),
+                arith(dst=4, src1=3, src2=3)]
+        plan = ex.lower(prog)
+        g = dependency_graph(plan.instructions)
+        assert g.n == len(sim_items(ex, plan)) == 4
+        assert g.preds == [[], [], [0, 1], [3 - 1]]
+        # succs is the exact transpose of preds
+        assert sorted(g.succs[0]) == [2] and sorted(g.succs[2]) == [3]
+        assert g.n_edges == 3
+
+    def test_serial_chain_span_is_sum(self, ex):
+        prog = [bcast(dst=1), arith(dst=3, src1=1, src2=1),
+                arith(dst=4, src1=3, src2=3)]
+        plan = ex.lower(prog)
+        est = earliest_starts(ex, plan)
+        assert np.all(np.diff(est) > 0)  # strictly serializing chain
+        items = sim_items(ex, plan)
+        durs = [it[2] for it in items]  # ("c", block, dur)
+        assert critical_path_span(ex, plan) == pytest.approx(sum(durs))
+
+    def test_parallel_blocks_halve_span(self, ex):
+        serial = [bcast(block=0, dst=1),
+                  arith(block=0, dst=3, src1=1, src2=1)]
+        wide = serial + [bcast(block=1, dst=1),
+                         arith(block=1, dst=3, src1=1, src2=1)]
+        span_serial = critical_path_span(ex, ex.lower(serial))
+        span_wide = critical_path_span(ex, ex.lower(wide))
+        b = cost_bounds(ex, ex.lower(wide))
+        # the second block's chain is independent: span does not grow,
+        # work doubles
+        assert span_wide == pytest.approx(span_serial)
+        assert b.work_s == pytest.approx(2 * span_serial, rel=1e-6)
+
+    def test_bounds_internal_invariants(self, ex):
+        prog = [bcast(dst=1), bcast(dst=2), arith(dst=3, src1=1, src2=2)]
+        plan = ex.lower(prog)
+        b = cost_bounds(ex, plan)
+        assert 0.0 < b.span_s <= b.work_s
+        assert b.makespan_lower_bound_s == pytest.approx(
+            max(b.span_s, max(b.resource_bounds_s.values()))
+        )
+        assert b.n_instructions == len(plan.instructions)
+        assert b.predicted_binding_resource in (
+            {"span"} | set(b.resource_bounds_s)
+        )
+        d = b.as_dict()
+        assert json.dumps(d)
+        assert d["makespan_lower_bound_s"] == b.makespan_lower_bound_s
+
+
+# --------------------------------------------------------------------- #
+# soundness on the paper benchmarks (predict-then-measure)
+# --------------------------------------------------------------------- #
+
+
+class TestBenchmarkSoundness:
+    @pytest.mark.parametrize("key", BENCHMARK_KEYS)
+    def test_bounds_bracket_reality(self, key):
+        from repro.analysis.programs import build_check_program
+        from repro.workloads.benchmarks import BENCHMARKS
+
+        spec = BENCHMARKS[key]
+        checked = build_check_program(
+            spec.physics, spec.refinement_level, chip="2GB",
+            flux_kind=spec.flux_kind, order=3, interconnect="htree",
+        )
+        ex = ChipExecutor(checked.context.chip)
+        audit = audit_program(checked.program, ex,
+                              block_rows=checked.context.block_rows)
+        # the bound is a true lower bound and the audit is clean: no
+        # PF006 (soundness/occupancy), no anti-pattern warnings.
+        assert audit.optimality_gap >= 1.0 - 1e-9
+        assert (audit.bounds.makespan_lower_bound_s
+                <= audit.measured_makespan_s * (1 + 1e-9))
+        assert audit.findings == []
+        assert audit.bounds.n_edges > 0
+        assert audit.measured_binding_resource != "idle"
+
+    def test_occupancy_prediction_matches_counters(self, ex):
+        # the PF006 cross-check must also hold on a hand-built stream
+        prog = [bcast(dst=1), bcast(dst=2), arith(dst=3, src1=1, src2=2),
+                transfer(block=1, src_block=0, dst=5, src1=3)]
+        plan = ex.lower(prog)
+        b = cost_bounds(ex, plan)
+        _t, counters = measure_plan(ex, plan)
+        assert counters.compare_occupancy(b.predicted_occupancy_s) == []
+
+    def test_compare_occupancy_flags_divergence(self, ex):
+        prog = [bcast(dst=1), arith(dst=3, src1=1, src2=1)]
+        plan = ex.lower(prog)
+        b = cost_bounds(ex, plan)
+        _t, counters = measure_plan(ex, plan)
+        wrong = dict(b.predicted_occupancy_s)
+        some = next(iter(wrong))
+        wrong[some] *= 2.0
+        wrong["block:999"] = 1.0  # resource the run never touched
+        msgs = counters.compare_occupancy(wrong)
+        assert len(msgs) == 2
+        assert any(some in m for m in msgs)
+        assert any("block:999" in m for m in msgs)
+
+
+# --------------------------------------------------------------------- #
+# anti-pattern findings (one trigger + one clean program per code)
+# --------------------------------------------------------------------- #
+
+
+class TestAntiPatterns:
+    def test_pf001_gap_over_tolerance(self, ex):
+        prog = [bcast(dst=1), arith(dst=3, src1=1, src2=1)]
+        tight = audit_program(prog, ex,
+                              options=PerfOptions(gap_tolerance=0.5))
+        assert "PF001" in codes(tight)
+        default = audit_program(prog, ex)
+        assert "PF001" not in codes(default)
+
+    def test_pf002_overfencing_barrier(self, ex):
+        fenced = [bcast(block=0, dst=1), barrier(), bcast(block=1, dst=1)]
+        audit = audit_program(fenced, ex)
+        hits = [f for f in audit.findings if f.code == "PF002"]
+        assert [f.index for f in hits] == [1]
+        # a dependency crossing the fence makes it load-bearing
+        needed = [bcast(block=0, dst=1), barrier(),
+                  arith(block=0, dst=3, src1=1, src2=1)]
+        assert _overfencing_barriers(needed) == []
+
+    def test_pf003_serialized_transfer(self, ex_bus):
+        prog = [bcast(block=0, dst=5), bcast(block=2, dst=5), barrier(),
+                transfer(block=1, src_block=0),
+                transfer(block=3, src_block=2)]
+        # the second transfer queues behind the first on the shared bus
+        audit = audit_program(
+            prog, ex_bus,
+            options=PerfOptions(queue_factor=0.0, queue_floor_s=0.0),
+        )
+        hits = [f for f in audit.findings if f.code == "PF003"]
+        assert [f.index for f in hits] == [4]
+        # default thresholds tolerate one bus conflict
+        assert "PF003" not in codes(audit_program(prog, ex_bus))
+
+    def test_emission_timings_queue_free_when_unshared(self, ex):
+        prog = [bcast(block=0, dst=5), barrier(),
+                transfer(block=1, src_block=0)]
+        plan = ex.lower(prog)
+        starts, queues = emission_timings(ex, plan)
+        assert np.all(queues >= 0.0) and np.all(starts >= 0.0)
+        assert float(queues[-1]) == pytest.approx(0.0, abs=1e-15)
+
+    def test_pf004_dead_segment(self, ex):
+        prog = [bcast(dst=5, value=1.0), barrier(),
+                bcast(dst=5, value=2.0),
+                arith(dst=6, src1=5, src2=5)]
+        audit = audit_program(prog, ex)
+        hits = [f for f in audit.findings if f.code == "PF004"]
+        assert [f.index for f in hits] == [0]
+        # reading col 5 between the writes keeps the first segment live
+        live = [bcast(dst=5, value=1.0), barrier(),
+                arith(dst=6, src1=5, src2=5), barrier(),
+                bcast(dst=5, value=2.0)]
+        plan = ex.lower(live)
+        assert _dead_segments(live, plan,
+                              ex.chip.config.block_rows) == []
+
+    def test_pf005_degenerate_vectorization(self, ex):
+        narrow = [bcast(dst=1), bcast(dst=2), arith(dst=3, src1=1, src2=2)]
+        audit = audit_program(narrow, ex)
+        assert "PF005" in codes(audit)
+        # widening the option's floor silences it
+        wide_ok = audit_program(
+            narrow, ex, options=PerfOptions(narrow_width=1))
+        assert "PF005" not in codes(wide_ok)
+
+    def test_findings_carry_passname(self, ex):
+        audit = audit_program([bcast(dst=1), barrier(), bcast(block=1, dst=1)],
+                              ex)
+        assert audit.findings and all(
+            f.passname == "perf" for f in audit.findings)
+
+
+# --------------------------------------------------------------------- #
+# surfaces: bench gap gate, CLI, JSON schemas
+# --------------------------------------------------------------------- #
+
+
+class TestBenchGapGate:
+    def entry(self, gap):
+        return {"optimality_gap": gap}
+
+    def test_gap_regression_fails(self):
+        from repro.eval.bench import GAP_TOLERANCE, regression_failures
+
+        msgs = regression_failures(self.entry(GAP_TOLERANCE * 1.5))
+        assert any("optimality_gap" in m for m in msgs)
+
+    def test_unsound_gap_fails(self):
+        from repro.eval.bench import regression_failures
+
+        msgs = regression_failures(self.entry(0.5))
+        assert any("unsound" in m for m in msgs)
+
+    def test_healthy_and_unmeasured_pass(self):
+        from repro.eval.bench import regression_failures
+
+        assert regression_failures(self.entry(1.5)) == []
+        assert regression_failures(self.entry(None)) == []
+
+    def test_history_summary_prefers_small_gaps(self):
+        from repro.eval.bench import history_summary
+
+        doc = {"history": [{"optimality_gap": 2.0},
+                           {"optimality_gap": 1.2}]}
+        s = history_summary(doc)["optimality_gap"]
+        assert s["best"] == 1.2 and s["latest"] == 1.2
+
+
+class TestPerfAuditCLI:
+    def test_audit_clean_with_json_report(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "audit.json"
+        assert main(["perf", "audit", "acoustic_4", "--order", "2",
+                     "--interconnect", "htree", "--strict",
+                     "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert set(doc) == {"kind", "schema", "strict", "errors",
+                            "warnings", "benchmarks"}
+        assert doc["kind"] == "repro-perf-audit" and doc["schema"] == 1
+        assert doc["errors"] == 0 and doc["warnings"] == 0
+        entry = doc["benchmarks"][0]
+        assert entry["benchmark"] == "acoustic_4"
+        assert entry["optimality_gap"] >= 1.0
+        assert entry["makespan_lower_bound_s"] > 0.0
+        assert entry["findings"] == []
+        text = capsys.readouterr().out
+        assert "gap=" in text and "audited 1 program" in text
+
+    def test_unknown_benchmark_exits_2(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["perf", "audit", "nope"]) == 2
+
+    def test_bench_entry_carries_gap_fields(self, ex):
+        # the bench surface computes the same fields from the same bound
+        from repro.analysis.perf import cost_bounds as cb
+        from repro.pim.schedule import schedule_plan
+
+        prog = [bcast(dst=1), bcast(dst=2), arith(dst=3, src1=1, src2=2)]
+        plan = ex.lower(prog)
+        ex.reset_clocks()
+        sched = schedule_plan(ex, plan)
+        bounds = cb(ex, plan)
+        gap = (sched.schedule_stats["scheduled_makespan_s"]
+               / bounds.makespan_lower_bound_s)
+        assert gap >= 1.0 - 1e-9
