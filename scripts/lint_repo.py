@@ -38,6 +38,14 @@ Rules (stdlib ``ast`` only, so this runs in the bare container):
            reference (``run(..., serial=True)``), and a new call site
            would silently fork the semantics the plan engine must mirror.
 
+``RL007``  no silent swallowing of broad exceptions in ``src/``: an
+           ``except Exception:`` / ``except BaseException:`` / bare
+           ``except:`` handler whose body is only ``pass`` (or ``...``)
+           hides crashes the service layer is specifically built to
+           surface.  Swallowed exceptions must log through
+           ``repro.obs`` or re-raise; narrowing the handler to the
+           specific exception type also satisfies the rule.
+
 ``RL006``  every finding code emitted inside ``src/repro/analysis/`` (a
            ``XX123`` string literal passed as the first argument of a
            ``Finding(...)`` constructor or an ``add(...)`` emit helper)
@@ -200,6 +208,30 @@ def _lint_file(path: Path, root: Path,
                             "._dispatch referenced outside pim/executor.py — "
                             "plan replay is the only execution path; request "
                             "the audit reference via run(..., serial=True)"))
+
+    # RL007: broad except handlers must not swallow silently
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        caught = []
+        if node.type is None:
+            caught = ["<bare>"]
+        elif isinstance(node.type, ast.Name):
+            caught = [node.type.id]
+        elif isinstance(node.type, ast.Tuple):
+            caught = [e.id for e in node.type.elts if isinstance(e, ast.Name)]
+        if not any(c in ("Exception", "BaseException", "<bare>") for c in caught):
+            continue
+        silent = all(
+            isinstance(stmt, ast.Pass)
+            or (isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant))
+            for stmt in node.body
+        )
+        if silent:
+            out.append((path, node.lineno, "RL007",
+                        "broad except swallows silently (body is only "
+                        "pass/...) — log via repro.obs.log, re-raise, or "
+                        "narrow the exception type"))
 
     # RL006: emitted finding codes must be registered in FINDING_CODES
     if rel.startswith(RL006_SCOPE) and rel != RL006_REGISTRY:

@@ -25,6 +25,17 @@ Commands
                            PF001-PF006 anti-pattern findings (DESIGN.md
                            §15; ``--strict`` fails on warnings, ``--json``
                            writes the audit report)
+``serve run``              run the crash-safe job service on a workdir:
+                           supervised worker pool with heartbeats,
+                           deadlines, seeded retry/backoff, quarantine
+                           and a journaled job store (DESIGN.md §16)
+``serve status``           summarize a service workdir from its journal
+``serve chaos``            seeded chaos acceptance harness: injected
+                           worker SIGKILLs must lose nothing, duplicate
+                           nothing, and resume bit-identically
+``submit``                 drop a job request into a service workdir
+                           (idempotent content-keyed id; ``--wait``
+                           blocks for the published result)
 
 Performance knobs: ``--jobs N`` (or ``REPRO_JOBS``) compiles the experiment
 matrix with N worker processes; ``--no-cache`` (or ``REPRO_NO_CACHE=1``)
@@ -426,6 +437,14 @@ def _cmd_perf(args) -> int:
     try:
         with open(path) as fh:
             doc = json.load(fh)
+    except FileNotFoundError as exc:
+        if args.json:
+            # the user named a specific file; its absence is their error.
+            print(f"cannot read bench history {path}: {exc}", file=sys.stderr)
+            return 2
+        # the default BENCH_perf.json not existing yet is the normal
+        # fresh-checkout state: render the friendly empty table.
+        doc = {"history": []}
     except (OSError, ValueError) as exc:
         print(f"cannot read bench history {path}: {exc}", file=sys.stderr)
         return 2
@@ -509,6 +528,143 @@ def _cmd_perf_audit(args) -> int:
           f"{n_warnings} warning{'s' if n_warnings != 1 else ''}")
     if n_errors or (args.strict and total):
         return 1
+    return 0
+
+
+def _cmd_serve_run(args) -> int:
+    # imported here: the service pulls in multiprocessing machinery the
+    # other subcommands should not pay for.
+    from repro.serve.supervisor import ServiceConfig, Supervisor
+
+    config = ServiceConfig(
+        workdir=args.workdir, workers=args.workers,
+        max_pending=args.max_pending, deadline_s=args.deadline,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        max_retries=args.max_retries, seed=args.seed,
+        log_level=args.log_level,
+    )
+    sup = Supervisor(config)
+    counts = sup.store.counts()
+    recovered = sum(v for k, v in counts.items()
+                    if k in ("pending", "failed")) if sup.store.jobs else 0
+    print(f"serve: {len(sup.store.jobs)} journaled job(s) "
+          f"({recovered} runnable after recovery), {args.workers} workers, "
+          f"workdir {config.workdir}", file=sys.stderr)
+    try:
+        sup.run(until_idle=not args.forever,
+                max_wall_s=args.max_wall if args.max_wall > 0 else None)
+    except KeyboardInterrupt:  # journal already has everything: clean exit
+        print("serve: interrupted — journal is authoritative; rerun "
+              "`repro serve run` to resume", file=sys.stderr)
+    finally:
+        sup.shutdown()
+    counts = sup.store.counts()
+    print(f"serve: drained to {counts}")
+    print(f"[metrics: {config.workdir / 'metrics.json'}] "
+          f"[journal: {sup.store.journal_path}]", file=sys.stderr)
+    return 0 if counts.get("quarantined", 0) == 0 else 1
+
+
+def _cmd_serve_status(args) -> int:
+    import json
+
+    from repro.serve.client import status
+
+    doc = status(args.workdir)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2)
+    print(f"workdir      : {doc['workdir']}")
+    print(f"jobs         : {doc['jobs']} ({doc['events']} journal events)")
+    for state, n in sorted(doc["counts"].items()):
+        print(f"  {state:12s} {n}")
+    print(f"retries      : {doc['retries_total']}")
+    print(f"inbox        : {len(doc['inbox_pending'])} pending request(s)")
+    print(f"digest       : {doc['journal_digest']}")
+    return 0
+
+
+def _cmd_serve_chaos(args) -> int:
+    import json
+
+    from repro.serve.chaos import run_chaos_check
+    from repro.workloads.benchmarks import BENCHMARKS
+
+    keys = args.benchmarks or ["acoustic_4", "elastic_central_4"]
+    unknown = [k for k in keys if k not in BENCHMARKS]
+    if unknown:
+        print(f"unknown benchmark(s) {', '.join(unknown)}; "
+              f"choose from {', '.join(BENCHMARKS)}", file=sys.stderr)
+        return 2
+    t0 = time.perf_counter()
+    report = run_chaos_check(
+        keys, n_jobs=args.jobs, kills=args.kills,
+        mid_checkpoint=args.mid_checkpoint, hangs=args.hangs,
+        seed=args.seed, steps=args.steps, workers=args.workers,
+        workdir=args.workdir, max_wall_s=args.max_wall,
+    )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=2)
+        print(f"[chaos report: {args.json}]", file=sys.stderr)
+    c = report["chaos"]
+    print(f"workload  : {args.jobs} jobs on {', '.join(keys)} "
+          f"({args.kills} kills incl. {args.mid_checkpoint} mid-checkpoint, "
+          f"{args.hangs} hangs, seed {args.seed})")
+    print(f"baseline  : {report['baseline']['counts']}")
+    print(f"chaos     : {c['counts']} with {c['worker_restarts']} worker "
+          f"restart(s)")
+    print(f"digests   : baseline {report['baseline']['journal_digest'][:16]} "
+          f"chaos {c['journal_digest'][:16]}")
+    for v in report["violations"]:
+        print(f"FAIL: {v}", file=sys.stderr)
+    verdict = "ok" if not report["violations"] else "VIOLATED"
+    print(f"invariants: {verdict} (zero lost, zero duplicated, bit-identical "
+          f"resume, journal-resume idle)  "
+          f"[{format_duration(time.perf_counter() - t0)}]")
+    return 1 if report["violations"] else 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.serve.client import submit, wait
+
+    if args.kind == "simulate":
+        params = {
+            "physics": args.physics, "level": args.level,
+            "order": args.order or 1, "steps": args.steps,
+            "checkpoint_every": args.checkpoint_every,
+        }
+        if args.source_position:
+            params["source"] = {
+                "position": args.source_position,
+                "peak_frequency": args.peak_frequency,
+            }
+    elif args.kind == "experiment":
+        if not args.experiment:
+            print("experiment jobs need --experiment NAME", file=sys.stderr)
+            return 2
+        params = {"name": args.experiment}
+    else:  # sweep and the escape hatch: explicit JSON params
+        if not args.params_json:
+            print(f"{args.kind} jobs need --params-json", file=sys.stderr)
+            return 2
+        params = json.loads(args.params_json)
+    if args.params_json and args.kind in ("simulate", "experiment"):
+        params.update(json.loads(args.params_json))
+
+    job_id = submit(args.workdir, args.kind, params,
+                    max_retries=args.max_retries, deadline_s=args.deadline)
+    print(f"submitted {args.kind} job {job_id} -> {args.workdir}")
+    if args.wait > 0:
+        try:
+            outcome = wait(args.workdir, job_id, timeout_s=args.wait)
+        except TimeoutError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        print(json.dumps(outcome, indent=2))
+        return 0 if outcome.get("status") == "done" else 1
     return 0
 
 
@@ -689,6 +845,105 @@ def main(argv=None) -> int:
     pa.add_argument("--json", default=None, metavar="PATH",
                     help="write a JSON audit report")
     pa.set_defaults(fn=_cmd_perf_audit)
+
+    p = sub.add_parser("serve", parents=[common],
+                       help="crash-safe wave-sim job service "
+                            "(see DESIGN.md 'Service layer')")
+    serve_sub = p.add_subparsers(dest="serve_command", required=True)
+    sr = serve_sub.add_parser("run", parents=[common], help="run the supervised worker pool "
+                                          "against a service workdir")
+    sr.add_argument("--workdir", required=True, metavar="DIR",
+                    help="service state root (journal, inbox, results, ckpt)")
+    sr.add_argument("--workers", type=int, default=2,
+                    help="worker pool size (default: 2)")
+    sr.add_argument("--max-pending", type=int, default=256,
+                    help="bounded store: live-job cap before QueueFull "
+                         "backpressure (default: 256)")
+    sr.add_argument("--deadline", type=float, default=60.0, metavar="S",
+                    help="default per-job wall-clock deadline, enforced by "
+                         "SIGKILL (default: 60)")
+    sr.add_argument("--heartbeat-timeout", type=float, default=5.0,
+                    metavar="S",
+                    help="kill workers whose heartbeat is older than this "
+                         "(default: 5)")
+    sr.add_argument("--max-retries", type=int, default=3,
+                    help="retries before quarantine (default: 3)")
+    sr.add_argument("--seed", type=int, default=0,
+                    help="retry-backoff jitter seed (same seed -> identical "
+                         "schedules)")
+    sr.add_argument("--forever", action="store_true",
+                    help="keep polling the inbox after the store drains "
+                         "(service mode; default exits when idle)")
+    sr.add_argument("--max-wall", type=float, default=0.0, metavar="S",
+                    help="hard wall-clock stop, 0 = unlimited (default: 0)")
+    sr.set_defaults(fn=_cmd_serve_run)
+    ss = serve_sub.add_parser("status", parents=[common],
+                              help="summarize a service workdir from its "
+                                   "journal")
+    ss.add_argument("--workdir", required=True, metavar="DIR")
+    ss.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the summary as JSON")
+    ss.set_defaults(fn=_cmd_serve_status)
+    sc = serve_sub.add_parser("chaos", parents=[common],
+                              help="seeded chaos acceptance harness "
+                                   "(baseline vs injected-kill run)")
+    sc.add_argument("benchmarks", nargs="*", metavar="BENCHMARK",
+                    help="benchmark keys for the workload (default: "
+                         "acoustic_4 elastic_central_4)")
+    sc.add_argument("--jobs", type=int, default=20,
+                    help="workload size (default: 20)")
+    sc.add_argument("--kills", type=int, default=5,
+                    help="worker SIGKILLs to inject (default: 5)")
+    sc.add_argument("--mid-checkpoint", type=int, default=1,
+                    help="of the kills, how many land inside a checkpoint "
+                         "write (default: 1)")
+    sc.add_argument("--hangs", type=int, default=0,
+                    help="hung-worker injections (heartbeat monitor must "
+                         "fire; default: 0)")
+    sc.add_argument("--seed", type=int, default=11,
+                    help="chaos schedule seed (default: 11)")
+    sc.add_argument("--steps", type=int, default=10,
+                    help="solver steps per job (default: 10)")
+    sc.add_argument("--workers", type=int, default=4,
+                    help="worker pool size (default: 4)")
+    sc.add_argument("--workdir", default=None, metavar="DIR",
+                    help="where to keep the baseline/chaos workdirs "
+                         "(default: a temp dir)")
+    sc.add_argument("--max-wall", type=float, default=600.0, metavar="S",
+                    help="per-run wall-clock cap (default: 600)")
+    sc.add_argument("--json", default=None, metavar="PATH",
+                    help="write the chaos report as JSON")
+    sc.set_defaults(fn=_cmd_serve_chaos)
+
+    p = sub.add_parser("submit", parents=[common],
+                       help="submit a job to a service workdir "
+                            "(repro serve run drains it)")
+    p.add_argument("kind", choices=["simulate", "experiment", "sweep"])
+    p.add_argument("--workdir", required=True, metavar="DIR")
+    p.add_argument("--physics", default="acoustic",
+                   choices=["acoustic", "elastic"])
+    p.add_argument("--level", type=int, default=1)
+    p.add_argument("--order", type=int, default=None)
+    p.add_argument("--steps", type=int, default=10)
+    p.add_argument("--checkpoint-every", type=int, default=4, metavar="N",
+                   help="simulate: checkpoint cadence in steps (default: 4)")
+    p.add_argument("--source-position", type=float, nargs=3, default=None,
+                   metavar=("X", "Y", "Z"),
+                   help="simulate: add a Ricker source at this position")
+    p.add_argument("--peak-frequency", type=float, default=5.0,
+                   help="simulate: Ricker peak frequency (default: 5)")
+    p.add_argument("--experiment", default=None, metavar="NAME",
+                   help="experiment jobs: the registered experiment id")
+    p.add_argument("--params-json", default=None, metavar="JSON",
+                   help="extra/override params as a JSON object (required "
+                        "for sweep jobs)")
+    p.add_argument("--max-retries", type=int, default=None,
+                   help="override the service default")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="override the service default deadline")
+    p.add_argument("--wait", type=float, default=0.0, metavar="S",
+                   help="block until the result is published (timeout S)")
+    p.set_defaults(fn=_cmd_submit)
 
     p = sub.add_parser("trace", parents=[common],
                        help="inspect a trace recorded with --profile")

@@ -69,6 +69,20 @@ FINDING_CODES: Dict[str, str] = {
     "PF006": "static cost bound disagrees with measured hardware counters "
              "(bound exceeds the measured makespan, or predicted occupancy "
              "diverges beyond epsilon — analyzer and hardware model diverged)",
+    # repo-invariant lint (scripts/lint_repo.py; reported there, registered
+    # here so the RL namespace shares the one catalogue and RL006 can vet
+    # every emitted code against it)
+    "RL001": "Instruction() constructed outside pim/isa.py and core/kernels/",
+    "RL002": ".span(...) used outside a `with` context manager",
+    "RL003": "module-level repro.analysis import outside the analysis package",
+    "RL004": "per-instruction Python dispatch loop outside the executor/"
+             "lowering/analysis layers",
+    "RL005": "._dispatch referenced outside pim/executor.py",
+    "RL006": "finding code emitted in analysis/ but not registered in "
+             "FINDING_CODES",
+    "RL007": "broad `except Exception:`/bare `except:` that silently "
+             "swallows (body is only pass/...) — log via repro.obs or "
+             "re-raise",
 }
 
 

@@ -194,8 +194,14 @@ class WaveSolver:
             "dtype": c.dtype,
         }
 
-    def save_checkpoint(self, path):
-        """Write an atomic restartable snapshot of ``(state, time, steps)``."""
+    def save_checkpoint(self, path, keep_previous: bool = False):
+        """Write an atomic restartable snapshot of ``(state, time, steps)``.
+
+        ``keep_previous=True`` rotates an existing snapshot to
+        ``<path>.prev`` first, so :meth:`restore_checkpoint` with
+        ``recover=True`` can fall back if this file is later found
+        corrupt on disk (the job-service resume path).
+        """
         from repro.faults.checkpoint import Checkpoint, write_checkpoint
         from repro.obs import get_metrics, get_tracer
 
@@ -208,20 +214,27 @@ class WaveSolver:
                     steps=self.steps_taken,
                     meta=self._checkpoint_meta(),
                 ),
+                keep_previous=keep_previous,
             )
         get_metrics().inc("faults.checkpoints")
         return out
 
-    def restore_checkpoint(self, path) -> int:
+    def restore_checkpoint(self, path, recover: bool = False) -> int:
         """Rewind this solver to a snapshot written by :meth:`save_checkpoint`.
 
         Validates that the checkpoint came from an identically-configured
         solver, then restores ``(state, time, steps_taken)`` bit-exactly.
-        Returns the step count resumed from.
+        Returns the step count resumed from.  ``recover=True`` falls back
+        to the rotated ``.prev`` snapshot when the newest one is corrupt
+        (see :class:`repro.faults.checkpoint.CheckpointCorrupt`).
         """
-        from repro.faults.checkpoint import read_checkpoint
+        from repro.faults.checkpoint import (
+            read_checkpoint,
+            read_checkpoint_with_recovery,
+        )
 
-        ckpt = read_checkpoint(path)
+        ckpt = (read_checkpoint_with_recovery(path) if recover
+                else read_checkpoint(path))
         ckpt.validate_against(self._checkpoint_meta())
         if ckpt.state.shape != self.state.shape:
             raise ValueError(

@@ -302,7 +302,18 @@ def render_history(doc: dict) -> str:
     """
     history = doc.get("history") or []
     if not history:
-        return "no bench history (run `repro bench` to record an entry)"
+        # stay a table, not a crash or an empty frame: a fresh checkout
+        # (or a BENCH_perf.json with no bench entries yet) renders a
+        # friendly placeholder with the seed baseline for context.
+        return "\n".join([
+            f"{'#':>3} {'timestamp':<19} {'step_ms':>8} {'serial_ms':>9} "
+            f"{'speedup':>7}",
+            f"{'--':>3} {'(no entries yet)':<19} {'--':>8} {'--':>9} "
+            f"{'--':>7}",
+            "",
+            "0 entries; run `repro bench` to record the first one; "
+            f"seed baseline {SEED_BASELINE['executor_step_s'] * 1e3:.2f} ms",
+        ])
 
     def cell(value, width: int = 8, fmt: str = "{:.2f}", scale: float = 1.0):
         if isinstance(value, (int, float)):

@@ -16,7 +16,13 @@ The campaign runner lives in :mod:`repro.faults.campaign` and is imported
 lazily (it pulls in the whole compiler/executor stack).
 """
 
-from repro.faults.checkpoint import Checkpoint, read_checkpoint, write_checkpoint
+from repro.faults.checkpoint import (
+    Checkpoint,
+    CheckpointCorrupt,
+    read_checkpoint,
+    read_checkpoint_with_recovery,
+    write_checkpoint,
+)
 from repro.faults.model import FaultConfig, FaultEvent, FaultModel, TransferPlan
 
 __all__ = [
@@ -25,6 +31,8 @@ __all__ = [
     "FaultModel",
     "TransferPlan",
     "Checkpoint",
+    "CheckpointCorrupt",
     "read_checkpoint",
+    "read_checkpoint_with_recovery",
     "write_checkpoint",
 ]

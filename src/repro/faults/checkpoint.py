@@ -15,8 +15,17 @@ Only ``(state, time, steps)`` are needed for a bit-identical resume:
 LSRK45 zeroes its aux register at stage 0 of every step (``A[0] == 0``),
 so no Runge-Kutta internals survive a step boundary.
 
-Writes are atomic (tmp file + ``os.replace``) so a campaign killed
-mid-checkpoint never leaves a truncated file behind.
+Durability discipline (the same one ``repro.serve``'s job journal uses):
+the payload is written to a temp file, fsynced, and atomically renamed
+over the target, then the *directory* is fsynced so the rename itself
+survives a power cut.  A campaign killed mid-checkpoint therefore never
+leaves a truncated file behind — but media corruption or an unfsynced
+filesystem still can, so :func:`read_checkpoint` validates the payload
+and raises :class:`CheckpointCorrupt` (never a bare ``zipfile``/``json``
+internal error) on a truncated or damaged file.  Writers that pass
+``keep_previous=True`` rotate the prior snapshot to ``<path>.prev``;
+:func:`read_checkpoint_with_recovery` falls back to it, giving
+recovery-to-previous semantics on corruption.
 """
 
 from __future__ import annotations
@@ -25,15 +34,43 @@ import io
 import json
 import os
 import tempfile
+import zipfile
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Union
 
 import numpy as np
 
-__all__ = ["CHECKPOINT_SCHEMA", "Checkpoint", "read_checkpoint", "write_checkpoint"]
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "Checkpoint",
+    "CheckpointCorrupt",
+    "previous_path",
+    "read_checkpoint",
+    "read_checkpoint_with_recovery",
+    "write_checkpoint",
+]
 
 CHECKPOINT_SCHEMA = 1
+
+#: npz members a schema-1 checkpoint must carry.
+_REQUIRED_KEYS = ("schema", "state", "time", "steps", "meta")
+
+
+class CheckpointCorrupt(ValueError):
+    """The checkpoint file exists but cannot be decoded (truncated/damaged).
+
+    Distinct from ``FileNotFoundError`` (no snapshot yet) and from the
+    compatibility ``ValueError`` raised for wrong-schema or wrong-config
+    checkpoints: corruption means the *bytes* are bad, so falling back to
+    the previous rotation (:func:`read_checkpoint_with_recovery`) is the
+    right recovery, not a recompile or a config fix.
+    """
+
+    def __init__(self, path: Union[str, Path], reason: str):
+        super().__init__(f"corrupt checkpoint {path}: {reason}")
+        self.path = Path(path)
+        self.reason = reason
 
 
 @dataclass
@@ -56,8 +93,35 @@ class Checkpoint:
                 )
 
 
-def write_checkpoint(path: Union[str, Path], ckpt: Checkpoint) -> Path:
-    """Atomically write ``ckpt`` to ``path`` (npz, schema 1)."""
+def previous_path(path: Union[str, Path]) -> Path:
+    """Where ``write_checkpoint(..., keep_previous=True)`` rotates the old snapshot."""
+    path = Path(path)
+    return path.with_name(path.name + ".prev")
+
+
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a just-completed rename survives power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open support
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - e.g. fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+def write_checkpoint(
+    path: Union[str, Path], ckpt: Checkpoint, keep_previous: bool = False
+) -> Path:
+    """Atomically write ``ckpt`` to ``path`` (npz, schema 1).
+
+    With ``keep_previous=True`` an existing snapshot at ``path`` is first
+    rotated (atomically) to :func:`previous_path`, so a reader holds a
+    valid fallback even if this file is later found corrupt on disk.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     buf = io.BytesIO()
@@ -75,7 +139,10 @@ def write_checkpoint(path: Union[str, Path], ckpt: Checkpoint) -> Path:
             f.write(buf.getvalue())
             f.flush()
             os.fsync(f.fileno())
+        if keep_previous and path.exists():
+            os.replace(path, previous_path(path))
         os.replace(tmp, path)
+        _fsync_dir(path.parent)
     except BaseException:
         try:
             os.unlink(tmp)
@@ -86,17 +153,69 @@ def write_checkpoint(path: Union[str, Path], ckpt: Checkpoint) -> Path:
 
 
 def read_checkpoint(path: Union[str, Path]) -> Checkpoint:
-    """Read a checkpoint written by :func:`write_checkpoint`."""
-    with np.load(Path(path)) as z:
-        schema = int(z["schema"])
-        if schema != CHECKPOINT_SCHEMA:
-            raise ValueError(
-                f"unsupported checkpoint schema {schema} (expected {CHECKPOINT_SCHEMA})"
+    """Read a checkpoint written by :func:`write_checkpoint`.
+
+    Raises :class:`CheckpointCorrupt` when the file is truncated or
+    otherwise undecodable, ``ValueError`` for a wrong schema version.
+    """
+    path = Path(path)
+    try:
+        z = np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, EOFError, ValueError) as exc:
+        # np.load surfaces truncation as BadZipFile/OSError/EOFError and
+        # non-npz bytes as ValueError — normalize all of them to one type.
+        raise CheckpointCorrupt(path, str(exc)) from exc
+    try:
+        with z:
+            missing = [k for k in _REQUIRED_KEYS if k not in z.files]
+            if missing:
+                raise CheckpointCorrupt(path, f"missing members {missing}")
+            schema = int(z["schema"])
+            if schema != CHECKPOINT_SCHEMA:
+                raise ValueError(
+                    f"unsupported checkpoint schema {schema} (expected {CHECKPOINT_SCHEMA})"
+                )
+            meta_raw = z["meta"]
+            try:
+                meta = json.loads(meta_raw.tobytes().decode()) if meta_raw.size else {}
+            except (ValueError, UnicodeDecodeError) as exc:
+                raise CheckpointCorrupt(path, f"meta is not JSON: {exc}") from exc
+            return Checkpoint(
+                state=z["state"].copy(),
+                time=float(z["time"]),
+                steps=int(z["steps"]),
+                meta=meta,
             )
-        meta = json.loads(z["meta"].tobytes().decode()) if z["meta"].size else {}
-        return Checkpoint(
-            state=z["state"].copy(),
-            time=float(z["time"]),
-            steps=int(z["steps"]),
-            meta=meta,
-        )
+    except (zipfile.BadZipFile, OSError, EOFError, KeyError) as exc:
+        # a member can still tear mid-archive: decoding it raises
+        # BadZipFile/KeyError even though the index loaded fine.
+        raise CheckpointCorrupt(path, str(exc)) from exc
+
+
+def read_checkpoint_with_recovery(path: Union[str, Path]) -> Checkpoint:
+    """Read ``path``, falling back to the rotated previous snapshot on corruption.
+
+    The fallback covers the ``keep_previous=True`` writer: a checkpoint
+    found corrupt on disk recovers to the last good one instead of
+    aborting the resume.  Raises the original :class:`CheckpointCorrupt`
+    when no previous snapshot exists (or it is corrupt too), and plain
+    ``FileNotFoundError`` when neither file exists.
+    """
+    path = Path(path)
+    try:
+        return read_checkpoint(path)
+    except FileNotFoundError:
+        prev = previous_path(path)
+        if prev.exists():
+            return read_checkpoint(prev)
+        raise
+    except CheckpointCorrupt as exc:
+        prev = previous_path(path)
+        if prev.exists():
+            try:
+                return read_checkpoint(prev)
+            except (CheckpointCorrupt, FileNotFoundError):
+                raise exc from None
+        raise

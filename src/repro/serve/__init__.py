@@ -1,0 +1,59 @@
+"""Crash-safe wave-sim-as-a-service: a supervised multiprocessing job layer.
+
+The package turns the single-run reproduction into a long-lived service
+that accepts simulation / experiment / sweep requests and survives
+arbitrary worker failure:
+
+* :mod:`repro.serve.queue` — bounded job store over an append-only,
+  fsynced JSONL journal: idempotent content-keyed submission, torn-tail
+  tolerant recovery, deterministic seeded retry backoff, explicit
+  :class:`~repro.serve.queue.QueueFull` backpressure.
+* :mod:`repro.serve.worker` — the pool process: heartbeats from inside
+  the work loop, checkpointed simulations that resume bit-identically
+  on any worker, crash-only error reporting.
+* :mod:`repro.serve.supervisor` — heartbeat-monitored pool: wall-clock
+  deadlines and hang detection enforced by SIGKILL, dead workers reaped
+  and restarted, failures retried with backoff or quarantined past
+  ``max_retries``, ``serve.*`` metrics through :mod:`repro.obs`.
+* :mod:`repro.serve.client` — file-based submission/await API behind
+  ``repro submit`` (atomic request drops, published terminal results).
+* :mod:`repro.serve.chaos` — seeded deterministic failure injection
+  (worker SIGKILLs, mid-checkpoint kills, hangs, slow IO) and the
+  acceptance harness proving zero lost / zero duplicated jobs and
+  bit-identical resumed results.
+
+See DESIGN.md §16 for the failure-mode table.
+"""
+
+from repro.serve.chaos import ChaosSchedule, Injection, run_chaos_check
+from repro.serve.client import status, submit, wait
+from repro.serve.queue import (
+    Job,
+    JobStore,
+    Journal,
+    QueueFull,
+    UnknownJob,
+    backoff_delay,
+    compute_job_id,
+    journal_digest,
+)
+from repro.serve.supervisor import ServiceConfig, Supervisor
+
+__all__ = [
+    "ChaosSchedule",
+    "Injection",
+    "Job",
+    "JobStore",
+    "Journal",
+    "QueueFull",
+    "ServiceConfig",
+    "Supervisor",
+    "UnknownJob",
+    "backoff_delay",
+    "compute_job_id",
+    "journal_digest",
+    "run_chaos_check",
+    "status",
+    "submit",
+    "wait",
+]

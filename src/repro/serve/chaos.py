@@ -1,0 +1,310 @@
+"""Deterministic chaos harness for the job service.
+
+Chaos here is *scheduled*, not random-at-runtime: a seeded
+:class:`ChaosSchedule` maps ``(job_id, attempt)`` pairs to injections,
+and the injection executes inside the worker at an exact point in the
+job (a solver step index, the N-th checkpoint rename, ...).  Because the
+trigger is a position in the deterministic computation rather than a
+wall-clock timer, two runs with the same seed inject byte-identical
+failures — which is what lets the acceptance check compare journal
+digests across runs.
+
+Injection kinds
+---------------
+``kill``                 SIGKILL the worker process after ``at_step``
+                         completed solver steps (between checkpoints).
+``kill_in_checkpoint``   SIGKILL mid-checkpoint: the temp file is
+                         written and fsynced but the process dies before
+                         the atomic rename — the crash window the
+                         checkpoint durability discipline must survive.
+``hang``                 stop heartbeating and sleep; the supervisor's
+                         heartbeat monitor must detect and SIGKILL it.
+``slow``                 sleep ``hold_s`` inside the job (simulated slow
+                         IO); with ``hold_s`` beyond the job deadline the
+                         supervisor's deadline enforcement fires.
+
+All injections target attempt 1 only (by construction in :meth:`plan`),
+so every victim's retry runs clean and the workload always converges.
+
+:func:`run_chaos_check` is the acceptance harness behind the
+``repro serve chaos`` CLI and the ``serve-chaos`` CI job: it runs the
+same seeded workload once uninterrupted and once under chaos, then
+verifies the service invariants (all jobs terminal, zero lost / zero
+duplicated, bit-identical resumed results, journal-resume without
+re-running completed jobs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Injection", "ChaosSchedule", "build_workload", "run_chaos_check"]
+
+
+@dataclass(frozen=True)
+class Injection:
+    kind: str  # "kill" | "kill_in_checkpoint" | "hang" | "slow"
+    #: for "kill": SIGKILL after this many completed solver steps.
+    #: for "kill_in_checkpoint": die inside the N-th checkpoint write.
+    at_step: int = 0
+    #: for "hang"/"slow": how long to stall.
+    hold_s: float = 3600.0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(d: dict) -> "Injection":
+        return Injection(kind=d["kind"], at_step=d.get("at_step", 0),
+                         hold_s=d.get("hold_s", 3600.0))
+
+
+class ChaosSchedule:
+    """Seeded map of ``(job_id, attempt)`` to the injection to perform."""
+
+    def __init__(self, seed: int, plan: Dict[Tuple[str, int], Injection]):
+        self.seed = seed
+        self.plan = dict(plan)
+
+    def injection_for(self, job_id: str, attempt: int) -> Optional[Injection]:
+        return self.plan.get((job_id, attempt))
+
+    @property
+    def n_kills(self) -> int:
+        return sum(1 for inj in self.plan.values()
+                   if inj.kind in ("kill", "kill_in_checkpoint"))
+
+    @classmethod
+    def plan_kills(cls, seed: int, job_ids: List[str], kills: int = 5,
+                   mid_checkpoint: int = 1, hangs: int = 0, slow: int = 0,
+                   steps: int = 10, checkpoint_every: int = 4,
+                   hold_s: float = 3600.0) -> "ChaosSchedule":
+        """Deterministically pick victims and injection points.
+
+        ``kills`` includes ``mid_checkpoint`` of the kind that dies inside
+        the checkpoint rename; the rest die between checkpoints.  All
+        injections land on attempt 1, so retries always run clean.
+        """
+        total = kills + hangs + slow
+        if total > len(job_ids):
+            raise ValueError(
+                f"{total} injections over {len(job_ids)} jobs: "
+                "at most one injection per job (attempt 1)"
+            )
+        if mid_checkpoint > kills:
+            raise ValueError("mid_checkpoint kills cannot exceed total kills")
+        # checkpoints land at multiples of checkpoint_every strictly below
+        # the final step — an injection point past that count never fires.
+        n_checkpoints = (steps - 1) // checkpoint_every if checkpoint_every else 0
+        if mid_checkpoint > 0 and n_checkpoints < 1:
+            raise ValueError(
+                f"mid-checkpoint kills need at least one checkpoint "
+                f"(steps={steps}, checkpoint_every={checkpoint_every})"
+            )
+        rng = random.Random(f"chaos:{seed}")
+        victims = rng.sample(sorted(job_ids), total)
+        plan: Dict[Tuple[str, int], Injection] = {}
+        between = [s for s in range(1, steps) if s % checkpoint_every != 0]
+        for i, job_id in enumerate(victims):
+            if i < mid_checkpoint:
+                # die inside the N-th checkpoint write of the run
+                nth = rng.randrange(1, n_checkpoints + 1)
+                plan[(job_id, 1)] = Injection("kill_in_checkpoint", at_step=nth)
+            elif i < kills:
+                at = rng.choice(between) if between else 1
+                plan[(job_id, 1)] = Injection("kill", at_step=at)
+            elif i < kills + hangs:
+                plan[(job_id, 1)] = Injection("hang", hold_s=hold_s)
+            else:
+                plan[(job_id, 1)] = Injection("slow", hold_s=hold_s)
+        return cls(seed, plan)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "plan": [{"job": j, "attempt": a, **inj.as_dict()}
+                     for (j, a), inj in sorted(self.plan.items())],
+        }
+
+
+# -- acceptance harness ------------------------------------------------- #
+
+def build_workload(benchmarks: List[str], n_jobs: int = 20, steps: int = 10,
+                   level: int = 1, order: int = 1,
+                   checkpoint_every: int = 4) -> List[dict]:
+    """A deterministic n-job simulate workload over the named benchmarks.
+
+    Jobs vary physics/flux (from the benchmark specs) and the source
+    placement/frequency (by job index), so every job id — and every
+    result digest — is distinct and reproducible.
+    """
+    from repro.workloads.benchmarks import BENCHMARKS
+
+    specs = [BENCHMARKS[k] for k in benchmarks]
+    jobs = []
+    for i in range(n_jobs):
+        spec = specs[i % len(specs)]
+        jobs.append({
+            "kind": "simulate",
+            "params": {
+                "physics": spec.physics,
+                "flux": spec.flux_kind,
+                "level": level,
+                "order": order,
+                "steps": steps,
+                "checkpoint_every": checkpoint_every,
+                "source": {
+                    "position": [0.25 + 0.5 * ((i // 4) % 2) / 1.0,
+                                 0.25 + 0.125 * (i % 4),
+                                 0.75],
+                    "peak_frequency": 4.0 + 0.5 * i,
+                },
+            },
+        })
+    return jobs
+
+
+def _run_workload(workdir: Path, jobs: List[dict], workers: int, seed: int,
+                  chaos: Optional[ChaosSchedule], max_wall_s: float,
+                  deadline_s: float = 120.0, max_retries: int = 3) -> dict:
+    """Submit ``jobs`` into a fresh service at ``workdir`` and drain it."""
+    from repro.serve.supervisor import ServiceConfig, Supervisor
+
+    config = ServiceConfig(workdir=workdir, workers=workers, seed=seed,
+                           max_pending=max(len(jobs) + 8, 32))
+    sup = Supervisor(config, chaos=chaos)
+    try:
+        for j in jobs:
+            sup.store.submit(j["kind"], j["params"], max_retries=max_retries,
+                             deadline_s=deadline_s)
+        sup.run(until_idle=True, max_wall_s=max_wall_s)
+        counts = sup.store.counts()
+        results = {jid: job.result for jid, job in sup.store.jobs.items()}
+        attempts = {jid: job.attempt for jid, job in sup.store.jobs.items()}
+        digest = sup.store.digest()
+    finally:
+        sup.shutdown()
+    return {"counts": counts, "results": results, "attempts": attempts,
+            "journal_digest": digest, "metrics": sup.metrics_snapshot()}
+
+
+def run_chaos_check(benchmarks: List[str], n_jobs: int = 20, kills: int = 5,
+                    mid_checkpoint: int = 1, hangs: int = 0, seed: int = 11,
+                    steps: int = 10, level: int = 1, order: int = 1,
+                    checkpoint_every: int = 4, workers: int = 4,
+                    workdir=None, max_wall_s: float = 600.0) -> dict:
+    """Baseline vs chaos run of one seeded workload; verifies the invariants.
+
+    Returns a report dict whose ``violations`` list is empty iff:
+
+    * every job reached a terminal ``done`` state in both runs,
+    * no result was lost and none computed twice (exactly one ``done``
+      journal event per job),
+    * every chaos-run result digest is bit-identical to the baseline
+      (checkpoint-resumed jobs included),
+    * ≥ ``kills`` worker SIGKILLs actually happened (worker restarts),
+    * restarting the service on the chaos journal re-runs nothing.
+    """
+    import tempfile
+
+    from repro.serve.queue import DONE, Journal, compute_job_id
+    from repro.serve.supervisor import ServiceConfig, Supervisor
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-chaos-")) if workdir is None \
+        else Path(workdir)
+    jobs = build_workload(benchmarks, n_jobs=n_jobs, steps=steps, level=level,
+                          order=order, checkpoint_every=checkpoint_every)
+    job_ids = [compute_job_id(j["kind"], j["params"]) for j in jobs]
+    schedule = ChaosSchedule.plan_kills(
+        seed, job_ids, kills=kills, mid_checkpoint=mid_checkpoint, hangs=hangs,
+        steps=steps, checkpoint_every=checkpoint_every,
+        hold_s=30.0,  # hangs: long enough to trip the heartbeat monitor
+    )
+
+    baseline = _run_workload(workdir / "baseline", jobs, workers, seed,
+                             chaos=None, max_wall_s=max_wall_s)
+    chaotic = _run_workload(workdir / "chaos", jobs, workers, seed,
+                            chaos=schedule, max_wall_s=max_wall_s)
+
+    violations: List[str] = []
+    for name, run in (("baseline", baseline), ("chaos", chaotic)):
+        not_done = {k: v for k, v in run["counts"].items() if k != DONE and v}
+        if not_done:
+            violations.append(f"{name}: jobs not done: {not_done}")
+
+    # zero lost / zero duplicated: exactly one 'done' per job in the journal
+    events = Journal.load(workdir / "chaos" / "journal.jsonl")
+    done_by_job: Dict[str, int] = {}
+    for e in events:
+        if e.get("event") == "done":
+            done_by_job[e["job"]] = done_by_job.get(e["job"], 0) + 1
+    lost = [j for j in job_ids if done_by_job.get(j, 0) == 0]
+    duplicated = [j for j, n in done_by_job.items() if n > 1]
+    if lost:
+        violations.append(f"chaos: {len(lost)} job(s) lost (no done event)")
+    if duplicated:
+        violations.append(f"chaos: {len(duplicated)} job(s) computed twice")
+
+    # bit-identical results, interrupted (resumed) or not
+    mismatches = [
+        jid for jid in job_ids
+        if (baseline["results"].get(jid) or {}).get("digest")
+        != (chaotic["results"].get(jid) or {}).get("digest")
+    ]
+    if mismatches:
+        violations.append(
+            f"chaos: {len(mismatches)} result digest(s) differ from baseline"
+        )
+
+    killed = [jid for (jid, _a), inj in schedule.plan.items()
+              if inj.kind in ("kill", "kill_in_checkpoint")]
+    restarts = int(chaotic["metrics"].get("counters", {})
+                   .get("serve.worker_restarts", 0))
+    if restarts < len(killed):
+        violations.append(
+            f"chaos: only {restarts} worker restart(s) observed for "
+            f"{len(killed)} scheduled kills"
+        )
+    not_retried = [jid for jid in killed if chaotic["attempts"].get(jid, 0) < 2]
+    if not_retried:
+        violations.append(
+            f"chaos: {len(not_retried)} killed job(s) never retried"
+        )
+
+    # service restart against the existing journal: nothing re-runs
+    config = ServiceConfig(workdir=workdir / "chaos", workers=1, seed=seed,
+                           max_pending=max(len(jobs) + 8, 32))
+    sup = Supervisor(config, chaos=None)
+    try:
+        before = len(Journal.load(sup.store.journal_path))
+        sup.run(until_idle=True, max_wall_s=30.0)
+        after_events = Journal.load(sup.store.journal_path)
+    finally:
+        sup.shutdown()
+    new = [e for e in after_events[before:]
+           if e.get("event") in ("start", "done", "fail", "quarantine")]
+    if new:
+        violations.append(
+            f"restart: {len(new)} lifecycle event(s) after resume — completed "
+            "jobs must not re-run"
+        )
+
+    return {
+        "kind": "repro-serve-chaos",
+        "schema": 1,
+        "benchmarks": benchmarks,
+        "n_jobs": n_jobs,
+        "seed": seed,
+        "schedule": schedule.as_dict(),
+        "baseline": {"counts": baseline["counts"],
+                     "journal_digest": baseline["journal_digest"]},
+        "chaos": {"counts": chaotic["counts"],
+                  "journal_digest": chaotic["journal_digest"],
+                  "worker_restarts": restarts,
+                  "attempts": chaotic["attempts"]},
+        "violations": violations,
+        "workdir": str(workdir),
+    }

@@ -1,0 +1,118 @@
+"""Thin client for the wave-sim service (file-based, no sockets).
+
+The service's public surface is its *workdir*:
+
+``inbox/<job_id>.json``    submission requests (clients write these
+                           atomically; the supervisor ingests and
+                           unlinks them)
+``results/<job_id>.json``  terminal outcomes (done / quarantined /
+                           rejected), written atomically by the service
+``journal.jsonl``          the authoritative job lifecycle log
+``metrics.json``           the service's ``serve.*`` metrics export
+
+A file drop is deliberately the whole protocol: it inherits the
+journal's crash-safety (atomic rename, idempotent content-keyed names —
+double-submitting a request is a no-op), works across containers that
+share a volume, and keeps the client dependency-free.  ``repro submit``
+wraps :func:`submit` / :func:`wait`; ``repro serve status`` wraps
+:func:`status`.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.serve.queue import (
+    Journal,
+    TERMINAL_STATES,
+    compute_job_id,
+    journal_digest,
+    write_json_atomic,
+)
+
+__all__ = ["submit", "wait", "result_path", "status"]
+
+
+def submit(workdir: Union[str, Path], kind: str, params: dict,
+           max_retries: Optional[int] = None,
+           deadline_s: Optional[float] = None) -> str:
+    """Drop a job request into the service inbox; returns the job id.
+
+    Idempotent: the request file is named by the content-keyed job id,
+    so resubmission overwrites the same pending file (or is deduplicated
+    by the store if the job was already admitted).
+    """
+    job_id = compute_job_id(kind, params)
+    request: dict = {"kind": kind, "params": params}
+    if max_retries is not None:
+        request["max_retries"] = max_retries
+    if deadline_s is not None:
+        request["deadline_s"] = deadline_s
+    write_json_atomic(Path(workdir) / "inbox" / f"{job_id}.json", request)
+    return job_id
+
+
+def result_path(workdir: Union[str, Path], job_id: str) -> Path:
+    return Path(workdir) / "results" / f"{job_id}.json"
+
+
+def wait(workdir: Union[str, Path], job_id: str, timeout_s: float = 60.0,
+         poll_s: float = 0.05) -> dict:
+    """Block until the service publishes a terminal outcome for ``job_id``.
+
+    Returns the result document; raises ``TimeoutError`` if none appears
+    within ``timeout_s``.
+    """
+    path = result_path(workdir, job_id)
+    deadline = time.time() + timeout_s
+    while time.time() < deadline:
+        if path.exists():
+            try:
+                return json.loads(path.read_text())
+            except ValueError:
+                pass  # racing the atomic rename; next poll sees it whole
+        time.sleep(poll_s)
+    raise TimeoutError(
+        f"job {job_id}: no terminal result in {path} after {timeout_s:.1f}s "
+        "(is `repro serve run` active on this workdir?)"
+    )
+
+
+def status(workdir: Union[str, Path]) -> dict:
+    """Summarize a service workdir from its journal (service need not run)."""
+    workdir = Path(workdir)
+    events = Journal.load(workdir / "journal.jsonl")
+    jobs: dict = {}
+    attempts: dict = {}
+    for e in events:
+        job_id = e.get("job")
+        event = e.get("event")
+        if event == "submit":
+            jobs[job_id] = "pending"
+        elif event == "start":
+            jobs[job_id] = "running"
+            attempts[job_id] = e.get("attempt", 0)
+        elif event == "done":
+            jobs[job_id] = "done"
+        elif event == "fail":
+            jobs[job_id] = "failed"
+        elif event == "quarantine":
+            jobs[job_id] = "quarantined"
+    counts: dict = {}
+    for state in jobs.values():
+        counts[state] = counts.get(state, 0) + 1
+    inbox = sorted(p.stem for p in (workdir / "inbox").glob("*.json")) \
+        if (workdir / "inbox").is_dir() else []
+    return {
+        "workdir": str(workdir),
+        "events": len(events),
+        "jobs": len(jobs),
+        "counts": counts,
+        "terminal": sum(1 for s in jobs.values() if s in TERMINAL_STATES),
+        "retries_total": sum(max(0, a - 1) for a in attempts.values()),
+        "inbox_pending": inbox,
+        "journal_digest": journal_digest(events),
+    }

@@ -83,7 +83,10 @@ class TestFindingModel:
 
     def test_catalogue_covers_all_passes(self):
         prefixes = {c[:2] for c in FINDING_CODES}
-        assert prefixes == {"DF", "LY", "TR", "PH", "HZ", "FT", "PL", "PF"}
+        # RL* are the repo-invariant lint rules (scripts/lint_repo.py),
+        # registered here so the catalogue is the one namespace authority.
+        assert prefixes == {"DF", "LY", "TR", "PH", "HZ", "FT", "PL", "PF",
+                            "RL"}
 
 
 # --------------------------------------------------------------------- #
@@ -400,7 +403,7 @@ class TestBenchmarksClean:
         assert set(rec) == {"code", "message", "severity", "index", "block",
                             "tag", "passname"}
         # every registered code has a known pass prefix + 3-digit number
-        assert all(re.fullmatch(r"(DF|LY|TR|PH|HZ|FT|PL|PF)\d{3}", c)
+        assert all(re.fullmatch(r"(DF|LY|TR|PH|HZ|FT|PL|PF|RL)\d{3}", c)
                    for c in FINDING_CODES)
 
     def test_unknown_benchmark_exits_2(self, capsys):

@@ -61,6 +61,27 @@ class TestPerfHistory:
                      str(tmp_path / "nope.json")]) == 2
         assert "cannot read" in capsys.readouterr().err
 
+    def test_empty_history_renders_placeholder(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({"history": []}))
+        assert main(["perf", "history", "--json", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "(no entries yet)" in out
+        assert "0 entries" in out and "repro bench" in out
+
+    def test_missing_default_path_is_empty_table(self, tmp_path, capsys,
+                                                 monkeypatch):
+        # a fresh checkout has no BENCH_perf.json at all: the default
+        # path (no --json) must render the placeholder, not exit 2.
+        import repro.eval.bench as bench
+
+        monkeypatch.setattr(bench, "default_bench_path",
+                            lambda: tmp_path / "absent.json")
+        assert main(["perf", "history"]) == 0
+        assert "(no entries yet)" in capsys.readouterr().out
+
     def test_counters_flag_sets_env(self, monkeypatch, capsys):
         import os
 

@@ -365,7 +365,10 @@ class TestBenchHistory:
         assert "REGRESSION" in out
 
     def test_render_empty_history(self):
-        assert "no bench history" in render_history({})
+        # stays a table: header row, placeholder row, seed-baseline footer
+        out = render_history({})
+        assert "(no entries yet)" in out
+        assert "step_ms" in out and "repro bench" in out
 
     def test_backfilled_entries_never_fail_the_guard(self):
         old = _entry(block_util=None, counters_overhead=None)

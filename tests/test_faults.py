@@ -459,6 +459,73 @@ class TestCheckpoint:
             other.restore_checkpoint(p)
 
 
+class TestCheckpointCorruption:
+    """Torn/truncated checkpoint files raise ``CheckpointCorrupt`` and the
+    ``.prev`` rotation recovers to the previous complete checkpoint."""
+
+    def _write(self, path, steps, keep_previous=False):
+        state = np.full((2, 3), float(steps), dtype=np.float32)
+        write_checkpoint(path, Checkpoint(state=state, time=0.5 * steps,
+                                          steps=steps, meta={"order": 2}),
+                         keep_previous=keep_previous)
+
+    def test_truncated_file_raises_corrupt(self, tmp_path):
+        from repro.faults import CheckpointCorrupt
+
+        p = tmp_path / "c.npz"
+        self._write(p, steps=3)
+        raw = p.read_bytes()
+        # chop the archive at every quartile: all of them must surface as
+        # CheckpointCorrupt, never a bare zipfile/KeyError leak.
+        for frac in (0.25, 0.5, 0.75):
+            p.write_bytes(raw[: int(len(raw) * frac)])
+            with pytest.raises(CheckpointCorrupt):
+                read_checkpoint(p)
+
+    def test_garbage_and_missing_keys_raise_corrupt(self, tmp_path):
+        from repro.faults import CheckpointCorrupt
+
+        p = tmp_path / "c.npz"
+        p.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointCorrupt):
+            read_checkpoint(p)
+        np.savez(p, state=np.zeros(3))  # valid zip, wrong schema
+        with pytest.raises(CheckpointCorrupt):
+            read_checkpoint(p)
+
+    def test_keep_previous_rotates(self, tmp_path):
+        from repro.faults.checkpoint import previous_path
+
+        p = tmp_path / "c.npz"
+        self._write(p, steps=3)
+        self._write(p, steps=6, keep_previous=True)
+        assert read_checkpoint(p).steps == 6
+        assert read_checkpoint(previous_path(p)).steps == 3
+
+    def test_recovery_falls_back_to_previous(self, tmp_path):
+        from repro.faults import CheckpointCorrupt, read_checkpoint_with_recovery
+        from repro.faults.checkpoint import previous_path
+
+        p = tmp_path / "c.npz"
+        self._write(p, steps=3)
+        self._write(p, steps=6, keep_previous=True)
+        raw = p.read_bytes()
+        p.write_bytes(raw[: len(raw) // 2])  # torn newest checkpoint
+        got = read_checkpoint_with_recovery(p)
+        assert got.steps == 3  # the rotated .prev survives
+
+        # with the previous copy also gone, corruption is terminal
+        previous_path(p).unlink()
+        with pytest.raises(CheckpointCorrupt):
+            read_checkpoint_with_recovery(p)
+
+    def test_recovery_missing_file_raises_filenotfound(self, tmp_path):
+        from repro.faults import read_checkpoint_with_recovery
+
+        with pytest.raises(FileNotFoundError):
+            read_checkpoint_with_recovery(tmp_path / "absent.npz")
+
+
 # --------------------------------------------------------------------- #
 # runtime estimation overhead
 # --------------------------------------------------------------------- #

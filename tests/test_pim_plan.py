@@ -492,6 +492,47 @@ class TestLintRules:
                            "    return ex._dispatch(inst, True, None)\n")
         assert "RL005" not in codes
 
+    def test_flags_silent_broad_except(self, tmp_path):
+        codes = self._lint(tmp_path, "src/repro/core/bad.py",
+                           "def f():\n"
+                           "    try:\n"
+                           "        g()\n"
+                           "    except Exception:\n"
+                           "        pass\n")
+        assert "RL007" in codes
+
+    def test_flags_bare_except_and_tuple(self, tmp_path):
+        codes = self._lint(tmp_path, "src/repro/core/bad.py",
+                           "def f():\n"
+                           "    try:\n"
+                           "        g()\n"
+                           "    except:\n"
+                           "        ...\n")
+        assert "RL007" in codes
+        codes = self._lint(tmp_path, "src/repro/core/bad2.py",
+                           "def f():\n"
+                           "    try:\n"
+                           "        g()\n"
+                           "    except (ValueError, Exception):\n"
+                           "        pass\n")
+        assert "RL007" in codes
+
+    def test_allows_narrow_or_logging_except(self, tmp_path):
+        codes = self._lint(tmp_path, "src/repro/core/ok.py",
+                           "def f():\n"
+                           "    try:\n"
+                           "        g()\n"
+                           "    except ValueError:\n"
+                           "        pass\n")
+        assert "RL007" not in codes
+        codes = self._lint(tmp_path, "src/repro/core/ok2.py",
+                           "def f(log):\n"
+                           "    try:\n"
+                           "        g()\n"
+                           "    except Exception:\n"
+                           "        log.warning('g failed')\n")
+        assert "RL007" not in codes
+
 
 class TestRouteTable:
     def test_matches_inline_resolution(self):

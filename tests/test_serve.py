@@ -1,0 +1,488 @@
+"""The crash-safe job service (``repro.serve``).
+
+Layered like the module: pure-logic units first (job ids, backoff,
+journal, store recovery), then supervised end-to-end runs with real
+worker processes.  The process tests use the cheap ``_test_*`` job kinds
+so the suite stays fast; the real simulate path is covered end-to-end by
+``tests/test_serve_chaos.py``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    Job,
+    JobStore,
+    Journal,
+    QueueFull,
+    ServiceConfig,
+    Supervisor,
+    backoff_delay,
+    compute_job_id,
+    journal_digest,
+)
+from repro.serve.queue import DONE, FAILED, PENDING, QUARANTINED, RUNNING
+
+
+# --------------------------------------------------------------------- #
+# job identity + backoff (pure logic)
+# --------------------------------------------------------------------- #
+
+
+class TestJobIdentity:
+    def test_id_is_content_keyed_and_stable(self):
+        a = compute_job_id("simulate", {"level": 1, "steps": 5})
+        b = compute_job_id("simulate", {"steps": 5, "level": 1})
+        assert a == b  # key order does not matter
+        assert len(a) == 16 and int(a, 16) >= 0
+
+    def test_id_differs_by_kind_and_params(self):
+        base = compute_job_id("simulate", {"level": 1})
+        assert compute_job_id("experiment", {"level": 1}) != base
+        assert compute_job_id("simulate", {"level": 2}) != base
+
+
+class TestBackoff:
+    def test_deterministic_per_seed_job_attempt(self):
+        a = backoff_delay(7, "cafe", 2)
+        assert a == backoff_delay(7, "cafe", 2)
+        assert a != backoff_delay(7, "cafe", 3)
+        assert a != backoff_delay(8, "cafe", 2)
+        assert a != backoff_delay(7, "beef", 2)
+
+    def test_exponential_envelope_and_cap(self):
+        base, cap = 0.05, 2.0
+        for attempt in range(1, 12):
+            d = backoff_delay(0, "job", attempt, base=base, cap=cap)
+            hi = min(cap, base * 2 ** (attempt - 1))
+            assert hi * 0.5 <= d < hi
+        assert backoff_delay(0, "job", 50, base=base, cap=cap) < cap
+
+    def test_schedule_identical_across_runs(self):
+        jobs = [f"job{i}" for i in range(10)]
+        sched1 = [backoff_delay(3, j, a) for j in jobs for a in (1, 2, 3)]
+        sched2 = [backoff_delay(3, j, a) for j in jobs for a in (1, 2, 3)]
+        assert sched1 == sched2
+
+
+# --------------------------------------------------------------------- #
+# journal durability + digest
+# --------------------------------------------------------------------- #
+
+
+class TestJournal:
+    def test_append_load_roundtrip(self, tmp_path):
+        p = tmp_path / "journal.jsonl"
+        j = Journal(p)
+        j.append({"event": "start", "job": "a", "attempt": 1})
+        j.append({"event": "done", "job": "a", "attempt": 1})
+        j.close()
+        events = Journal.load(p)
+        assert [e["event"] for e in events] == ["start", "done"]
+
+    def test_torn_tail_line_is_tolerated(self, tmp_path):
+        p = tmp_path / "journal.jsonl"
+        j = Journal(p)
+        j.append({"event": "start", "job": "a"})
+        j.close()
+        with open(p, "a") as fh:
+            fh.write('{"event": "done", "job"')  # crash mid-append
+        events = Journal.load(p)
+        assert len(events) == 1 and events[0]["event"] == "start"
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        p = tmp_path / "journal.jsonl"
+        p.write_text('{"event": "start"}\nGARBAGE\n{"event": "done"}\n')
+        with pytest.raises(ValueError, match="journal"):
+            Journal.load(p)
+
+    def test_digest_ignores_timing_but_not_lifecycle(self):
+        base = [
+            {"event": "start", "job": "a", "attempt": 1, "ts": 1.0, "pid": 42},
+            {"event": "done", "job": "a", "attempt": 1, "ts": 2.0,
+             "result_digest": "d1"},
+        ]
+        jitter = [dict(e) for e in base]
+        jitter[0]["ts"], jitter[1]["pid"] = 9.0, 77
+        assert journal_digest(base) == journal_digest(jitter)
+        changed = [dict(e) for e in base]
+        changed[1]["result_digest"] = "d2"
+        assert journal_digest(base) != journal_digest(changed)
+
+    def test_digest_is_order_insensitive(self):
+        ev = [
+            {"event": "start", "job": "a", "attempt": 1},
+            {"event": "start", "job": "b", "attempt": 1},
+        ]
+        assert journal_digest(ev) == journal_digest(list(reversed(ev)))
+
+
+# --------------------------------------------------------------------- #
+# the persistent store: idempotence, recovery, backpressure
+# --------------------------------------------------------------------- #
+
+
+class TestJobStore:
+    def test_submit_is_idempotent(self, tmp_path):
+        store = JobStore(tmp_path)
+        a = store.submit("simulate", {"level": 1})
+        b = store.submit("simulate", {"level": 1})
+        assert a.id == b.id and len(store.jobs) == 1
+        store.close()
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(ValueError, match="kind"):
+            store.submit("frobnicate", {})
+        store.close()
+
+    def test_backpressure_queue_full(self, tmp_path):
+        store = JobStore(tmp_path, max_pending=2)
+        store.submit("_test_sleep", {"seconds": 0, "n": 1})
+        store.submit("_test_sleep", {"seconds": 0, "n": 2})
+        with pytest.raises(QueueFull):
+            store.submit("_test_sleep", {"seconds": 0, "n": 3})
+        store.close()
+
+    def test_recovery_requeues_running_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("_test_sleep", {"seconds": 0})
+        store.mark_started(job, worker=0)
+        assert store.jobs[job.id].status == RUNNING
+        store.close()
+
+        # a new store over the same journal: the in-flight job comes back
+        # as pending with its attempt count preserved (the crashed attempt
+        # is charged by the supervisor, not silently forgotten).
+        store2 = JobStore(tmp_path)
+        back = store2.jobs[job.id]
+        assert back.status == PENDING
+        assert back.attempt == 1
+        events = Journal.load(store2.journal_path)
+        assert any(e["event"] == "recovered" for e in events)
+        store2.close()
+
+    def test_recovery_preserves_terminal_states(self, tmp_path):
+        store = JobStore(tmp_path)
+        done = store.submit("_test_sleep", {"seconds": 0, "n": 1})
+        store.mark_started(done, worker=0)
+        store.mark_done(done, {"digest": "abc"})
+        store.close()
+
+        store2 = JobStore(tmp_path)
+        assert store2.jobs[done.id].status == DONE
+        assert store2.jobs[done.id].result == {"digest": "abc"}
+        assert store2.all_terminal()
+        store2.close()
+
+    def test_failed_job_gets_backoff_window(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("_test_flaky", {"fail_attempts": 1})
+        store.mark_started(job, worker=0)
+        delay = backoff_delay(5, job.id, 1)
+        store.mark_failed(job, "boom", retry_delay_s=delay)
+        j = store.jobs[job.id]
+        assert j.status == FAILED
+        assert j.not_before > time.time() - 0.1
+        # not ready until the backoff window passes...
+        assert job.id not in [x.id for x in store.ready_jobs(now=time.time())]
+        # ...and ready again after it
+        ready = store.ready_jobs(now=j.not_before + 0.01)
+        assert job.id in [x.id for x in ready]
+        store.close()
+
+    def test_result_file_published_atomically(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = store.submit("_test_sleep", {"seconds": 0})
+        store.mark_started(job, worker=0)
+        store.mark_done(job, {"digest": "xyz"})
+        out = json.loads((tmp_path / "results" / f"{job.id}.json").read_text())
+        assert out["status"] == "done" and out["result"]["digest"] == "xyz"
+        store.close()
+
+
+# --------------------------------------------------------------------- #
+# supervised end-to-end (real worker processes, cheap job kinds)
+# --------------------------------------------------------------------- #
+
+
+def _service(tmp_path, **kw):
+    defaults = dict(workdir=tmp_path, workers=2, seed=0,
+                    heartbeat_timeout_s=1.0, poll_s=0.01)
+    defaults.update(kw)
+    return Supervisor(ServiceConfig(**defaults))
+
+
+class TestSupervised:
+    def test_jobs_run_and_complete(self, tmp_path):
+        sup = _service(tmp_path)
+        try:
+            ids = [sup.store.submit("_test_sleep",
+                                    {"seconds": 0.01, "n": i}).id
+                   for i in range(6)]
+            sup.run(until_idle=True, max_wall_s=60.0)
+            assert all(sup.store.jobs[i].status == DONE for i in ids)
+        finally:
+            sup.shutdown()
+
+    def test_flaky_job_retries_then_succeeds(self, tmp_path):
+        sup = _service(tmp_path)
+        try:
+            job = sup.store.submit("_test_flaky", {"fail_attempts": 2},
+                                   max_retries=3)
+            sup.run(until_idle=True, max_wall_s=60.0)
+            j = sup.store.jobs[job.id]
+            assert j.status == DONE and j.attempt == 3
+        finally:
+            sup.shutdown()
+
+    def test_poison_job_is_quarantined(self, tmp_path):
+        sup = _service(tmp_path)
+        try:
+            job = sup.store.submit("_test_flaky", {"fail_attempts": 99},
+                                   max_retries=2)
+            ok = sup.store.submit("_test_sleep", {"seconds": 0})
+            sup.run(until_idle=True, max_wall_s=60.0)
+            assert sup.store.jobs[job.id].status == QUARANTINED
+            assert sup.store.jobs[job.id].attempt == 3  # 1 + max_retries
+            assert sup.store.jobs[ok.id].status == DONE  # pool survived
+            out = json.loads(
+                (tmp_path / "results" / f"{job.id}.json").read_text())
+            assert out["status"] == QUARANTINED
+        finally:
+            sup.shutdown()
+
+    def test_deadline_kill_and_retry_budget(self, tmp_path):
+        sup = _service(tmp_path, deadline_s=0.3)
+        try:
+            # beats while sleeping, so only the *deadline* can catch it
+            job = sup.store.submit("_test_sleep", {"seconds": 30, "beat": True},
+                                   max_retries=0, deadline_s=0.3)
+            sup.run(until_idle=True, max_wall_s=60.0)
+            assert sup.store.jobs[job.id].status == QUARANTINED
+            assert sup.metrics_snapshot()["counters"].get(
+                "serve.deadline_kills", 0) >= 1
+        finally:
+            sup.shutdown()
+
+    def test_hung_worker_detected_by_heartbeat(self, tmp_path):
+        sup = _service(tmp_path, heartbeat_timeout_s=0.5)
+        try:
+            # no heartbeats while sleeping: the monitor must SIGKILL it
+            # long before the generous deadline.
+            job = sup.store.submit("_test_sleep", {"seconds": 30, "beat": False},
+                                   max_retries=0, deadline_s=120.0)
+            t0 = time.time()
+            sup.run(until_idle=True, max_wall_s=60.0)
+            assert time.time() - t0 < 30
+            assert sup.store.jobs[job.id].status == QUARANTINED
+            assert sup.metrics_snapshot()["counters"].get(
+                "serve.hang_kills", 0) >= 1
+        finally:
+            sup.shutdown()
+
+    def test_worker_restarts_counted(self, tmp_path):
+        sup = _service(tmp_path, heartbeat_timeout_s=0.5)
+        try:
+            sup.store.submit("_test_sleep", {"seconds": 30, "beat": False},
+                             max_retries=0, deadline_s=120.0)
+            sup.run(until_idle=True, max_wall_s=60.0)
+            assert sup.metrics_snapshot()["counters"].get(
+                "serve.worker_restarts", 0) >= 1
+            # the pool is whole again after the restart
+            assert len(sup.workers) == sup.config.workers
+            assert all(h.process.is_alive() for h in sup.workers.values())
+        finally:
+            sup.shutdown()
+
+    def test_metrics_exported_on_run(self, tmp_path):
+        from repro.obs import get_metrics
+
+        before = get_metrics().snapshot()["counters"].get("serve.done", 0)
+        sup = _service(tmp_path)
+        try:
+            sup.store.submit("_test_sleep", {"seconds": 0})
+            sup.run(until_idle=True, max_wall_s=60.0)
+        finally:
+            sup.shutdown()
+        # counters are process-global, so compare against the pre-run value
+        doc = json.loads((tmp_path / "metrics.json").read_text())
+        assert doc["metrics"]["counters"].get("serve.done", 0) == before + 1
+
+
+# --------------------------------------------------------------------- #
+# file protocol client
+# --------------------------------------------------------------------- #
+
+
+class TestClient:
+    def test_submit_wait_status(self, tmp_path):
+        from repro.serve import client
+
+        job_id = client.submit(tmp_path, "_test_sleep", {"seconds": 0.01})
+        # identical submission drops the same request file (idempotent)
+        assert client.submit(tmp_path, "_test_sleep", {"seconds": 0.01}) == job_id
+        inbox = list((tmp_path / "inbox").glob("*.json"))
+        assert len(inbox) == 1
+
+        sup = _service(tmp_path)
+        try:
+            sup.run(until_idle=True, max_wall_s=60.0)
+        finally:
+            sup.shutdown()
+
+        out = client.wait(tmp_path, job_id, timeout_s=10.0)
+        assert out["status"] == DONE
+
+        st = client.status(tmp_path)
+        assert st["counts"].get(DONE, 0) == 1
+        assert st["inbox_pending"] == []
+        assert len(st["journal_digest"]) == 64
+
+    def test_wait_times_out(self, tmp_path):
+        from repro.serve import client
+
+        (tmp_path / "results").mkdir(parents=True)
+        with pytest.raises(TimeoutError):
+            client.wait(tmp_path, "feedbeeffeedbeef", timeout_s=0.1)
+
+    def test_rejected_submission_reports_error(self, tmp_path):
+        from repro.serve import client
+
+        # drop a request with an unknown kind directly into the inbox
+        inbox = tmp_path / "inbox"
+        inbox.mkdir(parents=True)
+        bad = {"kind": "frobnicate", "params": {}}
+        job_id = compute_job_id("frobnicate", {})
+        (inbox / f"{job_id}.json").write_text(json.dumps(bad))
+
+        sup = _service(tmp_path)
+        try:
+            sup.run(until_idle=True, max_wall_s=60.0)
+        finally:
+            sup.shutdown()
+        out = client.wait(tmp_path, job_id, timeout_s=5.0)
+        assert out["status"] == "rejected"
+        assert "kind" in out["reason"]
+
+
+# --------------------------------------------------------------------- #
+# journal recovery through the supervisor (service restart)
+# --------------------------------------------------------------------- #
+
+
+class TestServiceRestart:
+    def test_restart_does_not_rerun_done_jobs(self, tmp_path):
+        sup = _service(tmp_path)
+        try:
+            ids = [sup.store.submit("_test_sleep", {"seconds": 0, "n": i}).id
+                   for i in range(4)]
+            sup.run(until_idle=True, max_wall_s=60.0)
+        finally:
+            sup.shutdown()
+        before = Journal.load(tmp_path / "journal.jsonl")
+
+        sup2 = _service(tmp_path)
+        try:
+            assert all(sup2.store.jobs[i].status == DONE for i in ids)
+            sup2.run(until_idle=True, max_wall_s=30.0)
+        finally:
+            sup2.shutdown()
+        after = Journal.load(tmp_path / "journal.jsonl")
+        lifecycle = [e for e in after[len(before):]
+                     if e.get("event") in ("start", "done", "fail",
+                                           "quarantine")]
+        assert lifecycle == []
+
+    def test_synthetic_running_job_runs_exactly_once(self, tmp_path):
+        # forge a journal whose last word is "job X was running on a
+        # worker that never reported back" — the restarted service must
+        # run it exactly once.
+        store = JobStore(tmp_path)
+        job = store.submit("_test_sleep", {"seconds": 0.01})
+        store.mark_started(job, worker=0)
+        store.close()
+
+        sup = _service(tmp_path)
+        try:
+            assert sup.store.jobs[job.id].status == PENDING
+            sup.run(until_idle=True, max_wall_s=60.0)
+            assert sup.store.jobs[job.id].status == DONE
+        finally:
+            sup.shutdown()
+        events = Journal.load(tmp_path / "journal.jsonl")
+        assert sum(1 for e in events if e.get("event") == "done") == 1
+
+
+# --------------------------------------------------------------------- #
+# retry determinism (satellite: same seed -> same schedule + digest)
+# --------------------------------------------------------------------- #
+
+
+class TestRetryDeterminism:
+    def _run_once(self, workdir: Path) -> dict:
+        sup = Supervisor(ServiceConfig(workdir=workdir, workers=2, seed=42,
+                                       poll_s=0.01))
+        try:
+            for i in range(4):
+                sup.store.submit("_test_flaky", {"fail_attempts": 2, "n": i},
+                                 max_retries=3)
+            sup.run(until_idle=True, max_wall_s=60.0)
+            digest = sup.store.digest()
+            attempts = {j.id: j.attempt for j in sup.store.jobs.values()}
+        finally:
+            sup.shutdown()
+        events = Journal.load(workdir / "journal.jsonl")
+        delays = sorted(
+            (e["job"], e["attempt"], e["retry_delay_s"])
+            for e in events if e.get("event") == "fail"
+        )
+        return {"digest": digest, "attempts": attempts, "delays": delays}
+
+    def test_same_seed_same_backoff_and_digest(self, tmp_path):
+        a = self._run_once(tmp_path / "run_a")
+        b = self._run_once(tmp_path / "run_b")
+        assert a["delays"] == b["delays"] and len(a["delays"]) == 8
+        assert a["attempts"] == b["attempts"]
+        assert a["digest"] == b["digest"]
+
+    def test_journal_delays_match_backoff_formula(self, tmp_path):
+        run = self._run_once(tmp_path / "run")
+        for job_id, attempt, delay in run["delays"]:
+            assert delay == pytest.approx(backoff_delay(42, job_id, attempt))
+
+
+# --------------------------------------------------------------------- #
+# misc invariants
+# --------------------------------------------------------------------- #
+
+
+class TestJobModel:
+    def test_terminal_property(self):
+        j = Job(id="x", kind="simulate", params={})
+        assert not j.terminal
+        for status in (DONE, QUARANTINED):
+            j.status = status
+            assert j.terminal
+        for status in (PENDING, RUNNING, FAILED):
+            j.status = status
+            assert not j.terminal
+
+    def test_store_counts(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit("_test_sleep", {"seconds": 0, "n": 1})
+        store.submit("_test_sleep", {"seconds": 0, "n": 2})
+        counts = store.counts()
+        assert counts[PENDING] == 2 and counts.get(DONE, 0) == 0
+        store.close()
+
+    def test_workdir_layout(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.submit("_test_sleep", {"seconds": 0})
+        store.close()
+        assert (tmp_path / "journal.jsonl").exists()
+        assert os.path.isdir(tmp_path / "results")

@@ -1,0 +1,104 @@
+"""Deterministic chaos: seeded failure injection against the job service.
+
+The heavyweight acceptance configuration (20 jobs / 5 kills over two
+benchmarks) runs in the ``serve-chaos`` CI job via ``repro serve chaos``;
+here a scaled-down instance of the same harness keeps the invariants
+under pytest: kills actually land (workers restart, victims retry), no
+result is lost or computed twice, resumed results stay bit-identical to
+an uninterrupted baseline, and identical seeds reproduce identical
+journals.
+"""
+
+import pytest
+
+from repro.serve import ChaosSchedule, Injection, compute_job_id
+from repro.serve.chaos import build_workload, run_chaos_check
+
+
+class TestChaosSchedule:
+    def test_plan_is_deterministic(self):
+        ids = [f"{i:016x}" for i in range(12)]
+        a = ChaosSchedule.plan_kills(7, ids, kills=4, mid_checkpoint=1,
+                                     steps=10, checkpoint_every=4)
+        b = ChaosSchedule.plan_kills(7, ids, kills=4, mid_checkpoint=1,
+                                     steps=10, checkpoint_every=4)
+        assert a.plan == b.plan
+        c = ChaosSchedule.plan_kills(8, ids, kills=4, mid_checkpoint=1,
+                                     steps=10, checkpoint_every=4)
+        assert a.plan != c.plan
+
+    def test_plan_shape(self):
+        ids = [f"{i:016x}" for i in range(12)]
+        sched = ChaosSchedule.plan_kills(3, ids, kills=5, mid_checkpoint=2,
+                                         hangs=1, steps=10, checkpoint_every=4)
+        kinds = [inj.kind for inj in sched.plan.values()]
+        assert kinds.count("kill_in_checkpoint") == 2
+        assert kinds.count("kill") == 3
+        assert kinds.count("hang") == 1
+        assert sched.n_kills == 5
+        # all injections target attempt 1 so retries always run clean
+        assert all(attempt == 1 for (_j, attempt) in sched.plan)
+        # kill steps dodge checkpoint boundaries (those die *in* the write)
+        for inj in sched.plan.values():
+            if inj.kind == "kill":
+                assert 1 <= inj.at_step < 10 and inj.at_step % 4 != 0
+
+    def test_too_many_injections_rejected(self):
+        with pytest.raises(ValueError, match="at most one injection"):
+            ChaosSchedule.plan_kills(0, ["a", "b"], kills=3)
+
+    def test_mid_checkpoint_requires_a_checkpoint(self):
+        ids = [f"{i:016x}" for i in range(4)]
+        with pytest.raises(ValueError, match="at least one checkpoint"):
+            ChaosSchedule.plan_kills(0, ids, kills=1, mid_checkpoint=1,
+                                     steps=3, checkpoint_every=4)
+
+    def test_injection_roundtrips_through_dict(self):
+        inj = Injection("kill_in_checkpoint", at_step=2, hold_s=1.5)
+        assert Injection.from_dict(inj.as_dict()) == inj
+
+
+class TestWorkload:
+    def test_jobs_distinct_and_reproducible(self):
+        jobs = build_workload(["acoustic_4"], n_jobs=8)
+        ids = [compute_job_id(j["kind"], j["params"]) for j in jobs]
+        assert len(set(ids)) == 8
+        again = build_workload(["acoustic_4"], n_jobs=8)
+        assert jobs == again
+
+    def test_benchmarks_round_robin(self):
+        jobs = build_workload(["acoustic_4", "elastic_central_4"], n_jobs=4)
+        physics = [j["params"]["physics"] for j in jobs]
+        assert physics == ["acoustic", "elastic", "acoustic", "elastic"]
+
+
+@pytest.mark.slow
+class TestChaosInvariants:
+    """Scaled-down acceptance run: real workers, real kills, real solver."""
+
+    def _check(self, tmp_path, **kw):
+        defaults = dict(benchmarks=["acoustic_4"], n_jobs=6, kills=2,
+                        mid_checkpoint=1, seed=11, steps=8, level=1, order=1,
+                        checkpoint_every=3, workers=2,
+                        workdir=tmp_path, max_wall_s=300.0)
+        defaults.update(kw)
+        return run_chaos_check(**defaults)
+
+    def test_invariants_hold_under_kills(self, tmp_path):
+        report = self._check(tmp_path / "a")
+        assert report["violations"] == []
+        assert report["chaos"]["worker_restarts"] >= 2
+        # every chaos victim retried at least once
+        victims = [e["job"] for e in report["schedule"]["plan"]
+                   if e["kind"].startswith("kill")]
+        assert victims and all(
+            report["chaos"]["attempts"][v] >= 2 for v in victims)
+
+    def test_same_seed_reproduces_journal_digest(self, tmp_path):
+        a = self._check(tmp_path / "a")
+        b = self._check(tmp_path / "b")
+        assert a["violations"] == [] and b["violations"] == []
+        assert a["chaos"]["journal_digest"] == b["chaos"]["journal_digest"]
+        assert a["baseline"]["journal_digest"] == b["baseline"]["journal_digest"]
+        # chaos adds retries, so its journal differs from the clean one
+        assert a["chaos"]["journal_digest"] != a["baseline"]["journal_digest"]
