@@ -170,25 +170,39 @@ def build_workload(benchmarks: List[str], n_jobs: int = 20, steps: int = 10,
 def _run_workload(workdir: Path, jobs: List[dict], workers: int, seed: int,
                   chaos: Optional[ChaosSchedule], max_wall_s: float,
                   deadline_s: float = 120.0, max_retries: int = 3) -> dict:
-    """Submit ``jobs`` into a fresh service at ``workdir`` and drain it."""
+    """Submit ``jobs`` into a fresh service at ``workdir`` and drain it.
+
+    Runs against a *private* metrics registry swapped in for the duration
+    of the run: baseline and chaos execute in the same process, and the
+    invariant checks (e.g. ``worker_restarts >= kills``) must see this
+    run's counters only — never the other run's, never the process's
+    prior history.
+    """
+    from repro.obs import MetricsRegistry, set_metrics
     from repro.serve.supervisor import ServiceConfig, Supervisor
 
-    config = ServiceConfig(workdir=workdir, workers=workers, seed=seed,
-                           max_pending=max(len(jobs) + 8, 32))
-    sup = Supervisor(config, chaos=chaos)
+    registry = MetricsRegistry()
+    previous = set_metrics(registry)
     try:
-        for j in jobs:
-            sup.store.submit(j["kind"], j["params"], max_retries=max_retries,
-                             deadline_s=deadline_s)
-        sup.run(until_idle=True, max_wall_s=max_wall_s)
-        counts = sup.store.counts()
-        results = {jid: job.result for jid, job in sup.store.jobs.items()}
-        attempts = {jid: job.attempt for jid, job in sup.store.jobs.items()}
-        digest = sup.store.digest()
+        config = ServiceConfig(workdir=workdir, workers=workers, seed=seed,
+                               max_pending=max(len(jobs) + 8, 32))
+        sup = Supervisor(config, chaos=chaos)
+        try:
+            for j in jobs:
+                sup.store.submit(j["kind"], j["params"],
+                                 max_retries=max_retries,
+                                 deadline_s=deadline_s)
+            sup.run(until_idle=True, max_wall_s=max_wall_s)
+            counts = sup.store.counts()
+            results = {jid: job.result for jid, job in sup.store.jobs.items()}
+            attempts = {jid: job.attempt for jid, job in sup.store.jobs.items()}
+            digest = sup.store.digest()
+        finally:
+            sup.shutdown()
     finally:
-        sup.shutdown()
+        set_metrics(previous)
     return {"counts": counts, "results": results, "attempts": attempts,
-            "journal_digest": digest, "metrics": sup.metrics_snapshot()}
+            "journal_digest": digest, "metrics": registry.snapshot()}
 
 
 def run_chaos_check(benchmarks: List[str], n_jobs: int = 20, kills: int = 5,
@@ -274,16 +288,32 @@ def run_chaos_check(benchmarks: List[str], n_jobs: int = 20, kills: int = 5,
             f"chaos: {len(not_retried)} killed job(s) never retried"
         )
 
-    # service restart against the existing journal: nothing re-runs
-    config = ServiceConfig(workdir=workdir / "chaos", workers=1, seed=seed,
-                           max_pending=max(len(jobs) + 8, 32))
-    sup = Supervisor(config, chaos=None)
+    # service restart against the existing journal: nothing re-runs.
+    # Same registry isolation as _run_workload; afterwards republish the
+    # chaos run's metrics.json, which the restart's export overwrote
+    # (CI uploads that file as the chaos-run artifact).
+    from repro.obs import MetricsRegistry, set_metrics
+    from repro.serve.queue import write_json_atomic
+
+    previous = set_metrics(MetricsRegistry())
     try:
-        before = len(Journal.load(sup.store.journal_path))
-        sup.run(until_idle=True, max_wall_s=30.0)
-        after_events = Journal.load(sup.store.journal_path)
+        config = ServiceConfig(workdir=workdir / "chaos", workers=1, seed=seed,
+                               max_pending=max(len(jobs) + 8, 32))
+        sup = Supervisor(config, chaos=None)
+        try:
+            before = len(Journal.load(sup.store.journal_path))
+            sup.run(until_idle=True, max_wall_s=30.0)
+            after_events = Journal.load(sup.store.journal_path)
+        finally:
+            sup.shutdown()
     finally:
-        sup.shutdown()
+        set_metrics(previous)
+    write_json_atomic(workdir / "chaos" / "metrics.json", {
+        "kind": "repro-serve-metrics",
+        "schema": 1,
+        "counts": chaotic["counts"],
+        "metrics": chaotic["metrics"],
+    })
     new = [e for e in after_events[before:]
            if e.get("event") in ("start", "done", "fail", "quarantine")]
     if new:

@@ -3,9 +3,10 @@
 The store is a bounded in-memory index over an append-only JSONL
 *journal* — the single source of truth for every job's lifecycle.  Each
 state transition appends one fsynced record, so a SIGKILLed service
-loses at most the record being written; :meth:`JobStore.open` replays
-the journal and tolerates exactly one torn trailing line (the crash
-artifact), never silent mid-file damage.  Snapshot-style writes
+loses at most the record being written; replay tolerates exactly one
+torn trailing line (the crash artifact), never silent mid-file damage,
+and reopening for append first truncates such a torn tail so the next
+record can never merge into it.  Snapshot-style writes
 (per-job result files, compaction) use the temp-write + fsync + rename
 discipline of :mod:`repro.faults.checkpoint`.
 
@@ -145,12 +146,67 @@ _DIGEST_SKIP_EVENTS = ("recovered", "service_start")
 
 
 class Journal:
-    """Append-only fsynced JSONL event log (crash-safe, torn-tail tolerant)."""
+    """Append-only fsynced JSONL event log (crash-safe, torn-tail tolerant).
+
+    Opening for append first *repairs* the tail: a SIGKILL mid-append can
+    leave a torn final line, and appending onto it would merge two
+    records into one mid-file garbage line — unreadable forever, since
+    :meth:`load` only tolerates damage on the *last* line.  The repair
+    truncates a torn tail (matching what ``load`` would have dropped) or
+    newline-terminates a record that made it to disk whole but lost only
+    its terminator, so every append starts on a fresh line.
+    """
 
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        dropped = self._repair_tail(self.path)
+        if dropped:
+            from repro.obs import get_logger
+            get_logger(__name__).warning(
+                "journal %s: dropped %d-byte torn tail (crash artifact) "
+                "before reopening for append", self.path, dropped)
         self._fh = open(self.path, "a", encoding="utf-8")
+
+    @staticmethod
+    def _repair_tail(path: Path) -> int:
+        """Make the journal end on a clean record boundary; returns bytes dropped.
+
+        * last line torn (invalid JSON) -> truncate it, whether or not the
+          crash left a trailing newline;
+        * last record complete but missing only its ``\\n`` -> terminate it
+          (its data fully reached disk; dropping it would lose an event).
+        """
+        if not path.exists():
+            return 0
+        with open(path, "rb+") as fh:
+            data = fh.read()
+            if not data:
+                return 0
+
+            def _valid(chunk: bytes) -> bool:
+                try:
+                    json.loads(chunk.decode("utf-8"))
+                    return True
+                except (ValueError, UnicodeDecodeError):
+                    return False
+
+            if data.endswith(b"\n"):
+                start = data.rfind(b"\n", 0, len(data) - 1) + 1
+                last = data[start:].strip()
+                if not last or _valid(last):
+                    return 0
+            else:
+                start = data.rfind(b"\n") + 1
+                if _valid(data[start:]):
+                    fh.write(b"\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                    return 0
+            fh.truncate(start)
+            fh.flush()
+            os.fsync(fh.fileno())
+            return len(data) - start
 
     def append(self, record: dict) -> None:
         line = json.dumps(record, sort_keys=True, separators=(",", ":"))

@@ -42,6 +42,7 @@ from repro.serve.queue import (
     DONE,
     FAILED,
     JobStore,
+    QUARANTINED,
     QueueFull,
     RUNNING,
     backoff_delay,
@@ -179,12 +180,20 @@ class Supervisor:
                     break
             if record["status"] == "ok":
                 # accept an ok result while RUNNING, and also while FAILED
-                # *for the same attempt* (the reaper charged a kill that
-                # raced this record's delivery): rescuing it cancels the
-                # redundant retry and keeps results single-computed.
+                # or QUARANTINED *for the same attempt* (the reaper charged
+                # a kill that raced this record's delivery): rescuing it
+                # cancels the redundant retry — or supersedes a quarantine
+                # whose final charged attempt actually completed — and
+                # keeps results single-computed.
                 if job.status == RUNNING or (
-                        job.status == FAILED
+                        job.status in (FAILED, QUARANTINED)
                         and job.attempt == record["attempt"]):
+                    if job.status == QUARANTINED:
+                        log.warning(
+                            "job %s: ok result for attempt %d arrived after "
+                            "quarantine; superseding quarantine with done",
+                            job.id, record["attempt"])
+                        get_metrics().inc("serve.quarantine_rescues")
                     self.store.mark_done(job, record["result"])
                     get_metrics().inc("serve.done")
                     get_metrics().observe("serve.job_latency_s",
@@ -266,11 +275,18 @@ class Supervisor:
                 # inbox and the next drain pass retries admission.
                 get_metrics().inc("serve.backpressure_deferrals")
                 return
-            except ValueError as exc:
-                log.error("rejecting inbox request %s: %s", path.name, exc)
+            except (ValueError, KeyError, TypeError) as exc:
+                # ValueError: unknown job kind; KeyError/TypeError: valid
+                # JSON that is not a {"kind", "params"} request (missing
+                # keys, non-dict payload).  All are rejected and unlinked —
+                # a malformed drop must never become a permanent poison
+                # pill that crashes every ingest pass.
+                reason = str(exc) if isinstance(exc, ValueError) \
+                    else f"malformed request ({type(exc).__name__}: {exc})"
+                log.error("rejecting inbox request %s: %s", path.name, reason)
                 write_json_atomic(
                     self.store.results_dir / f"{path.stem}.json",
-                    {"job": path.stem, "status": "rejected", "reason": str(exc)})
+                    {"job": path.stem, "status": "rejected", "reason": reason})
                 get_metrics().inc("serve.rejected")
                 path.unlink(missing_ok=True)
                 continue

@@ -94,6 +94,66 @@ class TestJournal:
         events = Journal.load(p)
         assert len(events) == 1 and events[0]["event"] == "start"
 
+    def test_append_after_torn_tail_repairs_the_journal(self, tmp_path):
+        # the crash-safety killer: SIGKILL mid-append leaves a torn line
+        # with no newline; reopening for append must NOT write the next
+        # record onto it (that merges two records into permanent mid-file
+        # garbage that every later load() rejects).
+        p = tmp_path / "journal.jsonl"
+        j = Journal(p)
+        j.append({"event": "submit", "job": "a"})
+        j.close()
+        with open(p, "a") as fh:
+            fh.write('{"event": "done", "job"')  # torn: no newline
+
+        j2 = Journal(p)  # reopen-for-append repairs the tail
+        j2.append({"event": "recovered", "job": "a"})
+        j2.append({"event": "start", "job": "a", "attempt": 1})
+        j2.close()
+        events = Journal.load(p)  # must not raise
+        assert [e["event"] for e in events] == ["submit", "recovered", "start"]
+
+    def test_repair_keeps_complete_record_missing_only_newline(self, tmp_path):
+        # a record whose bytes fully reached disk but whose newline did
+        # not is data, not damage: repair terminates it instead of
+        # dropping the event.
+        p = tmp_path / "journal.jsonl"
+        j = Journal(p)
+        j.append({"event": "submit", "job": "a"})
+        j.close()
+        with open(p, "a") as fh:
+            fh.write('{"event":"done","job":"a"}')  # complete, unterminated
+
+        j2 = Journal(p)
+        j2.append({"event": "recovered", "job": "a"})
+        j2.close()
+        events = Journal.load(p)
+        assert [e["event"] for e in events] == ["submit", "done", "recovered"]
+
+    def test_store_survives_service_kill_mid_append(self, tmp_path):
+        # the end-to-end crash shape: the service dies mid-append while a
+        # job runs, so the restarted store both repairs the torn tail AND
+        # appends a "recovered" record right away.  Two successive
+        # restarts prove no append ever merges into the torn line (which
+        # would become unreadable mid-file garbage one restart later).
+        store = JobStore(tmp_path)
+        job = store.submit("_test_sleep", {"seconds": 0})
+        store.mark_started(job, worker=0)
+        store.close()
+        with open(tmp_path / "journal.jsonl", "a") as fh:
+            fh.write('{"event": "fail", "job"')  # SIGKILL mid-append
+
+        store2 = JobStore(tmp_path)  # requeues the job -> appends "recovered"
+        assert store2.jobs[job.id].status == PENDING
+        assert len(store2.digest()) == 64
+        store2.close()
+        store3 = JobStore(tmp_path)  # and again: no merged mid-file line
+        assert store3.jobs[job.id].status == PENDING
+        assert len(store3.digest()) == 64
+        store3.close()
+        events = Journal.load(tmp_path / "journal.jsonl")  # never raises
+        assert sum(1 for e in events if e["event"] == "recovered") == 2
+
     def test_mid_file_corruption_raises(self, tmp_path):
         p = tmp_path / "journal.jsonl"
         p.write_text('{"event": "start"}\nGARBAGE\n{"event": "done"}\n')
@@ -315,6 +375,60 @@ class TestSupervised:
 
 
 # --------------------------------------------------------------------- #
+# result-vs-reaper races (driven by hand: no workers started)
+# --------------------------------------------------------------------- #
+
+
+class TestQuarantineRescue:
+    def _drain_until(self, sup, job_id, status, timeout_s=5.0):
+        deadline = time.time() + timeout_s
+        while sup.store.jobs[job_id].status != status \
+                and time.time() < deadline:
+            sup._drain_results()  # mp queue feeder needs a beat
+            time.sleep(0.01)
+
+    def test_ok_result_racing_quarantine_supersedes_it(self, tmp_path):
+        sup = _service(tmp_path)
+        try:
+            job = sup.store.submit("_test_sleep", {"seconds": 0},
+                                   max_retries=0)
+            sup.store.mark_started(job, worker=0)
+            # the reaper charges a kill for attempt 1, pushing the job
+            # past max_retries=0 into quarantine...
+            sup._handle_failure(job, "worker died (SIGKILL/crash)", "")
+            assert sup.store.jobs[job.id].status == QUARANTINED
+            # ...while the completed result for that same attempt was
+            # already in flight: it must rescue the job, not be dropped.
+            sup.result_q.put({"job": job.id, "attempt": 1, "status": "ok",
+                              "result": {"digest": "beef"}, "elapsed_s": 0.01})
+            self._drain_until(sup, job.id, DONE)
+            assert sup.store.jobs[job.id].status == DONE
+            assert sup.store.jobs[job.id].result == {"digest": "beef"}
+            out = json.loads(
+                (tmp_path / "results" / f"{job.id}.json").read_text())
+            assert out["status"] == DONE  # quarantine result file superseded
+        finally:
+            sup.shutdown()
+
+    def test_stale_attempt_ok_result_stays_dropped(self, tmp_path):
+        sup = _service(tmp_path)
+        try:
+            job = sup.store.submit("_test_sleep", {"seconds": 0},
+                                   max_retries=0)
+            sup.store.mark_started(job, worker=0)
+            sup.store.mark_started(job, worker=1)  # attempt 2 in flight
+            sup._handle_failure(job, "worker died (SIGKILL/crash)", "")
+            assert sup.store.jobs[job.id].status == QUARANTINED
+            # an ok result from the long-dead attempt 1 is NOT a rescue
+            sup.result_q.put({"job": job.id, "attempt": 1, "status": "ok",
+                              "result": {"digest": "old"}, "elapsed_s": 0.01})
+            self._drain_until(sup, job.id, DONE, timeout_s=0.5)
+            assert sup.store.jobs[job.id].status == QUARANTINED
+        finally:
+            sup.shutdown()
+
+
+# --------------------------------------------------------------------- #
 # file protocol client
 # --------------------------------------------------------------------- #
 
@@ -368,6 +482,31 @@ class TestClient:
         out = client.wait(tmp_path, job_id, timeout_s=5.0)
         assert out["status"] == "rejected"
         assert "kind" in out["reason"]
+
+    def test_malformed_inbox_request_is_rejected_not_poisonous(self, tmp_path):
+        from repro.serve import client
+
+        # valid JSON, invalid requests: a dict missing "kind", and a
+        # non-dict payload.  Neither may crash the ingest loop or stay in
+        # the inbox forever (a crash would recur on every restart).
+        inbox = tmp_path / "inbox"
+        inbox.mkdir(parents=True)
+        (inbox / "nokind.json").write_text(json.dumps({"params": {}}))
+        (inbox / "notadict.json").write_text(json.dumps([1, 2, 3]))
+        good = client.submit(tmp_path, "_test_sleep", {"seconds": 0})
+
+        sup = _service(tmp_path)
+        try:
+            sup.run(until_idle=True, max_wall_s=60.0)
+            assert sup.store.jobs[good].status == DONE  # service survived
+        finally:
+            sup.shutdown()
+        assert list(inbox.glob("*.json")) == []  # poison files unlinked
+        for stem in ("nokind", "notadict"):
+            out = json.loads(
+                (tmp_path / "results" / f"{stem}.json").read_text())
+            assert out["status"] == "rejected"
+            assert "malformed" in out["reason"]
 
 
 # --------------------------------------------------------------------- #

@@ -72,6 +72,31 @@ class TestWorkload:
         assert physics == ["acoustic", "elastic", "acoustic", "elastic"]
 
 
+class TestMetricsIsolation:
+    def test_run_workload_uses_a_private_registry(self, tmp_path):
+        # baseline and chaos run in the same process: each run's counters
+        # (and its metrics.json) must reflect that run only, or the
+        # restarts >= kills invariant could pass off baseline noise.
+        import json
+
+        from repro.obs import get_metrics
+        from repro.serve.chaos import _run_workload
+        from repro.serve.queue import DONE
+
+        jobs = [{"kind": "_test_sleep", "params": {"seconds": 0, "n": i}}
+                for i in range(3)]
+        before = get_metrics().snapshot()["counters"].get("serve.done", 0)
+        out = _run_workload(tmp_path / "run", jobs, workers=1, seed=0,
+                            chaos=None, max_wall_s=60.0)
+        assert out["counts"][DONE] == 3
+        assert out["metrics"]["counters"].get("serve.done", 0) == 3
+        exported = json.loads((tmp_path / "run" / "metrics.json").read_text())
+        assert exported["metrics"]["counters"].get("serve.done", 0) == 3
+        # the process-global registry saw none of it
+        after = get_metrics().snapshot()["counters"].get("serve.done", 0)
+        assert after == before
+
+
 @pytest.mark.slow
 class TestChaosInvariants:
     """Scaled-down acceptance run: real workers, real kills, real solver."""
