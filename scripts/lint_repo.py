@@ -46,6 +46,15 @@ Rules (stdlib ``ast`` only, so this runs in the bare container):
            ``repro.obs`` or re-raise; narrowing the handler to the
            specific exception type also satisfies the rule.
 
+``RL008``  no direct ``ExecutionPlan`` replay call sites outside the two
+           executors: ``._run_plan`` / ``._run_plan_faulty`` may be
+           referenced only in ``pim/executor.py`` (the replay engine) and
+           ``pim/multichip.py`` (the sharded executor layered on it).
+           Mirrors RL005 for the plan path — a third replay call site
+           would fork the clock/counter semantics both executors must
+           agree on.  Everything else goes through ``ChipExecutor.run``
+           or ``ShardedExecutor.run_steps``.
+
 ``RL006``  every finding code emitted inside ``src/repro/analysis/`` (a
            ``XX123`` string literal passed as the first argument of a
            ``Finding(...)`` constructor or an ``add(...)`` emit helper)
@@ -92,6 +101,12 @@ RL004_ALLOWED = (
 )
 
 RL005_ALLOWED = ("src/repro/pim/executor.py",)
+
+RL008_ALLOWED = (
+    "src/repro/pim/executor.py",
+    "src/repro/pim/multichip.py",
+)
+RL008_ATTRS = ("_run_plan", "_run_plan_faulty")
 
 #: RL006: where finding codes are registered / emitted.
 RL006_REGISTRY = "src/repro/analysis/findings.py"
@@ -208,6 +223,15 @@ def _lint_file(path: Path, root: Path,
                             "._dispatch referenced outside pim/executor.py — "
                             "plan replay is the only execution path; request "
                             "the audit reference via run(..., serial=True)"))
+
+    # RL008: plan-replay internals stay inside the two executors
+    if not rel.startswith(RL008_ALLOWED):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Attribute) and node.attr in RL008_ATTRS:
+                out.append((path, node.lineno, "RL008",
+                            f".{node.attr} referenced outside pim/executor.py "
+                            "and pim/multichip.py — plan replay goes through "
+                            "ChipExecutor.run / ShardedExecutor.run_steps"))
 
     # RL007: broad except handlers must not swallow silently
     for node in ast.walk(tree):

@@ -317,6 +317,14 @@ def _cmd_bench(args) -> int:
     if args.schedule:
         os.environ["REPRO_SCHED"] = "on"
     entry = measure_hot_paths(rounds=args.rounds)
+    shards = args.shards
+    if shards is None and os.environ.get("REPRO_SHARDS"):
+        shards = int(os.environ["REPRO_SHARDS"])
+    if shards:
+        from repro.eval.bench import measure_shard_scaling
+
+        entry.update(measure_shard_scaling(
+            n_shards=shards, trace_path=args.shard_trace))
     doc = append_entry(entry, path=args.json)
 
     def fmt_rate(v):
@@ -340,6 +348,23 @@ def _cmd_bench(args) -> int:
           f"binding {entry.get('binding_resource') or 'not measured'}")
     print(f"{'counters':16s} {fmt_rate(entry.get('counters_overhead'))}x "
           f"enabled-replay overhead (budget 1.02x)")
+    if entry.get("shards"):
+        r6 = entry.get("r6") or {}
+        print(f"{'shard scaling':16s} {entry['shard_speedup']:.2f}x at "
+              f"{entry['shards']} shards "
+              f"({entry['shard_makespan_s']*1e3:.3f} ms vs single-chip "
+              f"{entry['single_chip_makespan_s']*1e3:.3f} ms in "
+              f"{entry['single_chip_batches']} batches); exchange overlap "
+              f"{fmt_rate(entry.get('shard_overlap_fraction'))} measured, "
+              f"halo wait {entry['shard_halo_wait_s']*1e6:.1f} us")
+        if r6:
+            fit = ("fits" if r6.get("single_chip_fits")
+                   else "does not fit one chip")
+            print(f"{'r=6 capacity':16s} {r6.get('n_elements'):,} elements "
+                  f"{fit} ({r6.get('chip')}); "
+                  f"{r6.get('shards_needed')} shards hold it")
+        if args.shard_trace:
+            print(f"[shard Gantt trace: {args.shard_trace}]", file=sys.stderr)
 
     summary = history_summary(doc)
     measured = summary["executor_step_s"]["measured"]
@@ -784,6 +809,13 @@ def main(argv=None) -> int:
     p.add_argument("--schedule", action="store_true",
                    help="enable the makespan scheduler (REPRO_SCHED=on) for "
                         "every plan lowered during the measurement")
+    p.add_argument("--shards", type=int, default=None, metavar="N",
+                   help="also measure N-shard scaling of the capacity-axis "
+                        "step workload vs the single-chip batched baseline "
+                        "(REPRO_SHARDS env var sets the same; CI uses 4)")
+    p.add_argument("--shard-trace", default=None, metavar="PATH",
+                   help="with --shards: write the merged multi-chip Gantt "
+                        "trace (per-shard lanes + inter-chip links) to PATH")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("faults", parents=[common, profiled],

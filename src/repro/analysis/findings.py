@@ -55,6 +55,10 @@ FINDING_CODES: Dict[str, str] = {
              "the chip's current one (stale-route hazard)",
     "PL004": "scheduler reordering violates the dependency DAG (illegal "
              "permutation of the instruction stream)",
+    "PL005": "halo coverage broken in a multi-chip sharding: an element "
+             "owned by zero/multiple shards, a consumed cross-shard face "
+             "missing from the halo (lost halo rows), or an exchange set "
+             "that does not deliver each ghost element exactly once",
     # static performance analysis (pass h)
     "PF001": "scheduler optimality gap exceeds tolerance (measured makespan "
              "far above the static work/span/resource lower bound)",
@@ -83,6 +87,8 @@ FINDING_CODES: Dict[str, str] = {
     "RL007": "broad `except Exception:`/bare `except:` that silently "
              "swallows (body is only pass/...) — log via repro.obs or "
              "re-raise",
+    "RL008": "ExecutionPlan replay internals (._run_plan) referenced "
+             "outside ChipExecutor/ShardedExecutor",
 }
 
 

@@ -1,0 +1,112 @@
+"""Halo-coverage audit (PL005): a sharding loses no faces, doubles none.
+
+The multi-chip layer's correctness claim — N-shard execution bit-identical
+to 1-shard — rests on the partition delivering exactly the ghost data
+every shard's flux kernels consume.  This pass proves that statically for
+a :class:`~repro.pim.multichip.Sharding`:
+
+* **ownership** — every mesh element is owned by exactly one shard;
+* **halo completeness** — each shard's halo is exactly the set of
+  cross-shard face neighbors of its owned elements (a missing element is
+  a *lost halo row*: the flux kernel would read a stale ghost; an extra
+  element is dead exchange traffic, reported as a warning);
+* **exchange delivery** — the directed exchange sets partition each
+  shard's halo (every ghost element produced by exactly one owner shard,
+  consumed exactly once) and ship only elements their source owns.
+
+Run via :func:`audit_sharding` (the tests and the CI shard-bench job) —
+strict-clean is an acceptance gate for ``repro bench --shards``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+import numpy as np
+
+from repro.analysis.findings import ERROR, WARNING, Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.dg.mesh import HexMesh
+    from repro.pim.multichip import Sharding
+
+__all__ = ["audit_sharding"]
+
+PASS_NAME = "halo"
+
+
+def audit_sharding(mesh: "HexMesh", sharding: "Sharding") -> List[Finding]:
+    """PL005 findings for ``sharding`` over ``mesh`` (empty = clean)."""
+    out: List[Finding] = []
+
+    def add(code: str, msg: str, severity: str = ERROR, tag: str = "") -> None:
+        out.append(Finding(code, msg, severity, tag=tag, passname=PASS_NAME))
+
+    # ownership: the owned sets partition the mesh.
+    counts = np.zeros(mesh.n_elements, dtype=np.int64)
+    for owned in sharding.owned:
+        counts[np.asarray(owned, dtype=np.int64)] += 1
+    orphans = np.flatnonzero(counts == 0)
+    doubled = np.flatnonzero(counts > 1)
+    if orphans.size:
+        add("PL005",
+            f"{orphans.size} element(s) owned by no shard "
+            f"(e.g. {orphans[:4].tolist()}) — their state is never advanced",
+            tag="ownership")
+    if doubled.size:
+        add("PL005",
+            f"{doubled.size} element(s) owned by multiple shards "
+            f"(e.g. {doubled[:4].tolist()}) — duplicated integration "
+            "diverges under exchange", tag="ownership")
+
+    for s in range(sharding.n_shards):
+        owned = np.asarray(sharding.owned[s], dtype=np.int64)
+        halo = np.asarray(sharding.halo[s], dtype=np.int64)
+        needed = mesh.halo_of(owned)
+        lost = np.setdiff1d(needed, halo)
+        extra = np.setdiff1d(halo, needed)
+        if lost.size:
+            add("PL005",
+                f"shard {s} consumes cross-shard faces of {lost.size} "
+                f"element(s) missing from its halo "
+                f"(e.g. {lost[:4].tolist()}) — lost halo rows: flux would "
+                "read stale ghosts", tag=f"shard{s}")
+        if extra.size:
+            add("PL005",
+                f"shard {s} carries {extra.size} halo element(s) no owned "
+                f"face consumes (e.g. {extra[:4].tolist()}) — dead "
+                "exchange traffic", WARNING, tag=f"shard{s}")
+
+        # exchange delivery: the inbound sets partition the halo.
+        delivered = np.zeros(0, dtype=np.int64)
+        for (src, dst), elems in sharding.exchanges.items():
+            if dst != s:
+                continue
+            elems = np.asarray(elems, dtype=np.int64)
+            not_owned = np.setdiff1d(elems, sharding.owned[src])
+            if not_owned.size:
+                add("PL005",
+                    f"exchange {src}->{s} ships {not_owned.size} element(s) "
+                    f"shard {src} does not own (e.g. {not_owned[:4].tolist()})",
+                    tag=f"exchange{src}->{s}")
+            dup = np.intersect1d(delivered, elems)
+            if dup.size:
+                add("PL005",
+                    f"shard {s} receives {dup.size} ghost element(s) from "
+                    f"multiple sources (e.g. {dup[:4].tolist()}) — consumed "
+                    "more than once", tag=f"shard{s}")
+            delivered = np.union1d(delivered, elems)
+        undelivered = np.setdiff1d(halo, delivered)
+        if undelivered.size:
+            add("PL005",
+                f"shard {s} halo has {undelivered.size} element(s) no "
+                f"exchange delivers (e.g. {undelivered[:4].tolist()}) — "
+                "ghosts would stay at their initial state",
+                tag=f"shard{s}")
+        overdelivered = np.setdiff1d(delivered, halo)
+        if overdelivered.size:
+            add("PL005",
+                f"exchanges deliver {overdelivered.size} element(s) outside "
+                f"shard {s}'s halo (e.g. {overdelivered[:4].tolist()})",
+                tag=f"shard{s}")
+    return out

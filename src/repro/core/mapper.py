@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.pim.params import ChipConfig
 
-__all__ = ["morton3_encode", "morton3_decode", "ElementMapper"]
+__all__ = ["morton3_encode", "morton3_decode", "morton_order",
+           "ElementMapper", "ShardMapper"]
 
 
 def morton3_encode(ix: int, iy: int, iz: int) -> int:
@@ -57,6 +58,20 @@ def morton3_decode(code: int) -> tuple[int, int, int]:
         iz |= ((code >> (3 * bit + 2)) & 1) << bit
         bit += 1
     return ix, iy, iz
+
+
+def morton_order(mesh_m: int, elements: np.ndarray | None = None) -> np.ndarray:
+    """Element ids sorted by their 3-D Morton rank (the placement order).
+
+    The same ranking :class:`ElementMapper` applies internally, exposed so
+    the multi-chip partitioner can cut the mesh into contiguous Morton
+    chunks — compact boxes whose face boundaries (halos) stay small.
+    """
+    e = (np.arange(mesh_m**3, dtype=np.int64) if elements is None
+         else np.asarray(elements, dtype=np.int64))
+    ranks = _morton3_encode_array(e % mesh_m, (e // mesh_m) % mesh_m,
+                                  e // (mesh_m**2))
+    return e[np.argsort(ranks, kind="stable")]
 
 
 class ElementMapper:
@@ -199,4 +214,69 @@ class ElementMapper:
         return (
             f"ElementMapper(K={self.n_elements}, g={self.g}, "
             f"chip={self.chip.name}, util={self.utilization:.1%})"
+        )
+
+
+class ShardMapper(ElementMapper):
+    """One shard of a multi-chip partition: owned elements plus their halo.
+
+    The shard's chip hosts block groups for both its ``owned`` elements
+    (whose state it computes) and its ``halo`` elements (read-only ghost
+    copies refreshed by the inter-chip exchange each RK stage).  Placement
+    follows the same Morton ranking as :class:`ElementMapper` over the
+    union, so kernels emitted against a ShardMapper lower and route
+    exactly like single-chip programs — the flux emitters find halo
+    neighbors through the ordinary :meth:`block_of` lookup.
+    """
+
+    def __init__(
+        self,
+        mesh_m: int,
+        chip: ChipConfig,
+        blocks_per_element: int = 1,
+        *,
+        owned: np.ndarray,
+        halo: np.ndarray | None = None,
+        shard_id: int = 0,
+        fault_model=None,
+        chip_model=None,
+    ):
+        owned = np.asarray(owned, dtype=np.int64)
+        halo = (np.empty(0, dtype=np.int64) if halo is None
+                else np.asarray(halo, dtype=np.int64))
+        if np.intersect1d(owned, halo).size:
+            raise ValueError(
+                f"shard {shard_id}: owned and halo sets overlap "
+                f"({np.intersect1d(owned, halo).tolist()[:4]}...)")
+        try:
+            super().__init__(
+                mesh_m, chip, blocks_per_element,
+                elements=np.concatenate([owned, halo]),
+                fault_model=fault_model, chip_model=chip_model,
+            )
+        except ValueError as exc:
+            raise ValueError(
+                f"shard {shard_id}: {exc} ({len(owned)} owned + "
+                f"{len(halo)} halo elements; use more shards)") from None
+        self.shard_id = int(shard_id)
+        self.owned = owned
+        self.halo = halo
+        self._owned_set = frozenset(int(e) for e in owned)
+
+    @property
+    def n_owned(self) -> int:
+        return len(self.owned)
+
+    @property
+    def n_halo(self) -> int:
+        return len(self.halo)
+
+    def is_owned(self, element: int) -> bool:
+        return int(element) in self._owned_set
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardMapper(shard={self.shard_id}, owned={self.n_owned}, "
+            f"halo={self.n_halo}, g={self.g}, chip={self.chip.name}, "
+            f"util={self.utilization:.1%})"
         )

@@ -178,6 +178,40 @@ class HexMesh:
     def n_slices(self) -> int:
         return self.m
 
+    # ------------------------------------------------------------------ #
+    # multi-chip partitioning (repro.pim.multichip)
+    # ------------------------------------------------------------------ #
+
+    def partition_elements(self, n_parts: int,
+                           order: np.ndarray | None = None) -> list:
+        """Split the elements into ``n_parts`` contiguous balanced chunks.
+
+        ``order`` is the element ranking to cut (default: natural id
+        order; the multi-chip layer passes a Morton ranking so chunks are
+        compact boxes with small face boundaries).  Chunk sizes differ by
+        at most one element.
+        """
+        if not 1 <= n_parts <= self.n_elements:
+            raise ValueError(
+                f"n_parts must be in [1, {self.n_elements}], got {n_parts}")
+        ids = (np.arange(self.n_elements, dtype=np.int64) if order is None
+               else np.asarray(order, dtype=np.int64))
+        if ids.shape != (self.n_elements,) or len(np.unique(ids)) != self.n_elements:
+            raise ValueError("order must be a permutation of all element ids")
+        return [chunk.copy() for chunk in np.array_split(ids, n_parts)]
+
+    def halo_of(self, owned: np.ndarray) -> np.ndarray:
+        """Face-neighbor closure of ``owned`` outside it (sorted ids).
+
+        These are exactly the elements whose state a shard owning
+        ``owned`` must receive to evaluate its flux kernels; physical
+        boundary faces (no neighbor) contribute nothing.
+        """
+        owned = np.asarray(owned, dtype=np.int64)
+        nbrs = np.unique(self.neighbors[owned])
+        nbrs = nbrs[nbrs >= 0]
+        return np.setdiff1d(nbrs, owned)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         lvl = f", level={self.level}" if self.level is not None else ""
         return f"HexMesh(m={self.m}, K={self.n_elements}{lvl}, boundary={self.boundary!r})"

@@ -27,8 +27,11 @@ from pathlib import Path
 __all__ = [
     "SEED_BASELINE",
     "REGRESSION_FACTOR",
+    "COMPILE_SPEEDUP_FLOOR",
+    "SHARD_SPEEDUP_FLOOR",
     "best_of",
     "measure_hot_paths",
+    "measure_shard_scaling",
     "append_entry",
     "history_summary",
     "regression_failures",
@@ -54,6 +57,18 @@ REGRESSION_FACTOR = 3.0
 #: started leaving provably-available overlap on the table.  A gap *below*
 #: 1.0 is a model-soundness failure either way.
 GAP_TOLERANCE = 6.0
+
+#: Floor on ``speedup_vs_seed["compile_s"]``: bench history hovered at
+#: 0.8-1.2x vs seed for several PRs without tripping the 3x breakage
+#: guard, so slow drift passed silently.  The top avoidable cost (per
+#: ``repro perf audit`` profiling) was re-deriving identical TRANSFER
+#: cost templates in ``lower_program``; with those memoized the compile
+#: path sits at ~1.1x vs seed, and dropping under 0.9x now fails CI.
+COMPILE_SPEEDUP_FLOOR = 0.9
+
+#: Floor on the modeled-makespan speedup of the 4-shard step workload
+#: over the single-chip batched baseline (``repro bench --shards``).
+SHARD_SPEEDUP_FLOOR = 1.5
 
 
 def default_bench_path() -> Path:
@@ -251,6 +266,102 @@ def measure_hot_paths(rounds: int = 3) -> dict:
     }
 
 
+def measure_shard_scaling(n_shards: int | None = None,
+                          n_steps: int = 1,
+                          trace_path: Path | str | None = None) -> dict:
+    """Shard-scaling fields of a BENCH_perf.json entry (``--shards``).
+
+    Runs the capacity-axis step workload (64 elements on a 48-block
+    proxy chip, :mod:`repro.workloads.sharding`) both ways: single-chip
+    Fig. 7 batching vs ``n_shards`` chips with pipelined halo exchange,
+    counters on, so the compute/exchange overlap is measured from the
+    recorded intervals.  Also records the r=6 capacity story: the mesh
+    the single-chip mapper rejects outright and the shard count that
+    holds it.  ``trace_path`` additionally writes the merged multi-chip
+    Gantt (one Chrome process per shard + inter-chip link lanes).
+    """
+    from repro.dg import HexMesh
+    from repro.pim.multichip import (
+        ShardedExecutor,
+        shards_needed,
+        single_chip_batched_makespan,
+    )
+    from repro.pim.params import CHIP_CONFIGS
+    from repro.workloads.sharding import (
+        SHARD_WORKLOAD_SHARDS,
+        shard_step_workload,
+    )
+
+    n_shards = n_shards or SHARD_WORKLOAD_SHARDS
+    wl = shard_step_workload()
+    single_s, n_batches = single_chip_batched_makespan(
+        wl["mesh"], wl["chip"], wl["kernel_factory"],
+        blocks_per_element=wl["blocks_per_element"], dt=wl["dt"],
+        n_steps=n_steps,
+    )
+    sx = ShardedExecutor(
+        wl["mesh"], wl["chip"], wl["kernel_factory"], n_shards=n_shards,
+        blocks_per_element=wl["blocks_per_element"], counters=True,
+    )
+    res = sx.run_steps(wl["dt"], n_steps=n_steps, functional=False)
+
+    if trace_path is not None:
+        from repro.obs import sharded_track_events
+
+        events = sharded_track_events(
+            [sh.executor.counters for sh in sx.shards],
+            link_events=res.link_events,
+        )
+        Path(trace_path).write_text(
+            json.dumps({"traceEvents": events}, indent=1) + "\n")
+
+    # the r=6 record: 262k elements overflow the 512MB chip's 4096 blocks
+    # outright (the mapper raises); the partitioner finds the shard count
+    # that holds it.  Construction-only — no 32 GB state is materialized.
+    import numpy as np
+
+    from repro.core.mapper import ElementMapper, ShardMapper
+    from repro.pim.multichip import partition_mesh
+
+    r6_mesh = HexMesh.from_refinement_level(6)
+    chip = CHIP_CONFIGS["512MB"]
+    try:
+        ElementMapper(r6_mesh.m, chip, 1)
+        r6_single_error = None
+    except ValueError as exc:
+        r6_single_error = str(exc)
+    r6_shards = shards_needed(r6_mesh, chip, 1)
+    r6_shard0_blocks = None
+    if r6_shards is not None:
+        sharding = partition_mesh(r6_mesh, r6_shards)
+        m0 = ShardMapper(r6_mesh.m, chip, 1, owned=sharding.owned[0],
+                         halo=sharding.halo[0], shard_id=0)
+        r6_shard0_blocks = int(m0.n_blocks_needed)
+        assert int(np.sum([len(o) for o in sharding.owned])) == r6_mesh.n_elements
+
+    return {
+        "shards": n_shards,
+        "shard_makespan_s": res.makespan_s,
+        "single_chip_makespan_s": single_s,
+        "single_chip_batches": n_batches,
+        "shard_speedup": single_s / max(res.makespan_s, 1e-12),
+        "shard_exchange_busy_s": res.exchange_busy_s,
+        "shard_exchange_overlap_s": res.exchange_overlap_s,
+        "shard_overlap_fraction": res.overlap_fraction,
+        "shard_halo_wait_s": res.halo_wait_s,
+        "shard_exchange_bytes": res.exchange_bytes,
+        "r6": {
+            "level": 6,
+            "n_elements": r6_mesh.n_elements,
+            "single_chip_fits": r6_single_error is None,
+            "single_chip_error": r6_single_error,
+            "shards_needed": r6_shards,
+            "shard0_blocks": r6_shard0_blocks,
+            "chip": chip.name,
+        },
+    }
+
+
 def append_entry(entry: dict, path: Path | str | None = None) -> dict:
     """Append ``entry`` to the BENCH_perf.json document; returns the doc."""
     path = Path(path) if path is not None else default_bench_path()
@@ -327,7 +438,8 @@ def render_history(doc: dict) -> str:
     lines = [
         f"{'#':>3} {'timestamp':<19} {'step_ms':>8} {'serial_ms':>9} "
         f"{'speedup':>7} {'sched_x':>7} {'gap_x':>6} {'blk_util':>8} "
-        f"{'lnk_util':>8} {'ovh_x':>6}  {'binding':<12} flags"
+        f"{'lnk_util':>8} {'ovh_x':>6} {'shards':>6} {'shrd_x':>6}"
+        f"  {'binding':<12} flags"
     ]
     n_backfill = n_regress = 0
     for i, e in enumerate(history):
@@ -351,6 +463,10 @@ def render_history(doc: dict) -> str:
             cell(e.get("block_util"), width=8),
             cell(e.get("link_util"), width=8),
             cell(e.get("counters_overhead"), width=6, fmt="{:.3f}"),
+            # shard columns are optional per run (only --shards entries
+            # carry them), so absence renders -- without a backfill flag.
+            cell(e.get("shards"), width=6, fmt="{:.0f}"),
+            cell(e.get("shard_speedup"), width=6),
             f" {str(e.get('binding_resource') or '--'):<12}",
             " ".join(flags) if flags else "ok",
         ]))
@@ -396,6 +512,23 @@ def regression_failures(entry: dict, min_speedup: float | None = None) -> list:
                 f"executor_step_s speedup {speedup:.2f}x below the required "
                 f"{min_speedup:.2f}x vs seed"
             )
+    compile_speedup = (entry.get("speedup_vs_seed") or {}).get("compile_s")
+    if (isinstance(compile_speedup, (int, float))
+            and compile_speedup < COMPILE_SPEEDUP_FLOOR):
+        failures.append(
+            f"compile_s speedup {compile_speedup:.2f}x vs seed below the "
+            f"{COMPILE_SPEEDUP_FLOOR:.2f}x floor: the compile path drifted "
+            "slow again (profile with repro perf audit)"
+        )
+    shard_speedup = entry.get("shard_speedup")
+    if (isinstance(shard_speedup, (int, float))
+            and shard_speedup < SHARD_SPEEDUP_FLOOR):
+        failures.append(
+            f"shard_speedup {shard_speedup:.2f}x below the "
+            f"{SHARD_SPEEDUP_FLOOR:.2f}x floor at {entry.get('shards')} "
+            "shards: sharded makespan regressed vs the single-chip "
+            "batched baseline"
+        )
     coverage = entry.get("plan_coverage")
     if isinstance(coverage, (int, float)) and coverage < 1.0:
         failures.append(

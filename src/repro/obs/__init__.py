@@ -32,7 +32,13 @@ from repro.obs.metrics import (
     get_metrics,
     set_metrics,
 )
-from repro.obs.timeline import COUNTERS_PID, counter_track_events
+from repro.obs.timeline import (
+    COUNTERS_PID,
+    INTERCHIP_PID,
+    SHARD_PID0,
+    counter_track_events,
+    sharded_track_events,
+)
 from repro.obs.tracer import NULL_SPAN, Span, Tracer, get_tracer, set_tracer, trace_span
 from repro.obs.export import (
     TRACE_SCHEMA_VERSION,
@@ -56,10 +62,13 @@ __all__ = [
     "trace_span",
     # hardware counters + timeline
     "COUNTERS_PID",
+    "INTERCHIP_PID",
+    "SHARD_PID0",
     "HardwareCounters",
     "MakespanAttribution",
     "attribute_makespan",
     "counter_track_events",
+    "sharded_track_events",
     "counters_enabled",
     # metrics
     "Counter",

@@ -21,11 +21,17 @@ from typing import Callable, Hashable, List, Optional
 
 from repro.obs.counters import HardwareCounters, default_link_label
 
-__all__ = ["COUNTERS_PID", "counter_track_events"]
+__all__ = ["COUNTERS_PID", "SHARD_PID0", "INTERCHIP_PID",
+           "counter_track_events", "sharded_track_events"]
 
 #: Chrome pid of the counter Gantt; span tracks use pid 0, the Fig. 13
 #: pipeline lanes tid 100+, so a dedicated process keeps them separable.
 COUNTERS_PID = 1
+
+#: pid band of per-shard counter Gantts (shard k renders as pid
+#: ``SHARD_PID0 + k``) and the inter-chip link process between them.
+SHARD_PID0 = 100
+INTERCHIP_PID = 99
 
 #: track (tid) bands per resource kind — stable ordering in the Perfetto
 #: track list: blocks first, then links, then the two channels.
@@ -43,22 +49,27 @@ def counter_track_events(
     origin_s: float = 0.0,
     link_label: Optional[Callable[[Hashable], str]] = None,
     max_events: int = 200_000,
+    pid: int = COUNTERS_PID,
+    process_label: str = "hardware counters",
 ) -> List[dict]:
     """Chrome events (``ph:"M"`` labels + ``ph:"X"`` busy slices).
 
     ``max_events`` caps the slice count (label metadata is always kept):
     beyond it the remaining intervals are dropped and a final instant
     event notes how many — a truncated Gantt renders, a 10M-event JSON
-    does not.
+    does not.  ``pid``/``process_label`` relocate the whole track group
+    under a different Chrome process — the multi-chip Gantt renders one
+    process per shard (:func:`sharded_track_events`).
     """
     label = link_label or default_link_label
+    COUNTERS_PID = pid  # noqa: N806 - keep the emit sites below unchanged
     events: List[dict] = [
         {
             "name": "process_name",
             "ph": "M",
             "pid": COUNTERS_PID,
             "tid": 0,
-            "args": {"name": "hardware counters"},
+            "args": {"name": process_label},
         }
     ]
 
@@ -127,4 +138,61 @@ def counter_track_events(
                 "tid": 0,
             }
         )
+    return events
+
+
+def sharded_track_events(
+    shard_counters: List[Optional[HardwareCounters]],
+    link_events: Optional[List] = None,
+    origin_s: float = 0.0,
+    link_label: Optional[Callable[[Hashable], str]] = None,
+    max_events: int = 200_000,
+) -> List[dict]:
+    """Merged multi-chip Gantt: one Chrome process per shard + link lanes.
+
+    ``shard_counters[k]`` renders under pid ``SHARD_PID0 + k`` labeled
+    ``shard k``; ``link_events`` (the :class:`~repro.pim.multichip.
+    ShardedResult` ``(src, dst, start_s, end_s, n_bytes)`` schedule)
+    render as ``halo src->dst`` slices under a dedicated ``inter-chip
+    links`` process, one track per directed pair.  All intervals share
+    the modeled-time origin, so the overlap of a link slice with the
+    destination shard's compute lane *is* the pipelining — the picture
+    the measured ``exchange_overlap_s`` number summarizes.
+    """
+    events: List[dict] = []
+    for k, cnt in enumerate(shard_counters):
+        if cnt is None:
+            continue
+        events.extend(counter_track_events(
+            cnt, origin_s=origin_s, link_label=link_label,
+            max_events=max_events, pid=SHARD_PID0 + k,
+            process_label=f"shard {k}",
+        ))
+    if link_events:
+        events.append({
+            "name": "process_name", "ph": "M", "pid": INTERCHIP_PID,
+            "tid": 0, "args": {"name": "inter-chip links"},
+        })
+        tids: dict = {}
+        for (src, dst, start, end, n_bytes) in link_events:
+            pair = (src, dst)
+            tid = tids.get(pair)
+            if tid is None:
+                tid = tids[pair] = len(tids) + 1
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": INTERCHIP_PID,
+                    "tid": tid, "args": {"name": f"link {src}->{dst}"},
+                })
+            if end <= start:
+                continue
+            events.append({
+                "name": f"halo {src}->{dst}",
+                "cat": "counters",
+                "ph": "X",
+                "ts": (origin_s + start) * 1e6,
+                "dur": (end - start) * 1e6,
+                "pid": INTERCHIP_PID,
+                "tid": tid,
+                "args": {"bytes": int(n_bytes)},
+            })
     return events

@@ -113,6 +113,10 @@ def tag_phase(tag: str) -> str:
             phase = "dram"
         elif tag.startswith("host"):
             phase = "host"
+        elif tag.startswith("halo"):
+            # inter-chip halo exchange (repro.pim.multichip): wire time on
+            # the chip-to-chip links, accounted alongside on-chip routing.
+            phase = "transfer"
         elif tag == "sync":
             phase = "sync"
         else:
@@ -326,6 +330,30 @@ class ChipExecutor:
             + [self._host_clock, self._dram_clock]
         )
         return max(clocks) if clocks else 0.0
+
+    def now(self) -> float:
+        """Current modeled time: the max over every clock this chip owns.
+
+        Clocks persist across :meth:`run` calls (until
+        :meth:`reset_clocks`), so replaying a step's substreams one at a
+        time lands on the same final clock as replaying the whole step —
+        the property the multi-chip layer's per-phase loop relies on.
+        """
+        return self._now()
+
+    def sync_at(self, t: float) -> None:
+        """Gate future work on an external event at modeled time ``t``.
+
+        Raises the barrier floor so every lane (blocks, transfer ports,
+        host, DRAM) starts no earlier than ``t`` — a BARRIER whose release
+        time is supplied from outside the chip.  The multi-chip layer uses
+        it to stall a shard's flux replay until its halo exchange arrives;
+        work already on the clocks is unaffected, so compute that was
+        issued before the sync (the overlap window) still runs under the
+        in-flight exchange.
+        """
+        if t > self._barrier_time:
+            self._barrier_time = t
 
     def _compute_start(self, block) -> float:
         """Compute must wait for pending transfers and the last barrier."""

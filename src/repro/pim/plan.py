@@ -350,29 +350,20 @@ class _TransferStep:
     )
 
     def __init__(self, inst: Instruction, chip: "PimChip",
-                 costs: "OpCosts") -> None:
+                 costs: "OpCosts",
+                 template: Optional[Tuple[Any, ...]] = None) -> None:
         src, dst = inst.src_block, inst.block
         if src is None:
             raise ValueError("TRANSFER needs src_block")
-        dev = costs.device
         n_rows = inst.n_rows
-        keys, hops, extra, ic = chip.transfer_path(src, dst)
-        flits = -(-(n_rows * inst.words) // ic.flit_words)
+        if template is None:
+            template = _transfer_cost_template(chip, costs, src, dst,
+                                               n_rows, inst.words)
+        (self.keys, self.hops, self.flits, self.read_t, self.write_t,
+         self.wire, self.flit_train, self.dur, self.energy, self.n_bytes,
+         self.exclusive, self.n_switches) = template
         self.src = src
         self.dst = dst
-        self.keys = tuple(keys)
-        self.hops = hops
-        self.flits = flits
-        self.read_t = n_rows * dev.t_row_read_s
-        self.write_t = n_rows * dev.t_row_write_s
-        self.wire = hops * ic.hop_latency_per_flit * flits + extra
-        self.flit_train = ic.hop_latency_per_flit * flits
-        self.dur = self.read_t + self.wire + self.write_t
-        energy = costs.row_move_energy_j(n_rows, words=inst.words)
-        energy += hops * n_rows * inst.words * dev.e_search_j
-        self.energy = energy
-        self.n_bytes = n_rows * inst.words * 4
-        self.exclusive = ic.exclusive
         self.tag = inst.tag
         self.op = inst.op
         # functional / fault-mode inputs
@@ -389,7 +380,32 @@ class _TransferStep:
         )
         self.d_rows = inst.rows
         self.where = f"transfer:{src}->{dst}"
-        self.n_switches = ic.n_switches
+
+
+def _transfer_cost_template(chip: "PimChip", costs: "OpCosts", src: int,
+                            dst: int, n_rows: int,
+                            words: int) -> Tuple[Any, ...]:
+    """Route + cost fields of a TRANSFER, keyed by ``(src, dst, n_rows, words)``.
+
+    Factored out of :class:`_TransferStep` so :func:`lower_program` can
+    memoize it per shape: a halo-heavy lowering emits thousands of
+    TRANSFERs that differ only in row selectors, and re-deriving the same
+    floats dominated the compile path (the ``compile_s`` drift satellite).
+    The expressions are byte-for-byte the serial handler's, so memoized
+    and direct construction are bit-identical.
+    """
+    dev = costs.device
+    keys, hops, extra, ic = chip.transfer_path(src, dst)
+    flits = -(-(n_rows * words) // ic.flit_words)
+    read_t = n_rows * dev.t_row_read_s
+    write_t = n_rows * dev.t_row_write_s
+    wire = hops * ic.hop_latency_per_flit * flits + extra
+    flit_train = ic.hop_latency_per_flit * flits
+    dur = read_t + wire + write_t
+    energy = costs.row_move_energy_j(n_rows, words=words)
+    energy += hops * n_rows * words * dev.e_search_j
+    return (tuple(keys), hops, flits, read_t, write_t, wire, flit_train,
+            dur, energy, n_rows * words * 4, ic.exclusive, ic.n_switches)
 
 
 class ExecutionPlan:
@@ -537,6 +553,7 @@ def lower_program(
     n = len(insts)
     array = np.zeros(n, dtype=PLAN_DTYPE)
     tag_ids: Dict[str, int] = {}
+    xfer_templates: Dict[Tuple[int, Optional[int], int, int], Tuple[Any, ...]] = {}
     steps: List[Tuple[int, Any]] = []
     seg_start = -1  # start index of the open vec segment, -1 when closed
     dev = costs.device
@@ -598,7 +615,15 @@ def lower_program(
             continue
         flush(i)
         if op is Opcode.TRANSFER:
-            t = _TransferStep(inst, chip, costs)
+            tpl = None
+            if inst.src_block is not None:
+                key = (inst.src_block, inst.block, inst.n_rows, inst.words)
+                tpl = xfer_templates.get(key)
+                if tpl is None:
+                    tpl = xfer_templates[key] = _transfer_cost_template(
+                        chip, costs, inst.src_block, inst.block,
+                        inst.n_rows, inst.words)
+            t = _TransferStep(inst, chip, costs, template=tpl)
             dur_col[i] = t.dur
             energy_col[i] = t.energy
             array["flits"][i] = t.flits

@@ -65,6 +65,31 @@ class TestEquivalence:
         ref = op.rhs(state)
         assert np.max(np.abs(got - ref)) / np.max(np.abs(ref)) < TOL
 
+    def test_time_step_plan_replay_bit_identical_to_serial(self, flux, alpha):
+        """The lowered plan is *bit*-identical to the serial audit path."""
+        mesh, elem, mat, chip, kern, op, state = _setup(flux, alpha, seed=4)
+        dt = cfl_timestep(mesh.h, mat.max_speed, ORDER, cfl=0.3)
+        prologue = kern.setup() + kern.load_state(state.astype(np.float32))
+        step = kern.time_step(dt)
+
+        ex = ChipExecutor(chip)
+        ex.run(prologue, functional=True)
+        rep = ex.run(ex.lower(step), functional=True)
+
+        chip2 = PimChip(CHIP_CONFIGS["512MB"])
+        ex2 = ChipExecutor(chip2)
+        ex2.run(prologue, functional=True)
+        raw = ex2.run(step, functional=True, serial=True)
+
+        assert rep.total_time_s == raw.total_time_s
+        assert rep.dynamic_energy_j == raw.dynamic_energy_j
+        assert rep.time_by_tag == raw.time_by_tag
+        for b in range(chip.config.n_blocks):
+            got, ref = chip.block(b).data, chip2.block(b).data
+            if got is not None or ref is not None:
+                assert np.array_equal(got, ref)
+        assert np.array_equal(kern.read_state(chip), kern.read_state(chip2))
+
     def test_two_time_steps(self, flux, alpha):
         mesh, elem, mat, chip, kern, op, state = _setup(flux, alpha, seed=2)
         dt = cfl_timestep(mesh.h, mat.max_speed, ORDER, cfl=0.3)

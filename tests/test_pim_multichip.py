@@ -1,0 +1,353 @@
+"""Multi-chip sharding: partition/halo correctness, bit-identity, scaling.
+
+The correctness chain the tentpole rests on:
+
+1. the partition covers the mesh and its halos/exchanges are exactly the
+   cross-shard face closure (PL005 audit, also exercised on broken
+   shardings);
+2. 1-shard sharded execution is bit-identical to plain plan replay
+   (same clocks, same block images);
+3. N-shard execution is bit-identical to single-chip execution across a
+   six-configuration sweep of the kernel families (analytic makespans
+   via digests of the *full* block state, functional via read_state);
+4. the capacity-axis step workload records >= 1.5x modeled-makespan
+   speedup at 4 shards with the exchange overlap *measured* from
+   hardware counters;
+5. the r=6 mesh the single-chip mapper rejects is held by the
+   partitioner.
+"""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.analysis.halo import audit_sharding
+from repro.core.kernels.acoustic import (
+    AcousticFourBlockKernels,
+    AcousticOneBlockKernels,
+)
+from repro.core.kernels.elastic import ElasticFourBlockKernels
+from repro.core.kernels.maxwell import MaxwellOneBlockKernels
+from repro.core.mapper import ElementMapper, ShardMapper
+from repro.dg import AcousticMaterial, HexMesh, ReferenceElement
+from repro.dg.materials import ElasticMaterial
+from repro.dg.maxwell import ElectromagneticMaterial
+from repro.pim.chip import PimChip
+from repro.pim.executor import ChipExecutor
+from repro.pim.multichip import (
+    InterChipLink,
+    ShardedExecutor,
+    Sharding,
+    partition_mesh,
+    shards_needed,
+    single_chip_batched_makespan,
+)
+from repro.pim.params import CHIP_CONFIGS
+
+CHIP = CHIP_CONFIGS["512MB"]
+DT = 1e-4
+
+
+def _factory(physics, flux, mesh, element):
+    """(kernel_factory, g, n_vars) for one sweep configuration."""
+    if physics == "acoustic1":
+        mat = AcousticMaterial.homogeneous(mesh.n_elements)
+        return (lambda m: AcousticOneBlockKernels(mesh, element, mat, m, flux)), 1
+    if physics == "acoustic4":
+        mat = AcousticMaterial.homogeneous(mesh.n_elements)
+        return (lambda m: AcousticFourBlockKernels(mesh, element, mat, m, flux)), 4
+    if physics == "elastic":
+        mat = ElasticMaterial.homogeneous(mesh.n_elements)
+        return (lambda m: ElasticFourBlockKernels(mesh, element, mat, m, flux)), 4
+    mat = ElectromagneticMaterial.homogeneous(mesh.n_elements)
+    return (lambda m: MaxwellOneBlockKernels(mesh, element, mat, m,
+                                             flux_kind=flux, alpha=1.0)), 1
+
+
+def _single_chip_run(mesh, element, factory, g, state, n_steps=1):
+    """Plain plan-replay reference: makespan + per-element block digests."""
+    mapper = ElementMapper(mesh.m, CHIP, g)
+    kern = factory(mapper)
+    chip = PimChip(CHIP)
+    ex = ChipExecutor(chip)
+    ex.run(kern.setup() + kern.load_state(state), functional=True)
+    plan = ex.lower(kern.time_step(DT))
+    for _ in range(n_steps):
+        ex.run(plan, functional=True)
+    digests = {}
+    for e in mapper.elements:
+        h = hashlib.sha256()
+        for part in range(g):
+            h.update(chip.block(mapper.block_of(e, part)).data.tobytes())
+        digests[int(e)] = h.hexdigest()
+    return ex.now(), digests, kern.read_state(chip)
+
+
+def _state(mesh, element, n_vars, seed=0):
+    rng = np.random.default_rng(seed)
+    return (0.1 * rng.standard_normal(
+        (n_vars, mesh.n_elements, element.n_nodes))).astype(np.float32)
+
+
+class TestPartition:
+    def test_partition_covers_mesh(self):
+        mesh = HexMesh.from_refinement_level(2)
+        sharding = partition_mesh(mesh, 4)
+        owned_all = np.sort(np.concatenate(sharding.owned))
+        assert np.array_equal(owned_all, np.arange(mesh.n_elements))
+        for s in range(4):
+            assert np.array_equal(sharding.halo[s],
+                                  mesh.halo_of(sharding.owned[s]))
+            # owner map is consistent with the owned sets
+            assert np.all(sharding.owner[sharding.owned[s]] == s)
+
+    def test_exchanges_partition_each_halo(self):
+        mesh = HexMesh.from_refinement_level(2)
+        sharding = partition_mesh(mesh, 4)
+        for s in range(4):
+            inbound = [e for (src, dst), e in sharding.exchanges.items()
+                       if dst == s]
+            got = np.sort(np.concatenate(inbound))
+            assert np.array_equal(got, sharding.halo[s])
+
+    def test_partition_rejects_bad_order(self):
+        mesh = HexMesh.from_refinement_level(1)
+        with pytest.raises(ValueError):
+            mesh.partition_elements(2, order=np.zeros(8, dtype=np.int64))
+        with pytest.raises(ValueError):
+            mesh.partition_elements(0)
+
+    def test_halo_of_is_face_closure(self):
+        mesh = HexMesh.from_refinement_level(2)
+        owned = mesh.slice_elements(0)  # one y-slice
+        halo = mesh.halo_of(owned)
+        # periodic mesh: the neighboring slices on both sides
+        expect = np.sort(np.concatenate(
+            [mesh.slice_elements(1), mesh.slice_elements(3)]))
+        assert np.array_equal(halo, expect)
+
+    def test_shard_mapper_owned_halo_disjoint(self):
+        mesh = HexMesh.from_refinement_level(1)
+        sharding = partition_mesh(mesh, 2)
+        m = ShardMapper(mesh.m, CHIP, 1, owned=sharding.owned[0],
+                        halo=sharding.halo[0], shard_id=0)
+        assert m.n_owned + m.n_halo == m.n_elements
+        assert all(m.is_owned(e) for e in sharding.owned[0])
+        assert not any(m.is_owned(e) for e in sharding.halo[0])
+        with pytest.raises(ValueError):
+            ShardMapper(mesh.m, CHIP, 1, owned=sharding.owned[0],
+                        halo=sharding.owned[0])
+
+
+class TestHaloAudit:
+    def test_clean_partitions_audit_clean(self):
+        for level, n in ((1, 2), (2, 4), (2, 8)):
+            mesh = HexMesh.from_refinement_level(level)
+            assert audit_sharding(mesh, partition_mesh(mesh, n)) == []
+
+    def test_catches_lost_halo_and_broken_exchange(self):
+        mesh = HexMesh.from_refinement_level(2)
+        sh = partition_mesh(mesh, 4)
+        # drop a halo element of shard 0 and truncate one exchange set
+        exchanges = dict(sh.exchanges)
+        key = sorted(exchanges)[0]
+        exchanges[key] = exchanges[key][:-1]
+        broken = Sharding(sh.n_shards, sh.owned,
+                          (sh.halo[0][1:],) + sh.halo[1:], sh.owner,
+                          exchanges)
+        findings = audit_sharding(mesh, broken)
+        assert findings and all(f.code == "PL005" for f in findings)
+        assert any("lost halo rows" in f.message for f in findings)
+        assert any("no exchange delivers" in f.message for f in findings)
+
+    def test_catches_double_ownership(self):
+        mesh = HexMesh.from_refinement_level(1)
+        sh = partition_mesh(mesh, 2)
+        dup = np.concatenate([sh.owned[0], sh.owned[1][:1]])
+        broken = Sharding(2, (dup, sh.owned[1]), sh.halo, sh.owner,
+                          sh.exchanges)
+        assert any("multiple shards" in f.message
+                   for f in audit_sharding(mesh, broken))
+
+    def test_sharded_executor_rejects_broken_sharding(self):
+        mesh = HexMesh.from_refinement_level(1)
+        sh = partition_mesh(mesh, 2)
+        broken = Sharding(2, sh.owned, (sh.halo[0][1:],) + sh.halo[1:],
+                          sh.owner, sh.exchanges)
+        mat = AcousticMaterial.homogeneous(mesh.n_elements)
+        elem = ReferenceElement(1)
+
+        def factory(m):
+            return AcousticOneBlockKernels(mesh, elem, mat, m, "riemann")
+
+        with pytest.raises(ValueError, match="PL005"):
+            ShardedExecutor(mesh, CHIP, factory, sharding=broken)
+
+
+class TestBitIdentity:
+    def test_one_shard_bit_identical_to_plain_replay(self):
+        mesh = HexMesh.from_refinement_level(1)
+        elem = ReferenceElement(2)
+        factory, g = _factory("acoustic1", "riemann", mesh, elem)
+        state = _state(mesh, elem, 4, seed=7)
+        makespan, digests, ref_state = _single_chip_run(
+            mesh, elem, factory, g, state, n_steps=2)
+
+        sx = ShardedExecutor(mesh, CHIP, factory, n_shards=1)
+        sx.setup(state)
+        res = sx.run_steps(DT, n_steps=2)
+        assert res.makespan_s == makespan          # clocks, bit-exact
+        assert sx.state_digests() == digests       # full block images
+        assert np.array_equal(sx.read_state(), ref_state)
+        assert res.n_exchanges == 0 and res.exchange_bytes == 0
+
+    # the six-configuration sweep: every kernel family x flux kind the
+    # paper benchmarks exercise, each run N-shard vs single chip.
+    SWEEP = [
+        ("acoustic1", "riemann", 2, 4, 4),
+        ("acoustic1", "central", 1, 2, 4),
+        ("acoustic4", "riemann", 1, 2, 4),
+        ("elastic", "central", 1, 2, 9),
+        ("elastic", "riemann", 1, 2, 9),
+        ("maxwell", "upwind", 1, 2, 6),
+    ]
+
+    @pytest.mark.parametrize("physics,flux,level,n_shards,n_vars", SWEEP)
+    def test_n_shard_bit_identical_sweep(self, physics, flux, level,
+                                         n_shards, n_vars):
+        mesh = HexMesh.from_refinement_level(level)
+        elem = ReferenceElement(1)
+        factory, g = _factory(physics, flux, mesh, elem)
+        state = _state(mesh, elem, n_vars, seed=3)
+        _, digests, ref_state = _single_chip_run(mesh, elem, factory, g, state)
+
+        sx = ShardedExecutor(mesh, CHIP, factory, n_shards=n_shards,
+                             blocks_per_element=g)
+        sx.setup(state)
+        sx.run_steps(DT, n_steps=1)
+        # full block images (vars + scratch + aux) of every owned element
+        assert sx.state_digests() == digests
+        # functional path: the assembled global state
+        assert np.array_equal(sx.read_state(), ref_state)
+
+    def test_threaded_replay_matches_sequential(self):
+        mesh = HexMesh.from_refinement_level(1)
+        elem = ReferenceElement(1)
+        factory, g = _factory("acoustic1", "riemann", mesh, elem)
+        state = _state(mesh, elem, 4, seed=5)
+        results = []
+        for jobs in (None, 2):
+            sx = ShardedExecutor(mesh, CHIP, factory, n_shards=2, jobs=jobs)
+            sx.setup(state)
+            res = sx.run_steps(DT, n_steps=1)
+            results.append((res.makespan_s, sx.state_digests(),
+                            res.link_events))
+        assert results[0] == results[1]
+
+
+class TestScaling:
+    def test_step_workload_shard_speedup(self):
+        from repro.eval.bench import SHARD_SPEEDUP_FLOOR
+        from repro.workloads.sharding import shard_step_workload
+
+        wl = shard_step_workload()
+        single_s, n_batches = single_chip_batched_makespan(
+            wl["mesh"], wl["chip"], wl["kernel_factory"], dt=wl["dt"])
+        assert n_batches == 2  # 64 elements overflow the 48-block proxy
+        sx = ShardedExecutor(wl["mesh"], wl["chip"], wl["kernel_factory"],
+                             n_shards=4, counters=True)
+        res = sx.run_steps(wl["dt"], n_steps=1, functional=False)
+        speedup = single_s / res.makespan_s
+        assert speedup >= SHARD_SPEEDUP_FLOOR
+        # overlap is measured from counters, not asserted from the schedule
+        assert res.exchange_overlap_s is not None
+        assert res.overlap_fraction is not None
+        assert 0.0 < res.overlap_fraction <= 1.0
+        assert res.n_exchanges > 0 and res.exchange_busy_s > 0.0
+
+    def test_overlap_unmeasured_without_counters(self):
+        mesh = HexMesh.from_refinement_level(1)
+        elem = ReferenceElement(1)
+        factory, g = _factory("acoustic1", "riemann", mesh, elem)
+        sx = ShardedExecutor(mesh, CHIP, factory, n_shards=2)
+        res = sx.run_steps(DT, n_steps=1, functional=False)
+        assert res.exchange_overlap_s is None
+        assert res.overlap_fraction is None
+
+    def test_report_folds_link_accounting(self):
+        mesh = HexMesh.from_refinement_level(1)
+        elem = ReferenceElement(1)
+        factory, g = _factory("acoustic1", "riemann", mesh, elem)
+        link = InterChipLink(latency_s=1e-6, bandwidth_bps=1e9)
+        sx = ShardedExecutor(mesh, CHIP, factory, n_shards=2, link=link)
+        res = sx.run_steps(DT, n_steps=1, functional=False)
+        rep = res.report
+        assert rep.time_by_tag["halo:exchange"] == res.exchange_busy_s
+        assert rep.energy_by_tag["halo:exchange"] == pytest.approx(
+            link.transfer_energy_j(res.exchange_bytes))
+        assert rep.total_time_s == res.makespan_s
+        # block busy keys are namespaced by shard
+        assert all(isinstance(k, tuple) for k in rep.block_busy_s)
+
+    def test_slow_link_shows_up_as_halo_wait(self):
+        mesh = HexMesh.from_refinement_level(1)
+        elem = ReferenceElement(1)
+        factory, g = _factory("acoustic1", "riemann", mesh, elem)
+        slow = InterChipLink(latency_s=5e-3, bandwidth_bps=1e6)
+        sx = ShardedExecutor(mesh, CHIP, factory, n_shards=2, link=slow,
+                             verify_halo=False)
+        sx.setup(_state(mesh, elem, 4))
+        res = sx.run_steps(DT, n_steps=2)
+        assert res.halo_wait_s > 0.0  # exchange no longer hides under compute
+
+
+class TestCapacity:
+    def test_r6_single_chip_cannot_hold_it(self):
+        mesh = HexMesh.from_refinement_level(6)
+        assert mesh.n_elements == 262_144
+        with pytest.raises(ValueError, match="exceeds chip capacity"):
+            ElementMapper(mesh.m, CHIP, 1)
+
+    def test_r6_sharding_holds_it(self):
+        mesh = HexMesh.from_refinement_level(6)
+        n = shards_needed(mesh, CHIP, 1)
+        assert n is not None and n > 1
+        sharding = partition_mesh(mesh, n)
+        worst = max((len(o) + len(h))
+                    for o, h in zip(sharding.owned, sharding.halo))
+        assert worst <= CHIP.n_blocks
+        # and a shard mapper actually constructs at that size
+        m0 = ShardMapper(mesh.m, CHIP, 1, owned=sharding.owned[0],
+                         halo=sharding.halo[0], shard_id=0)
+        assert m0.n_blocks_needed <= CHIP.n_blocks
+
+    def test_shard_mapper_overflow_names_the_shard(self):
+        mesh = HexMesh.from_refinement_level(6)
+        sharding = partition_mesh(mesh, 2)
+        with pytest.raises(ValueError, match="shard 1: .*more shards"):
+            ShardMapper(mesh.m, CHIP, 1, owned=sharding.owned[1],
+                        halo=sharding.halo[1], shard_id=1)
+
+
+class TestGantt:
+    def test_sharded_track_events_merge_lanes(self):
+        from repro.obs import INTERCHIP_PID, SHARD_PID0, sharded_track_events
+        from repro.workloads.sharding import shard_step_workload
+
+        wl = shard_step_workload()
+        sx = ShardedExecutor(wl["mesh"], wl["chip"], wl["kernel_factory"],
+                             n_shards=4, counters=True)
+        res = sx.run_steps(wl["dt"], n_steps=1, functional=False)
+        events = sharded_track_events(
+            [sh.executor.counters for sh in sx.shards],
+            link_events=res.link_events)
+        pids = {e["pid"] for e in events}
+        assert {SHARD_PID0 + k for k in range(4)} <= pids
+        assert INTERCHIP_PID in pids
+        link_slices = [e for e in events
+                       if e["pid"] == INTERCHIP_PID and e["ph"] == "X"]
+        assert len(link_slices) == res.n_exchanges
+        names = {e["args"]["name"] for e in events
+                 if e["name"] == "process_name"}
+        assert "shard 0" in names and "inter-chip links" in names
